@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure from the paper (see
+DESIGN.md's experiment index), prints the regenerated rows/series next
+to the paper's values, and asserts the qualitative shape.  Experiment
+pipelines are heavy, so each runs exactly once per session
+(``benchmark.pedantic(rounds=1)``); the microbenchmarks (A1 overhead)
+use normal timing loops.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale",
+        action="store_true",
+        default=False,
+        help="use the paper's exact problem sizes (much slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_scale(request) -> bool:
+    return request.config.getoption("--full-scale")
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated artifact in a recognizable block."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

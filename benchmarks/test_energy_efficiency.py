@@ -1,0 +1,18 @@
+"""Extension: energy efficiency (Gflop/s per watt) across core sets."""
+
+from benchmarks.conftest import emit
+from repro.experiments import energy_efficiency
+
+
+def test_energy_efficiency(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: energy_efficiency.run_energy_efficiency(full_scale=full_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Extension — Energy efficiency of the Table II runs",
+        energy_efficiency.render(result),
+    )
+    holds = energy_efficiency.shape_holds(result)
+    assert all(holds.values()), holds

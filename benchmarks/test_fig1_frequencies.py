@@ -1,0 +1,27 @@
+"""F1: regenerate Figure 1 — core frequencies over time, both builds."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig1_frequencies
+
+
+def test_fig1_core_frequencies(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: fig1_frequencies.run_fig1(full_scale=full_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 1 — Measured core frequencies, all-core runs (1 Hz series)",
+        fig1_frequencies.render(result),
+    )
+    holds = fig1_frequencies.shape_holds(result)
+    assert all(holds.values()), holds
+    # Medians in the paper's neighbourhood (GHz).
+    assert result.medians_ghz["openblas"]["P-core"] == pytest.approx(2.94, abs=0.5)
+    assert result.medians_ghz["intel"]["P-core"] == pytest.approx(2.61, abs=0.45)
+    assert result.medians_ghz["intel"]["E-core"] == pytest.approx(2.32, abs=0.45)
+    # Both traces actually sampled at 1 Hz for the bulk of the run.
+    for trace in result.traces.values():
+        assert len(trace.times_s) > 20

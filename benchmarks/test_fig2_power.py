@@ -1,0 +1,28 @@
+"""F2: regenerate Figure 2 — package power and temperature traces."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig2_power
+
+
+def test_fig2_power_and_temperature(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: fig2_power.run_fig2(full_scale=full_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 2 — Measured power and package temperature, all-core runs",
+        fig2_power.render(result),
+    )
+    holds = fig2_power.shape_holds(result)
+    assert all(holds.values()), holds
+    # OpenBLAS peaks well below PL2 (paper: 165.7 W), Intel much higher.
+    assert result.peak_w["openblas"] == pytest.approx(165.7, rel=0.25)
+    assert result.peak_w["intel"] > 180.0
+    # Both settle at the PL1 long-term limit.
+    for variant in ("openblas", "intel"):
+        assert result.steady_w[variant] == pytest.approx(65.0, rel=0.12)
+    # Adequate cooling: nowhere near the 100 C Tjmax.
+    assert max(result.max_temp_c.values()) < 90.0

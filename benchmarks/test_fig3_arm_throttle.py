@@ -1,0 +1,24 @@
+"""F3: regenerate Figure 3 — ARM big.LITTLE thermal throttling."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig3_arm_throttle
+
+
+def test_fig3_frequency_scaling_behavior(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: fig3_arm_throttle.run_fig3(full_scale=full_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 3 — Frequency scaling behavior on the ARM64 big.LITTLE system",
+        fig3_arm_throttle.render(result),
+    )
+    holds = fig3_arm_throttle.shape_holds(result)
+    assert all(holds.values()), holds
+    # Big cores ramp to max then throttle within tens of seconds.
+    assert result.big_start_mhz["big x2"] > 1700
+    assert result.time_to_throttle_s["big x2"] < 30.0
+    # In the all-core run most computation lands on the LITTLE cluster.
+    assert result.little_sustained_mhz["all x6"] > 1000
+    assert result.big_sustained_mhz["all x6"] < 700

@@ -1,0 +1,22 @@
+"""F4: regenerate Figure 4 — OrangePi HPL performance as cores are added."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig4_arm_scaling
+
+
+def test_fig4_orangepi_scaling(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: fig4_arm_scaling.run_fig4(full_scale=full_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 4 — OrangePi HPL performance as more cores are added",
+        fig4_arm_scaling.render(result),
+    )
+    holds = fig4_arm_scaling.shape_holds(result)
+    assert all(holds.values()), holds
+    # The paper's headline orderings.
+    assert result.wall_s["4 little"] < result.wall_s["2 big"]
+    assert result.gflops["all 6"] >= result.gflops["4 little"]
+    assert result.gflops["all 6"] / result.gflops["4 little"] < 1.25

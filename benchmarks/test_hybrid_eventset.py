@@ -1,0 +1,65 @@
+"""R1: regenerate the §IV-F functional result
+(``papi_hybrid_100m_one_eventset``) on both testbeds."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import hybrid_eventset
+
+
+def test_papi_hybrid_100m_one_eventset_raptor(benchmark):
+    results = benchmark.pedantic(
+        lambda: hybrid_eventset.run_paper_scenarios("raptor-lake-i7-13700"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "§IV-F — papi_hybrid_100m_one_eventset (Raptor Lake)",
+        hybrid_eventset.render(results),
+    )
+    by_key = {(r.mode, r.pinned): r for r in results}
+
+    free = by_key[("hybrid", None)]
+    p, e = free.average(0), free.average(1)
+    # The paper's exemplar: p ~836848, e ~167487, sum ~1M.
+    assert p > e > 0
+    assert 1e6 <= free.avg_total <= 1.05e6
+
+    assert by_key[("hybrid", "P-core")].average(1) == 0
+    assert by_key[("hybrid", "E-core")].average(0) == 0
+    # Legacy: partial counts only.
+    assert by_key[("legacy", "E-core")].avg_total == 0
+    assert 0 < by_key[("legacy", None)].avg_total < 1e6
+
+
+def test_papi_hybrid_on_orangepi(benchmark):
+    results = benchmark.pedantic(
+        lambda: hybrid_eventset.run_paper_scenarios("orangepi-800"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "§IV-F — papi_hybrid_100m_one_eventset (OrangePi 800)",
+        hybrid_eventset.render(results),
+    )
+    by_key = {(r.mode, r.pinned): r for r in results}
+    free = by_key[("hybrid", None)]
+    assert 1e6 <= free.avg_total <= 1.05e6
+    assert by_key[("hybrid", "big")].average(1) == 0
+    assert by_key[("hybrid", "LITTLE")].average(0) == 0
+
+
+def test_homogeneous_machine_control(benchmark):
+    """'On a traditional machine you get the expected result.'"""
+    result = benchmark.pedantic(
+        lambda: hybrid_eventset.run_hybrid_test(
+            mode="legacy", machine="xeon-homogeneous", reps=100
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "§IV-F control — homogeneous machine",
+        result.summary_line(),
+    )
+    assert result.avg_total == pytest.approx(1e6, rel=0.05)

@@ -1,0 +1,63 @@
+"""Microbenchmarks of the simulator itself.
+
+Not paper artifacts — these track the substrate's own performance so
+full-scale reproductions stay affordable (the guides' rule: measure
+before optimizing).  Reported in host time by pytest-benchmark.
+"""
+
+from repro.hpl import HplConfig, run_hpl
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0, llc_refs_per_instr=0.01, llc_miss_rate=0.5))
+
+
+def test_engine_tick_throughput(benchmark):
+    """Cost of one fully loaded tick (16 running threads, all hooks)."""
+    system = System("raptor-lake-i7-13700", dt_s=0.001)
+    for cpu in system.topology.primary_threads():
+        system.machine.spawn(
+            SimThread(f"w{cpu}", Program([ComputePhase(1e12, RATES)]), affinity={cpu})
+        )
+    system.machine.run_ticks(5)  # warm placement
+    benchmark(system.machine.tick)
+
+
+def test_perf_account_hook_overhead(benchmark):
+    """Tick cost with 32 thread-bound perf events attached."""
+    from repro.kernel.perf import PerfEventAttr
+    from repro.kernel.perf.subsystem import PerfIoctl
+
+    system = System("raptor-lake-i7-13700", dt_s=0.001)
+    threads = [
+        system.machine.spawn(
+            SimThread(f"w{cpu}", Program([ComputePhase(1e12, RATES)]), affinity={cpu})
+        )
+        for cpu in system.topology.primary_threads()
+    ]
+    for t in threads:
+        for pmu in ("cpu_core", "cpu_atom"):
+            ptype = system.perf.registry.by_name[pmu].type
+            fd = system.perf.perf_event_open(
+                PerfEventAttr(type=ptype, config=0x00C0), pid=t.tid, cpu=-1
+            )
+            system.perf.ioctl(fd, PerfIoctl.ENABLE)
+    system.machine.run_ticks(5)
+    benchmark(system.machine.tick)
+
+
+def test_hpl_simulation_rate(benchmark):
+    """Wall time to simulate one small full HPL run (16 threads)."""
+
+    def run():
+        system = System("raptor-lake-i7-13700", dt_s=0.01)
+        return run_hpl(
+            system,
+            HplConfig(n=4608, nb=192),
+            variant="intel",
+            cpus=system.topology.primary_threads(),
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.gflops > 0

@@ -1,0 +1,33 @@
+"""T1: regenerate Table I (Raptor Lake) and Table IV (OrangePi 800)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table1_hw
+from repro.experiments.common import orangepi_system, raptor_system
+
+
+def test_table1_raptor_lake(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1_hw.run_hw_config(raptor_system()), rounds=1, iterations=1
+    )
+    text = table1_hw.render(result)
+    emit("Table I — Hardware configuration of the Raptor Lake system", text)
+    assert "13th Gen Intel(R) Core(TM) i7-13700" in text
+    by_name = {c.name: c for c in result.info.core_classes}
+    assert by_name["P-core"].n_physical_cores == 8
+    assert by_name["P-core"].n_logical_cpus == 16
+    assert by_name["E-core"].n_physical_cores == 8
+    assert result.info.memory_gib == 32
+
+
+def test_table4_orangepi(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1_hw.run_hw_config(orangepi_system()), rounds=1, iterations=1
+    )
+    text = table1_hw.render(result)
+    emit("Table IV — Hardware configuration of the OrangePi 800 system", text)
+    by_name = {c.name: c for c in result.info.core_classes}
+    assert by_name["big"].n_physical_cores == 2
+    assert by_name["big"].max_mhz == 1800
+    assert by_name["LITTLE"].n_physical_cores == 4
+    assert by_name["LITTLE"].max_mhz == 1400
+    assert result.info.memory_gib == 4

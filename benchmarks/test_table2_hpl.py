@@ -1,0 +1,37 @@
+"""T2: regenerate Table II — the six HPL Gflop/s cells.
+
+Shape assertions (vs the paper's measured values, DESIGN.md anchors):
+Intel wins every core set; the all-core gap dwarfs the others; OpenBLAS
+regresses on all cores while Intel gains.  Each regenerated cell must
+land within 15% of the paper's absolute number.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import table2_hpl
+from repro.experiments.table2_hpl import CORE_SET_ORDER, PAPER_GFLOPS
+
+
+def test_table2_benchmark_performance_comparison(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: table2_hpl.run_table2(full_scale=full_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Table II — Benchmark performance comparison (Gflop/s)",
+        table2_hpl.render(result),
+    )
+    holds = table2_hpl.shape_holds(result)
+    assert all(holds.values()), holds
+    for core_set in CORE_SET_ORDER:
+        paper_ob, paper_intel = PAPER_GFLOPS[core_set]
+        assert result.gflops(core_set, "openblas") == pytest.approx(
+            paper_ob, rel=0.15
+        ), core_set
+        assert result.gflops(core_set, "intel") == pytest.approx(
+            paper_intel, rel=0.15
+        ), core_set
+    # The signature 57.4% all-core gap, within a generous band.
+    assert 35.0 < result.change_pct("P and E") < 80.0

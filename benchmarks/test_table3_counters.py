@@ -1,0 +1,27 @@
+"""T3: regenerate Table III — per-core-type counter measurements."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import table3_counters
+
+
+def test_table3_hardware_counter_measurements(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: table3_counters.run_table3(full_scale=full_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Table III — Hardware counter measurements for all-core runs",
+        table3_counters.render(result),
+    )
+    holds = table3_counters.shape_holds(result)
+    assert all(holds.values()), holds
+    # Quantitative vicinity of the paper's cells.
+    assert result.miss_rate["openblas"]["P"] == pytest.approx(0.86, abs=0.06)
+    assert result.miss_rate["intel"]["P"] == pytest.approx(0.64, abs=0.06)
+    assert result.miss_rate["openblas"]["E"] < 0.01
+    assert result.miss_rate["intel"]["E"] < 0.01
+    assert result.instr_share["openblas"]["P"] == pytest.approx(0.80, abs=0.10)
+    assert result.instr_share["intel"]["P"] == pytest.approx(0.68, abs=0.10)

@@ -1,0 +1,35 @@
+"""A2: the §II-A.2 tuning sweep — 16 (beta, NB) HPL runs.
+
+Verifies the paper's tuning methodology: the beta approach produces the
+N = 57024 the paper selected (beta ~0.76, NB = 192), and the reduced-
+scale sweep prefers a large NB over NB = 64.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.common import raptor_system
+from repro.hpl import beta_problem_size, run_hpl, tune_hpl
+
+
+def test_tuning_sweep(benchmark):
+    def run_cell(config):
+        system = raptor_system(dt_s=0.02)
+        return run_hpl(
+            system,
+            config,
+            variant="openblas",
+            cpus=system.topology.primary_threads(),
+        ).gflops
+
+    result = benchmark.pedantic(
+        lambda: tune_hpl(32, run_cell, scale=0.25), rounds=1, iterations=1
+    )
+    emit("§II-A.2 — HPL tuning sweep (beta x NB, reduced scale)", result.table())
+    assert len(result.cells) == 16
+    # Large blocks win over NB=64 (blocking efficiency).
+    assert result.best.nb >= 128
+    # The paper's chosen full-scale point (N = 57024, NB = 192) sits in
+    # the neighbourhood the beta approach proposes for NB = 192.
+    ns_192 = sorted(
+        beta_problem_size(32, c.beta, 192) for c in result.cells if c.nb == 192
+    )
+    assert ns_192[0] * 0.95 <= 57024 <= ns_192[-1] * 1.05

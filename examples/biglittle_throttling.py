@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""ARM big.LITTLE exploration: thermal throttling on the OrangePi 800.
+
+Reproduces Figures 3 and 4: HPL on the two Cortex-A72 big cores heats
+the passively-cooled SoC past its trip point within seconds; the four
+Cortex-A53 LITTLE cores, far more efficient, end up finishing the same
+problem *faster*, and adding the big cores to them barely helps.  Run::
+
+    python examples/biglittle_throttling.py
+"""
+
+from repro.experiments import fig3_arm_throttle, fig4_arm_scaling
+
+
+def main() -> None:
+    print("Running Figure 3 (frequency scaling under thermal pressure)...")
+    f3 = fig3_arm_throttle.run_fig3()
+    print(fig3_arm_throttle.render(f3))
+    print(
+        f"\nThe big cluster starts at {f3.big_start_mhz['big x2']:.0f} MHz and is"
+        f" throttled within {f3.time_to_throttle_s['big x2']:.0f} s"
+        f" (trip point {f3.trip_c:.0f} C, passive cooling)."
+    )
+
+    print("\nRunning Figure 4 (HPL as more cores are added)...")
+    f4 = fig4_arm_scaling.run_fig4()
+    print(fig4_arm_scaling.render(f4))
+    speedup = f4.wall_s["2 big"] / f4.wall_s["4 little"]
+    bonus = f4.gflops["all 6"] / f4.gflops["4 little"] - 1.0
+    print(
+        f"\n4 LITTLE cores complete {speedup:.2f}x faster than 2 throttled big"
+        f" cores; all six cores add only {bonus * 100:.0f}% over the LITTLEs —"
+        "\nanalysis like this is why performance tools need to be"
+        " heterogeneous-aware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Core-type detection survey (§IV-B): every strategy on every machine.
+
+Shows why the paper calls detection "one major problem": each mechanism
+works on some machines and fails on others — /proc/cpuinfo cannot tell
+Intel P from E cores, cpuid does not exist on ARM, cpu_capacity is
+arm64-only, PMU names change with boot firmware, and the proposed
+/sys/devices/system/cpu/types interface was never merged.  Run::
+
+    python examples/core_detection.py
+"""
+
+from repro import System
+from repro.hw.machines import orangepi_800
+from repro.kernel.sched.affinity import format_cpu_list
+from repro.papi import detect_core_types
+
+
+def survey(title: str, system: System) -> None:
+    print(f"\n=== {title} " + "=" * max(1, 60 - len(title)))
+    report = detect_core_types(system)
+    for r in report.results:
+        if not r.applicable:
+            print(f"  {r.strategy:20s} n/a        ({r.detail})")
+            continue
+        classes = ", ".join(
+            f"{name}=[{format_cpu_list(cpus)}]" for name, cpus in sorted(r.classes.items())
+        )
+        verdict = "OK " if r.n_classes == len(system.topology.core_types) else "MISLEADING"
+        print(f"  {r.strategy:20s} {verdict:10s} {classes}")
+    print(
+        f"  -> consensus: {len(report.consensus)} core type(s); "
+        f"machine truly has {len(system.topology.core_types)}"
+    )
+
+
+def main() -> None:
+    survey("Intel Raptor Lake (P+E)", System("raptor-lake-i7-13700"))
+    survey("OrangePi 800, devicetree firmware", System("orangepi-800"))
+    survey("OrangePi 800, ACPI firmware (renamed PMUs)", System(orangepi_800(firmware="acpi")))
+    survey("Three-tier ARM DynamIQ", System("dynamiq-three-tier"))
+    survey("Homogeneous Xeon (control)", System("xeon-homogeneous"))
+    survey(
+        "Raptor Lake with the proposed (unmerged) cpu/types interface",
+        System("raptor-lake-i7-13700", expose_cpu_types=True),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+``pip install -e .`` (PEP 660) cannot build an editable wheel.  This shim
+lets ``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+fall back to the legacy editable install path.
+"""
+
+from setuptools import setup
+
+setup()

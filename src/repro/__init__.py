@@ -1,0 +1,39 @@
+"""Reproduction of "Performance Measurement on Heterogeneous Processors
+with PAPI" (Cunningham & Weaver, SC 2024 workshops).
+
+Because the paper's evaluation is hardware-gated (real PMUs, RAPL MSRs,
+thermal sensors, Intel MKL binaries), everything it runs on is rebuilt as
+a simulated substrate (see DESIGN.md for the substitution map):
+
+* :class:`repro.System` -- a booted simulated machine: heterogeneous CPU
+  model, kernel scheduler, perf_event subsystem, /sys and /proc trees;
+* :class:`repro.Papi` -- the PAPI library with the paper's hybrid
+  (multi-PMU EventSet) support, plus the legacy PAPI 7.1 behaviour for
+  comparison;
+* :mod:`repro.hpl` -- the HPL benchmark model with the homogeneity-naive
+  (OpenBLAS) and hybrid-aware (Intel MKL) work-distribution variants;
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+Quick start::
+
+    from repro import System, Papi
+
+    system = System("raptor-lake-i7-13700")
+    papi = Papi(system, mode="hybrid")
+    print(papi.get_hardware_info())
+"""
+
+from repro.system import System
+from repro.papi import Papi, PapiError, detect_core_types
+from repro.hw.machines import MACHINE_PRESETS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "System",
+    "Papi",
+    "PapiError",
+    "detect_core_types",
+    "MACHINE_PRESETS",
+    "__version__",
+]

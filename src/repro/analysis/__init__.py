@@ -1,0 +1,17 @@
+"""Derived metrics from counter values."""
+
+from repro.analysis.metrics import (
+    HybridBreakdown,
+    breakdown_eventset,
+    gflops,
+    ipc,
+    miss_rate,
+)
+
+__all__ = [
+    "HybridBreakdown",
+    "breakdown_eventset",
+    "gflops",
+    "ipc",
+    "miss_rate",
+]

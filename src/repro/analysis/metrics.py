@@ -1,0 +1,78 @@
+"""Derived metrics: turning raw counter values into the numbers papers
+report (IPC, miss rates, Gflop/s, per-core-type shares).
+
+The hybrid-specific piece is :func:`breakdown_eventset`: given a
+multi-PMU EventSet and its values, it reconstructs the per-core-type
+contributions of every derived preset — what the paper's §V-2 says a
+user should *not* have to do by hand, exposed here for analysis code
+that wants the split anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.papi.library import Papi
+
+
+def ipc(instructions: float, cycles: float) -> float:
+    """Instructions per cycle; 0 when no cycles elapsed."""
+    return instructions / cycles if cycles > 0 else 0.0
+
+
+def miss_rate(misses: float, references: float) -> float:
+    """Cache miss rate; 0 when there were no references."""
+    if references <= 0:
+        return 0.0
+    if misses < 0:
+        raise ValueError("negative miss count")
+    return min(1.0, misses / references)
+
+
+def gflops(fp_ops: float, seconds: float) -> float:
+    """Floating-point throughput in Gflop/s."""
+    return fp_ops / seconds / 1e9 if seconds > 0 else 0.0
+
+
+@dataclass
+class HybridBreakdown:
+    """Per-core-type contributions of one EventSet's entries."""
+
+    entries: dict[str, dict[str, float]] = field(default_factory=dict)
+    # entry name -> pmu name -> value (plain entries have one pmu key)
+
+    def total(self, entry: str) -> float:
+        return sum(self.entries[entry].values())
+
+    def share(self, entry: str, pmu: str) -> float:
+        total = self.total(entry)
+        return self.entries[entry].get(pmu, 0.0) / total if total else 0.0
+
+
+def breakdown_eventset(
+    papi: "Papi", esid: int, values: Sequence[float] | None = None
+) -> HybridBreakdown:
+    """Split each EventSet entry's value by backing PMU.
+
+    Reads the component's native slots directly, so derived presets
+    (DERIVED_ADD across core types) come back as per-PMU contributions.
+    ``values`` is accepted for interface symmetry but the per-slot counts
+    are re-read from the component, so call this before reset.
+    """
+    from repro.papi.perf_event_component import PerfEventComponent
+
+    es = papi.eventset(esid)
+    if not isinstance(es.component, PerfEventComponent):
+        raise TypeError("breakdown requires a perf_event EventSet")
+    slot_values = es.component.read(es, None)
+    state = es.component.state_of(es)
+    out = HybridBreakdown()
+    for entry in es.entries:
+        per_pmu: dict[str, float] = {}
+        for idx in entry.slot_indices:
+            pmu = state.slots[idx].info.pmu.name
+            per_pmu[pmu] = per_pmu.get(pmu, 0.0) + slot_values[idx]
+        out.entries[entry.name] = per_pmu
+    return out

@@ -1,0 +1,176 @@
+"""§IV-F: the ``papi_hybrid_100m_one_eventset`` functional result.
+
+A test program executes 1 million instructions 100 times, measuring
+retired instructions with PAPI around each repetition.
+
+* On a *homogeneous* machine: the count is ~1 M every time.
+* On a *heterogeneous* machine with **legacy** PAPI only one core type's
+  event fits in the EventSet, so the count is "0, 1 million, or
+  something in between depending how the OS scheduled the process";
+  ``taskset`` pinning to a matching/foreign core gives 1 M / 0.
+* With the **patched (hybrid)** PAPI both events live in one EventSet
+  and the P + E counts sum to ~1 M, e.g. the paper's
+  ``Average instructions p: 836848 e: 167487``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.papi import Papi, PapiError
+from repro.sim.task import ControlOp, Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+#: Execution profile of the test's measured loop (scalar integer work).
+LOOP_RATES = constant_rates(PhaseRates(ipc=2.0, branches_per_instr=0.1))
+
+
+@dataclass
+class HybridTestResult:
+    mode: str
+    machine: str
+    pinned: Optional[str]
+    reps: int
+    instructions_per_rep: float
+    per_rep: list[dict[str, float]] = field(default_factory=list)
+    events: list[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    def average(self, event_idx: int) -> float:
+        if not self.per_rep:
+            return 0.0
+        return sum(r["values"][event_idx] for r in self.per_rep) / len(self.per_rep)
+
+    @property
+    def avg_total(self) -> float:
+        return sum(self.average(i) for i in range(len(self.events)))
+
+    def summary_line(self) -> str:
+        if self.error:
+            return f"[{self.mode}, pin={self.pinned}] ERROR: {self.error}"
+        parts = " ".join(
+            f"{name.split('::')[0]}: {self.average(i):.0f}"
+            for i, name in enumerate(self.events)
+        )
+        return (
+            f"[{self.mode}, pin={self.pinned}] Average instructions {parts} "
+            f"(sum {self.avg_total:.0f})"
+        )
+
+
+def _hybrid_event_names(system: System) -> list[str]:
+    """The per-core-type INST_RETIRED native names, big core first."""
+    names = []
+    for ct in sorted(
+        system.topology.core_types, key=lambda c: -c.capacity * c.max_freq_mhz
+    ):
+        suffix = "INST_RETIRED:ANY" if ct.vendor == "intel" else "INST_RETIRED"
+        names.append(f"{ct.pfm_pmu}::{suffix}")
+    return names
+
+
+def run_hybrid_test(
+    mode: str = "hybrid",
+    machine: str = "raptor-lake-i7-13700",
+    pin: Optional[str] = None,
+    reps: int = 100,
+    instructions: float = 1e6,
+    seed: int = 7,
+) -> HybridTestResult:
+    """Run the test; ``pin`` is a core-type name ("P-core", "E-core"...)
+    to taskset onto, or None for free scheduling with background noise."""
+    jitter = 0.05 if pin is None else 0.0
+    system = System(
+        machine,
+        dt_s=2e-5,
+        seed=seed,
+        migrate_jitter=jitter,
+        rebalance_jitter=jitter,
+    )
+    papi = Papi(system, mode=mode)
+
+    affinity = None
+    if pin is not None:
+        cpus = system.topology.cpus_of_type(pin)
+        if not cpus:
+            raise ValueError(f"machine has no {pin!r} cores")
+        affinity = {cpus[0]}
+
+    result = HybridTestResult(
+        mode=mode,
+        machine=machine,
+        pinned=pin,
+        reps=reps,
+        instructions_per_rep=instructions,
+    )
+
+    # On a heterogeneous machine legacy PAPI can only hold one PMU's
+    # event; we add the big-core event (what an unsuspecting user's
+    # existing EventSet would contain).
+    names = _hybrid_event_names(system)
+    if mode == "legacy" and len(names) > 1:
+        wanted = names[:1]
+    else:
+        wanted = names
+
+    program_items: list = []
+    es_holder: dict = {}
+
+    def do_setup(thread: SimThread) -> None:
+        es = papi.create_eventset()
+        papi.attach(es, thread)
+        try:
+            for name in wanted:
+                papi.add_event(es, name, caller=thread)
+        except PapiError as exc:
+            result.error = str(exc)
+            raise
+        papi.start(es, caller=thread)
+        es_holder["es"] = es
+
+    def do_measure(thread: SimThread) -> None:
+        values = papi.read(es_holder["es"], caller=thread)
+        papi.reset(es_holder["es"], caller=thread)
+        result.per_rep.append({"values": values})
+
+    program_items.append(ControlOp(do_setup, "papi-setup"))
+    for _ in range(reps):
+        program_items.append(ComputePhase(instructions, LOOP_RATES, label="loop"))
+        program_items.append(ControlOp(do_measure, "papi-read"))
+
+    def do_teardown(thread: SimThread) -> None:
+        papi.stop(es_holder["es"], caller=thread)
+        papi.destroy_eventset(es_holder["es"], caller=thread)
+
+    program_items.append(ControlOp(do_teardown, "papi-stop"))
+
+    t = system.machine.spawn(
+        SimThread("papi_hybrid_100m_one_eventset", Program(program_items), affinity=affinity)
+    )
+    # Background noise: short bursts that occasionally contend for cores.
+    system.machine.run_until_done([t], max_s=60.0)
+    result.events = wanted
+    return result
+
+
+def run_paper_scenarios(machine: str = "raptor-lake-i7-13700") -> list[HybridTestResult]:
+    """All the §IV-F scenarios on one machine."""
+    scenarios: list[HybridTestResult] = []
+    system = System(machine)
+    ct_names = [ct.name for ct in system.topology.core_types]
+    big = ct_names[0]
+    scenarios.append(run_hybrid_test(mode="hybrid", machine=machine))
+    scenarios.append(run_hybrid_test(mode="hybrid", machine=machine, pin=big))
+    if len(ct_names) > 1:
+        little = ct_names[-1]
+        scenarios.append(run_hybrid_test(mode="hybrid", machine=machine, pin=little))
+        scenarios.append(run_hybrid_test(mode="legacy", machine=machine))
+        scenarios.append(run_hybrid_test(mode="legacy", machine=machine, pin=big))
+        scenarios.append(run_hybrid_test(mode="legacy", machine=machine, pin=little))
+    return scenarios
+
+
+def render(results: list[HybridTestResult]) -> str:
+    return "\n".join(r.summary_line() for r in results)

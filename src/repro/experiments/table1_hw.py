@@ -1,0 +1,43 @@
+"""Table I / Table IV: hardware configuration, via PAPI hwinfo (§V-1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import render_table
+from repro.papi.hwinfo import PapiHardwareInfo, get_hardware_info
+from repro.system import System
+
+
+@dataclass
+class HwConfigResult:
+    info: PapiHardwareInfo
+    memory_type: str
+
+
+def run_hw_config(system: System) -> HwConfigResult:
+    return HwConfigResult(
+        info=get_hardware_info(system),
+        memory_type=str(system.spec.extra.get("memory_type", "DRAM")),
+    )
+
+
+def render(result: HwConfigResult) -> str:
+    info = result.info
+    rows = [["CPU", info.model_string]]
+    for cc in info.core_classes:
+        threads = (
+            f"{cc.n_physical_cores} ({cc.n_logical_cpus} threads)"
+            if cc.n_logical_cpus != cc.n_physical_cores
+            else f"{cc.n_physical_cores}"
+        )
+        rows.append(
+            [
+                f"{cc.name} cores",
+                f"{threads} @{cc.base_mhz / 1000:.2f}-{cc.max_mhz / 1000:.2f} GHz"
+                f" (PMU {cc.pmu_name})",
+            ]
+        )
+    rows.append(["Memory", f"{info.memory_gib}GB {result.memory_type}"])
+    rows.append(["Heterogeneous", str(info.heterogeneous)])
+    return render_table(["Item", "Value"], rows)

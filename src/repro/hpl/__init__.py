@@ -1,0 +1,37 @@
+"""High Performance Linpack workload model.
+
+HPL factorizes a dense N x N system via blocked LU: a sequence of panel
+steps, each with a (mostly serial) panel factorization followed by a
+large parallel trailing-matrix update, separated by synchronization.
+The two benchmark builds the paper compares differ in how that parallel
+work meets a heterogeneous machine:
+
+* ``openblas`` — assumes homogeneous cores: a mostly *static equal*
+  partition per step with a limited dynamic tail (look-ahead).  On P+E
+  machines the E-cores straggle and the P-cores spin at the barrier.
+* ``intel`` — hybrid-aware (Intel MKL): fully dynamic work distribution,
+  so every core contributes in proportion to its actual throughput, plus
+  better cache blocking (the lower LLC miss rates of Table III).
+"""
+
+from repro.hpl.dat import HplConfig, parse_dat, to_dat
+from repro.hpl.model import hpl_flops, hpl_steps, HplStep
+from repro.hpl.variants import VARIANTS, HplVariant, DgemmProfile
+from repro.hpl.runner import HplResult, run_hpl
+from repro.hpl.tuning import beta_problem_size, tune_hpl
+
+__all__ = [
+    "HplConfig",
+    "parse_dat",
+    "to_dat",
+    "hpl_flops",
+    "hpl_steps",
+    "HplStep",
+    "VARIANTS",
+    "HplVariant",
+    "DgemmProfile",
+    "HplResult",
+    "run_hpl",
+    "beta_problem_size",
+    "tune_hpl",
+]

@@ -1,0 +1,83 @@
+"""HPL.dat configuration files.
+
+A small, faithful subset of the real HPL.dat format: problem sizes (N),
+block sizes (NB) and the process grid (P x Q).  The paper's runs use a
+single node, so P = Q = 1, N = 57024 and NB = 192.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HplConfig:
+    """One HPL run configuration."""
+
+    n: int
+    nb: int
+    p: int = 1
+    q: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.nb <= 0:
+            raise ValueError("N and NB must be positive")
+        if self.nb > self.n:
+            raise ValueError(f"NB ({self.nb}) cannot exceed N ({self.n})")
+        if self.p < 1 or self.q < 1:
+            raise ValueError("process grid dimensions must be >= 1")
+
+    @property
+    def n_steps(self) -> int:
+        return -(-self.n // self.nb)  # ceil
+
+    def memory_bytes(self) -> int:
+        """Matrix storage: N^2 doubles."""
+        return self.n * self.n * 8
+
+
+#: The paper's tuned configuration for the Raptor Lake machine.
+PAPER_RAPTOR_LAKE = HplConfig(n=57024, nb=192, p=1, q=1)
+
+
+def to_dat(config: HplConfig) -> str:
+    """Render an HPL.dat file (single-N, single-NB layout)."""
+    return "\n".join(
+        [
+            "HPLinpack benchmark input file",
+            "Innovative Computing Laboratory, University of Tennessee",
+            "HPL.out      output file name (if any)",
+            "6            device out (6=stdout,7=stderr,file)",
+            "1            # of problems sizes (N)",
+            f"{config.n}        Ns",
+            "1            # of NBs",
+            f"{config.nb}          NBs",
+            "0            PMAP process mapping (0=Row-,1=Column-major)",
+            "1            # of process grids (P x Q)",
+            f"{config.p}            Ps",
+            f"{config.q}            Qs",
+            "16.0         threshold",
+            "",
+        ]
+    )
+
+
+def parse_dat(text: str) -> HplConfig:
+    """Parse the first problem configuration out of an HPL.dat file."""
+    lines = text.splitlines()
+    n = nb = p = q = None
+    for i, line in enumerate(lines):
+        token = line.split("#")[0].strip()
+        label = line.lower()
+        first = token.split()[0] if token.split() else ""
+        if label.rstrip().endswith("ns") and first.isdigit():
+            n = int(first)
+        elif label.rstrip().endswith("nbs") and first.isdigit():
+            nb = int(first)
+        elif label.rstrip().endswith("ps") and first.isdigit():
+            p = int(first)
+        elif label.rstrip().endswith("qs") and first.isdigit():
+            q = int(first)
+    if n is None or nb is None:
+        raise ValueError("HPL.dat is missing Ns or NBs lines")
+    return HplConfig(n=n, nb=nb, p=p or 1, q=q or 1)

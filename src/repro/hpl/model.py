@@ -1,0 +1,70 @@
+"""The blocked-LU structure of HPL.
+
+The flop accounting follows the benchmark's own convention
+(``2/3 N^3 + 3/2 N^2``).  Execution is a sequence of panel steps: at
+step k the panel (the next NB columns) is factorized — a small, poorly
+parallel amount of work — and the trailing submatrix of order
+``m = N - (k+1) * NB`` is updated with a rank-NB DGEMM of ``2 * NB * m^2``
+flops, which is where nearly all the time goes and what the partitioning
+strategies fight over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hpl.dat import HplConfig
+
+
+def hpl_flops(n: int) -> float:
+    """The official HPL flop count for problem size N."""
+    return (2.0 / 3.0) * n**3 + 1.5 * n**2
+
+
+@dataclass(frozen=True)
+class HplStep:
+    """One panel step's work, in flops."""
+
+    index: int
+    panel_flops: float      # serial-ish panel factorization
+    update_flops: float     # parallel trailing update
+
+    @property
+    def total_flops(self) -> float:
+        return self.panel_flops + self.update_flops
+
+
+def hpl_steps(config: HplConfig) -> list[HplStep]:
+    """Decompose the factorization into panel steps.
+
+    The per-step counts are normalized so they sum exactly to
+    :func:`hpl_flops` — the simulation then reports Gflop/s on the same
+    basis real HPL does.
+    """
+    n, nb = config.n, config.nb
+    steps: list[HplStep] = []
+    raw_panel: list[float] = []
+    raw_update: list[float] = []
+    k = 0
+    col = 0
+    while col < n:
+        width = min(nb, n - col)
+        m = n - col - width       # trailing matrix order
+        # Panel factorization of an (n - col) x width block.
+        panel = (n - col) * width * width
+        update = 2.0 * width * m * m
+        raw_panel.append(panel)
+        raw_update.append(update)
+        col += width
+        k += 1
+    raw_total = sum(raw_panel) + sum(raw_update)
+    scale = hpl_flops(n) / raw_total if raw_total else 0.0
+    for i in range(len(raw_panel)):
+        steps.append(
+            HplStep(
+                index=i,
+                panel_flops=raw_panel[i] * scale,
+                update_flops=raw_update[i] * scale,
+            )
+        )
+    return steps

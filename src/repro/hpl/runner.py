@@ -1,0 +1,258 @@
+"""Running HPL on a simulated machine.
+
+One thread per selected logical CPU, pinned 1:1 (how both benchmark
+builds run in the paper, with ``taskset``/``OMP_NUM_THREADS``).  A shared
+:class:`HplCoordinator` hands out each step's panel and update work
+according to the variant's policy; threads spin at a barrier between
+steps, exactly the behaviour whose power/instruction signature the
+motivation experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.hw.coretype import ArchEvent, CoreType
+from repro.hpl.dat import HplConfig
+from repro.hpl.model import HplStep, hpl_flops, hpl_steps
+from repro.hpl.variants import VARIANTS, HplVariant
+from repro.sim.task import SimThread
+from repro.sim.workload import ComputePhase, SpinPhase, WorkPhase
+from repro.system import System
+
+
+class HplCoordinator:
+    """Shared state: per-step work assignments and the step barrier."""
+
+    def __init__(
+        self,
+        steps: list[HplStep],
+        variant: HplVariant,
+        core_types: list[CoreType],
+    ):
+        self.steps = steps
+        self.variant = variant
+        self.core_types = core_types
+        self.n_threads = len(core_types)
+        self.panel_done = [False] * len(steps)
+        self.generation = 0     # completed steps (acts as the barrier)
+        self._arrived = 0
+        dyn = variant.dynamic_fraction
+        self.static_flops = [
+            s.update_flops * (1.0 - dyn) / self.n_threads for s in steps
+        ]
+        self._pool = [s.update_flops * dyn for s in steps]
+        self._grain = [
+            max(1.0, s.update_flops * dyn / (self.n_threads * variant.grain_parts))
+            for s in steps
+        ]
+
+    def claim(self, step: int) -> float:
+        """Take one dynamic chunk from the step's pool (0 when drained)."""
+        pool = self._pool[step]
+        if pool <= 0.0:
+            return 0.0
+        take = min(self._grain[step], pool)
+        self._pool[step] = pool - take
+        return take
+
+    def arrive(self) -> None:
+        self._arrived += 1
+        if self._arrived >= self.n_threads:
+            self._arrived = 0
+            self.generation += 1
+
+    @property
+    def done(self) -> bool:
+        return self.generation >= len(self.steps)
+
+
+class HplThreadSource:
+    """Work source of one pinned HPL thread (a per-step state machine)."""
+
+    def __init__(
+        self,
+        coord: HplCoordinator,
+        slot: int,
+        ctype: CoreType,
+        nb: int | None = None,
+    ):
+        self.coord = coord
+        self.slot = slot
+        self.ctype = ctype
+        profile = coord.variant.profile
+        self._rates = profile.rates(ctype, nb=nb)
+        self._panel_rates = profile.panel_rates(ctype)
+        self._flops_per_instr = self._rates.flops_per_instr
+        self.step = 0
+        self.stage = "panel"
+        self.flops_done = 0.0
+
+    def _compute(self, flops: float, rates, label: str) -> ComputePhase:
+        self.flops_done += flops
+        instr = max(1.0, flops / rates.flops_per_instr)
+        return ComputePhase(instr, lambda ctype: rates, label=label)
+
+    def next_phase(self, thread: SimThread) -> Optional[WorkPhase]:
+        coord = self.coord
+        while True:
+            if self.step >= len(coord.steps):
+                return None
+            st = coord.steps[self.step]
+
+            if self.stage == "panel":
+                # Look-ahead: the panel for the next step is factorized by
+                # thread 0 *concurrently* with everyone's update work, as
+                # both real HPL builds do; no panel barrier.
+                self.stage = "static"
+                if self.slot == 0 and st.panel_flops > 0:
+                    step_idx = self.step
+                    phase = self._compute(
+                        st.panel_flops, self._panel_rates, "hpl-panel"
+                    )
+                    phase.on_complete = (
+                        lambda thread, _c=coord, _i=step_idx: _c.panel_done.__setitem__(_i, True)
+                    )
+                    return phase
+                continue
+
+            if self.stage == "static":
+                self.stage = "dynamic"
+                amount = coord.static_flops[self.step]
+                if amount > 0:
+                    return self._compute(amount, self._rates, "hpl-update")
+                continue
+
+            if self.stage == "dynamic":
+                claim = coord.claim(self.step)
+                if claim > 0:
+                    return self._compute(claim, self._rates, "hpl-steal")
+                self.stage = "barrier"
+                continue
+
+            if self.stage == "barrier":
+                coord.arrive()
+                self.stage = "wait"
+                gen_target = self.step + 1
+                if coord.generation < gen_target:
+                    return SpinPhase(
+                        until=lambda _c=coord, _g=gen_target: _c.generation >= _g,
+                        label="step-barrier",
+                    )
+                continue
+
+            if self.stage == "wait":
+                self.step += 1
+                self.stage = "panel"
+                continue
+
+            raise AssertionError(f"unknown stage {self.stage}")
+
+
+@dataclass
+class HplResult:
+    """Outcome of one HPL run."""
+
+    variant: str
+    config: HplConfig
+    cpus: list[int]
+    gflops: float
+    wall_s: float
+    energy_j: float
+    avg_power_w: float
+    # Per-PMU counter totals summed over HPL threads.
+    instructions: dict[str, float] = field(default_factory=dict)
+    llc_references: dict[str, float] = field(default_factory=dict)
+    llc_misses: dict[str, float] = field(default_factory=dict)
+    fp_ops: dict[str, float] = field(default_factory=dict)
+    runtime_s: dict[str, float] = field(default_factory=dict)
+    spin_time_s: float = 0.0
+
+    def llc_miss_rate(self, pmu: str) -> float:
+        refs = self.llc_references.get(pmu, 0.0)
+        return self.llc_misses.get(pmu, 0.0) / refs if refs else 0.0
+
+    def instruction_share(self, pmu: str) -> float:
+        total = sum(self.instructions.values())
+        return self.instructions.get(pmu, 0.0) / total if total else 0.0
+
+
+def default_cpu_selection(system: System) -> list[int]:
+    """One logical CPU per physical core (the paper's 1 thread/core)."""
+    return system.topology.primary_threads()
+
+
+def run_hpl(
+    system: System,
+    config: HplConfig,
+    variant: str = "openblas",
+    cpus: Optional[Sequence[int]] = None,
+    settle_temp_c: Optional[float] = None,
+    max_s: float = 36_000.0,
+) -> HplResult:
+    """Run one HPL benchmark to completion and collect its metrics."""
+    try:
+        var = VARIANTS[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown HPL variant {variant!r}; known: {sorted(VARIANTS)}"
+        ) from None
+    machine = system.machine
+    if settle_temp_c is not None:
+        machine.cool_down(settle_temp_c, max_s=600.0)
+
+    cpu_list = list(cpus) if cpus is not None else default_cpu_selection(system)
+    if not cpu_list:
+        raise ValueError("need at least one CPU")
+    core_types = [machine.topology.core(c).ctype for c in cpu_list]
+    steps = hpl_steps(config)
+    coord = HplCoordinator(steps, var, core_types)
+
+    threads = []
+    for slot, cpu in enumerate(cpu_list):
+        src = HplThreadSource(coord, slot, core_types[slot], nb=config.nb)
+        threads.append(
+            machine.spawn(
+                SimThread(f"hpl-{variant}-{slot}", src, affinity={cpu})
+            )
+        )
+
+    t0 = machine.now_s
+    e0 = machine.rapl.package.energy_j
+    finished = machine.run_until_done(threads, max_s=max_s)
+    if not finished:
+        raise RuntimeError(
+            f"HPL run did not finish within {max_s} simulated seconds"
+        )
+    wall = machine.now_s - t0
+    energy = machine.rapl.package.energy_j - e0
+
+    result = HplResult(
+        variant=variant,
+        config=config,
+        cpus=cpu_list,
+        gflops=hpl_flops(config.n) / wall / 1e9 if wall else 0.0,
+        wall_s=wall,
+        energy_j=energy,
+        avg_power_w=energy / wall if wall else 0.0,
+        spin_time_s=sum(t.spin_time_s for t in threads),
+    )
+    for t in threads:
+        for pmu, counters in t.counters.items():
+            result.instructions[pmu] = (
+                result.instructions.get(pmu, 0.0) + counters[ArchEvent.INSTRUCTIONS]
+            )
+            result.llc_references[pmu] = (
+                result.llc_references.get(pmu, 0.0)
+                + counters[ArchEvent.LLC_REFERENCES]
+            )
+            result.llc_misses[pmu] = (
+                result.llc_misses.get(pmu, 0.0) + counters[ArchEvent.LLC_MISSES]
+            )
+            result.fp_ops[pmu] = (
+                result.fp_ops.get(pmu, 0.0) + counters[ArchEvent.FP_OPS]
+            )
+        for pmu, rt in t.runtime_s.items():
+            result.runtime_s[pmu] = result.runtime_s.get(pmu, 0.0) + rt
+    return result

@@ -1,0 +1,86 @@
+"""HPL tuning: problem-size selection and the NB sweep.
+
+The paper selects N with the "beta approach" of Krpic, Loina and Galba:
+pick N so the matrix uses a target fraction of system memory, rounded
+down to a multiple of NB::
+
+    N = floor(sqrt(beta * mem_bytes / 8) / NB) * NB
+
+and sweeps beta in {0.70, 0.75, 0.80, 0.85} x NB in {64, 128, 192, 256}
+(16 runs), landing on N = 57024, NB = 192 for the 32 GiB Raptor Lake
+machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.hpl.dat import HplConfig
+
+PAPER_BETAS = (0.70, 0.75, 0.80, 0.85)
+PAPER_NBS = (64, 128, 192, 256)
+
+
+def beta_problem_size(memory_gib: float, beta: float, nb: int) -> int:
+    """N for a target memory fraction, rounded down to a multiple of NB."""
+    if not 0.0 < beta <= 1.0:
+        raise ValueError("beta must be in (0, 1]")
+    mem_bytes = memory_gib * (1 << 30)
+    n_raw = math.sqrt(beta * mem_bytes / 8.0)
+    n = int(n_raw // nb) * nb
+    if n < nb:
+        raise ValueError(
+            f"memory too small for NB={nb} at beta={beta}"
+        )
+    return n
+
+
+@dataclass
+class TuningCell:
+    """One (beta, NB) point of the sweep."""
+
+    beta: float
+    nb: int
+    n: int
+    gflops: float
+
+
+@dataclass
+class TuningResult:
+    cells: list[TuningCell]
+
+    @property
+    def best(self) -> TuningCell:
+        return max(self.cells, key=lambda c: c.gflops)
+
+    def table(self) -> str:
+        lines = ["beta     NB    N        Gflop/s"]
+        for c in sorted(self.cells, key=lambda c: (c.beta, c.nb)):
+            lines.append(f"{c.beta:.2f}  {c.nb:5d}  {c.n:7d}  {c.gflops:9.2f}")
+        return "\n".join(lines)
+
+
+def tune_hpl(
+    memory_gib: float,
+    run_fn: Callable[[HplConfig], float],
+    betas: Sequence[float] = PAPER_BETAS,
+    nbs: Sequence[int] = PAPER_NBS,
+    scale: float = 1.0,
+) -> TuningResult:
+    """Run the 16-point sweep; ``run_fn(config) -> Gflop/s``.
+
+    ``scale`` shrinks N (keeping NB) so the sweep is affordable on the
+    simulator; the *relative* ranking is what tuning needs.
+    """
+    cells: list[TuningCell] = []
+    for beta in betas:
+        for nb in nbs:
+            n_full = beta_problem_size(memory_gib, beta, nb)
+            n = max(nb, int(n_full * scale // nb) * nb)
+            config = HplConfig(n=n, nb=nb)
+            cells.append(
+                TuningCell(beta=beta, nb=nb, n=n, gflops=run_fn(config))
+            )
+    return TuningResult(cells)

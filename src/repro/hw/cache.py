@@ -1,0 +1,69 @@
+"""Shared last-level cache model.
+
+A deliberately coarse model: what the experiments need is (a) an LLC miss
+*rate* per core type that responds to working-set size, blocking quality
+and co-runner contention (Table III), and (b) the resulting memory-stall
+cycles that couple cache behaviour back into achieved FLOP rates
+(Table II).  Workload phases may also pin an explicit miss rate, which is
+how the HPL variant models encode their blocking quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.coretype import CoreType
+
+
+@dataclass
+class LlcModel:
+    """Package LLC of ``size_mib`` shared by all cores."""
+
+    size_mib: float
+
+    def effective_share_mib(self, n_sharers: int) -> float:
+        """Cache capacity effectively available to one of ``n_sharers``.
+
+        Sharing is not perfectly destructive: co-runners overlap somewhat,
+        so each sharer sees more than size/n.
+        """
+        if n_sharers <= 1:
+            return self.size_mib
+        return self.size_mib / (0.25 + 0.75 * n_sharers)
+
+    def miss_rate(
+        self,
+        working_set_mib: float,
+        reuse_factor: float,
+        n_sharers: int,
+    ) -> float:
+        """Estimated LLC miss rate for a working set.
+
+        ``reuse_factor`` in [0, 1]: 1 = perfectly blocked (every line
+        reused from cache), 0 = pure streaming.  Working sets that fit in
+        the effective share mostly hit; larger ones miss in proportion to
+        the uncovered fraction, attenuated by blocking quality.
+        """
+        share = self.effective_share_mib(n_sharers)
+        if working_set_mib <= share:
+            base = 0.002
+        else:
+            uncovered = 1.0 - share / working_set_mib
+            base = uncovered * (1.0 - reuse_factor) + 0.002
+        return min(1.0, max(0.0002, base))
+
+
+def memory_stall_cycles(
+    ctype: CoreType,
+    llc_refs: float,
+    llc_miss_rate: float,
+    mlp_overlap: float = 0.85,
+) -> float:
+    """Stall cycles caused by LLC misses.
+
+    ``mlp_overlap`` is the fraction of miss latency hidden by
+    memory-level parallelism and prefetching (out-of-order cores hide
+    most of it; the in-order A53 hides little).
+    """
+    misses = llc_refs * llc_miss_rate
+    return misses * ctype.llc_miss_penalty_cycles * (1.0 - mlp_overlap)

@@ -1,0 +1,121 @@
+"""CPU identification: x86 ``cpuid`` and ARM MIDR emulation.
+
+These are the identification mechanisms §IV-B of the paper enumerates for
+detecting heterogeneous core types:
+
+* Intel: ``cpuid`` leaf 0x1A returns the core type in EAX[31:24]
+  (0x20 = Atom/E-core, 0x40 = Core/P-core); leaf 7 EDX[15] is the hybrid
+  flag.  Family/model/stepping (leaf 1) are *identical* across P and E
+  cores, which is why ``/proc/cpuinfo`` cannot tell them apart.
+* ARM: the MIDR register carries implementer and part numbers that do
+  differ between, e.g., Cortex-A53 and Cortex-A72.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.machines import MachineSpec
+
+CPUID_LEAF_VENDOR = 0x0
+CPUID_LEAF_FMS = 0x1
+CPUID_LEAF_STRUCT_EXT = 0x7
+CPUID_LEAF_HYBRID = 0x1A
+
+HYBRID_FLAG_BIT = 15  # leaf 7, EDX
+
+
+@dataclass(frozen=True)
+class CpuidResult:
+    eax: int
+    ebx: int
+    ecx: int
+    edx: int
+
+
+@dataclass(frozen=True)
+class ArmMidr:
+    """ARM Main ID Register value."""
+
+    implementer: int
+    part: int
+    variant: int = 0
+    revision: int = 0
+
+    @property
+    def value(self) -> int:
+        return (
+            (self.implementer & 0xFF) << 24
+            | (self.variant & 0xF) << 20
+            | 0xF << 16  # architecture: "by CPUID scheme"
+            | (self.part & 0xFFF) << 4
+            | (self.revision & 0xF)
+        )
+
+    @classmethod
+    def from_value(cls, value: int) -> "ArmMidr":
+        return cls(
+            implementer=(value >> 24) & 0xFF,
+            variant=(value >> 20) & 0xF,
+            part=(value >> 4) & 0xFFF,
+            revision=value & 0xF,
+        )
+
+
+ARM_IMPLEMENTER = 0x41  # 'A'
+
+
+class CpuidEmulator:
+    """Per-CPU ``cpuid`` for a simulated machine.
+
+    Executing ``cpuid`` is inherently per-core: the result depends on
+    which CPU the calling thread runs on, exactly as on hardware.
+    """
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+
+    def is_x86(self) -> bool:
+        return any(ct.vendor == "intel" for ct in self.spec.topology.core_types)
+
+    def cpuid(self, cpu_id: int, leaf: int) -> CpuidResult:
+        if not self.is_x86():
+            raise NotImplementedError("cpuid is an x86 instruction")
+        ct = self.spec.topology.core(cpu_id).ctype
+        if leaf == CPUID_LEAF_VENDOR:
+            # "GenuineIntel" packed into ebx/edx/ecx.
+            return CpuidResult(CPUID_LEAF_HYBRID, 0x756E6547, 0x6C65746E, 0x49656E69)
+        if leaf == CPUID_LEAF_FMS:
+            family = ct.x86_family or 0
+            model = ct.x86_model or 0
+            stepping = ct.x86_stepping or 0
+            eax = (
+                ((family & 0xF00) >> 8) << 20
+                | ((model & 0xF0) >> 4) << 16
+                | min(family, 0xF) << 8
+                | (model & 0xF) << 4
+                | (stepping & 0xF)
+            )
+            return CpuidResult(eax, 0, 0, 0)
+        if leaf == CPUID_LEAF_STRUCT_EXT:
+            edx = (1 << HYBRID_FLAG_BIT) if self.spec.topology.is_heterogeneous else 0
+            return CpuidResult(0, 0, 0, edx)
+        if leaf == CPUID_LEAF_HYBRID:
+            core_type = ct.cpuid_core_type or 0
+            return CpuidResult((core_type & 0xFF) << 24, 0, 0, 0)
+        return CpuidResult(0, 0, 0, 0)
+
+    def is_hybrid(self, cpu_id: int = 0) -> bool:
+        return bool(
+            self.cpuid(cpu_id, CPUID_LEAF_STRUCT_EXT).edx & (1 << HYBRID_FLAG_BIT)
+        )
+
+    def core_type(self, cpu_id: int) -> int:
+        """Leaf 0x1A EAX[31:24] value for the given CPU."""
+        return (self.cpuid(cpu_id, CPUID_LEAF_HYBRID).eax >> 24) & 0xFF
+
+    def midr(self, cpu_id: int) -> ArmMidr:
+        ct = self.spec.topology.core(cpu_id).ctype
+        if ct.midr_part is None:
+            raise NotImplementedError("MIDR is an ARM register")
+        return ArmMidr(implementer=ARM_IMPLEMENTER, part=ct.midr_part)

@@ -1,0 +1,77 @@
+"""Per-cluster dynamic voltage and frequency scaling.
+
+The governor is schedutil-like: each cluster requests a frequency
+proportional to the utilization of its busiest core (with the usual 1.25x
+headroom), clipped to externally imposed *ceilings*.  Two controllers push
+ceilings down: the RAPL power-cap controller (:mod:`repro.hw.rapl`) on
+machines that have RAPL, and the thermal throttler
+(:mod:`repro.hw.thermal`) everywhere.  The effective ceiling is the
+minimum of all constraints.
+"""
+
+from __future__ import annotations
+
+from repro.hw.topology import CpuTopology
+
+#: schedutil's utilization headroom: f = max_f * util * 1.25.
+UTIL_HEADROOM = 1.25
+
+
+class DvfsGovernor:
+    """Tracks the operating frequency of each cluster.
+
+    Frequencies are in MHz internally (matching sysfs ``cpuinfo_cur_freq``
+    units of kHz at the presentation layer).
+    """
+
+    def __init__(self, topology: CpuTopology):
+        self.topology = topology
+        n = len(topology.clusters)
+        # Current frequency per cluster, start at min (idle).
+        self.freq_mhz: list[float] = [
+            cl.ctype.min_freq_mhz for cl in topology.clusters
+        ]
+        # Constraint ceilings, each a dict constraint-name -> max MHz.
+        self._ceilings: list[dict[str, float]] = [dict() for _ in range(n)]
+
+    # -- constraints ------------------------------------------------------
+
+    def set_ceiling(self, cluster: int, name: str, max_mhz: float) -> None:
+        """Impose (or update) a named frequency ceiling on a cluster."""
+        ct = self.topology.clusters[cluster].ctype
+        self._ceilings[cluster][name] = min(
+            max(max_mhz, ct.min_freq_mhz), ct.max_freq_mhz
+        )
+
+    def clear_ceiling(self, cluster: int, name: str) -> None:
+        self._ceilings[cluster].pop(name, None)
+
+    def ceiling_mhz(self, cluster: int) -> float:
+        ct = self.topology.clusters[cluster].ctype
+        lims = self._ceilings[cluster]
+        return min(lims.values()) if lims else ct.max_freq_mhz
+
+    # -- governor ----------------------------------------------------------
+
+    def update(self, cluster_util: list[float]) -> None:
+        """Advance one governor step.
+
+        ``cluster_util`` is the utilization (0..1) of the busiest core in
+        each cluster over the last tick.
+        """
+        if len(cluster_util) != len(self.topology.clusters):
+            raise ValueError("one utilization value per cluster required")
+        for i, cl in enumerate(self.topology.clusters):
+            ct = cl.ctype
+            target = ct.max_freq_mhz * min(1.0, cluster_util[i] * UTIL_HEADROOM)
+            target = max(target, ct.min_freq_mhz)
+            target = min(target, self.ceiling_mhz(i))
+            # Frequency transitions are effectively instantaneous at our
+            # tick granularity (hardware P-state changes take microseconds).
+            self.freq_mhz[i] = target
+
+    def freq_of_cpu_mhz(self, cpu_id: int) -> float:
+        return self.freq_mhz[self.topology.core(cpu_id).cluster]
+
+    def freq_of_cpu_ghz(self, cpu_id: int) -> float:
+        return self.freq_of_cpu_mhz(cpu_id) / 1000.0

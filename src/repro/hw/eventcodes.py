@@ -1,0 +1,101 @@
+"""Native hardware event encodings per microarchitecture.
+
+These are the raw PMU config codes hardware documents (Intel SDM event
+select + umask, ARM PMUv3 event numbers).  Both sides of the software
+stack consult them: the simulated kernel builds its per-PMU decode table
+from here, and the libpfm4 reproduction encodes event-name strings to the
+same codes — mirroring how the real libpfm4 tables transcribe the vendor
+manuals.
+
+Codes follow Intel's ``(umask << 8) | event_select`` convention and ARM's
+PMUv3 common event numbers, so the tables read like the vendor docs.
+"""
+
+from __future__ import annotations
+
+from repro.hw.coretype import ArchEvent
+
+# -- Intel Alder/Raptor Lake Golden Cove P-core ("adl_glc") ----------------
+
+ADL_GLC_CODES: dict[int, ArchEvent] = {
+    0x00C0: ArchEvent.INSTRUCTIONS,        # INST_RETIRED.ANY
+    0x003C: ArchEvent.CYCLES,              # CPU_CLK_UNHALTED.THREAD
+    0x013C: ArchEvent.REF_CYCLES,          # CPU_CLK_UNHALTED.REF_TSC
+    0x4F2E: ArchEvent.LLC_REFERENCES,      # LONGEST_LAT_CACHE.REFERENCE
+    0x412E: ArchEvent.LLC_MISSES,          # LONGEST_LAT_CACHE.MISS
+    0x00C4: ArchEvent.BRANCHES,            # BR_INST_RETIRED.ALL_BRANCHES
+    0x00C5: ArchEvent.BRANCH_MISSES,       # BR_MISP_RETIRED.ALL_BRANCHES
+    0x01C7: ArchEvent.FP_OPS,              # FP_ARITH_INST_RETIRED (scalar+vec)
+    0x01A3: ArchEvent.STALLED_CYCLES,      # CYCLE_ACTIVITY.STALLS_TOTAL
+    0x0400: ArchEvent.TOPDOWN_SLOTS,       # TOPDOWN.SLOTS (P-core only)
+    0x1F24: ArchEvent.L2_REFERENCES,       # L2_RQSTS.REFERENCES
+    0x3F24: ArchEvent.L2_MISSES,           # L2_RQSTS.MISS
+}
+
+# -- Intel Alder/Raptor Lake Gracemont E-core ("adl_grt") ------------------
+# Same vendor conventions, but no TOPDOWN event — the paper's example of a
+# P-core-only hardware feature.
+
+ADL_GRT_CODES: dict[int, ArchEvent] = {
+    0x00C0: ArchEvent.INSTRUCTIONS,
+    0x003C: ArchEvent.CYCLES,
+    0x013C: ArchEvent.REF_CYCLES,
+    0x4F2E: ArchEvent.LLC_REFERENCES,
+    0x412E: ArchEvent.LLC_MISSES,
+    0x00C4: ArchEvent.BRANCHES,
+    0x00C5: ArchEvent.BRANCH_MISSES,
+    0x01C7: ArchEvent.FP_OPS,
+    0x0134: ArchEvent.STALLED_CYCLES,      # TOPDOWN_BAD_SPECULATION-ish proxy
+    0x1F24: ArchEvent.L2_REFERENCES,
+    0x3F24: ArchEvent.L2_MISSES,
+}
+
+# -- ARM PMUv3 common events (Cortex-A53/A55/A72/A76/X1) -------------------
+
+_ARM_COMMON: dict[int, ArchEvent] = {
+    0x08: ArchEvent.INSTRUCTIONS,          # INST_RETIRED
+    0x11: ArchEvent.CYCLES,                # CPU_CYCLES
+    0x10: ArchEvent.BRANCH_MISSES,         # BR_MIS_PRED
+    0x12: ArchEvent.BRANCHES,              # BR_PRED
+    0x16: ArchEvent.L2_REFERENCES,         # L2D_CACHE
+    0x17: ArchEvent.L2_MISSES,             # L2D_CACHE_REFILL
+    0x2A: ArchEvent.LLC_REFERENCES,        # L3D_CACHE (or bus access proxy)
+    0x2B: ArchEvent.LLC_MISSES,            # L3D_CACHE_REFILL
+    0x73: ArchEvent.FP_OPS,                # ASE_SPEC / VFP proxy
+    0x24: ArchEvent.STALLED_CYCLES,        # STALL_BACKEND
+    0x1D: ArchEvent.REF_CYCLES,            # BUS_CYCLES proxy
+}
+
+ARM_A53_CODES = dict(_ARM_COMMON)
+ARM_A55_CODES = dict(_ARM_COMMON)
+ARM_A72_CODES = dict(_ARM_COMMON)
+ARM_A76_CODES = dict(_ARM_COMMON)
+ARM_X1_CODES = dict(_ARM_COMMON)
+
+# -- Skylake-SP (homogeneous control machine) ------------------------------
+
+SKX_CODES: dict[int, ArchEvent] = {
+    0x00C0: ArchEvent.INSTRUCTIONS,
+    0x003C: ArchEvent.CYCLES,
+    0x013C: ArchEvent.REF_CYCLES,
+    0x4F2E: ArchEvent.LLC_REFERENCES,
+    0x412E: ArchEvent.LLC_MISSES,
+    0x00C4: ArchEvent.BRANCHES,
+    0x00C5: ArchEvent.BRANCH_MISSES,
+    0x01C7: ArchEvent.FP_OPS,
+    0x01A3: ArchEvent.STALLED_CYCLES,
+    0x1F24: ArchEvent.L2_REFERENCES,
+    0x3F24: ArchEvent.L2_MISSES,
+}
+
+#: pfm PMU name -> native decode table.
+CODES_BY_PFM_PMU: dict[str, dict[int, ArchEvent]] = {
+    "adl_glc": ADL_GLC_CODES,
+    "adl_grt": ADL_GRT_CODES,
+    "arm_a53": ARM_A53_CODES,
+    "arm_a55": ARM_A55_CODES,
+    "arm_a72": ARM_A72_CODES,
+    "arm_a76": ARM_A76_CODES,
+    "arm_x1": ARM_X1_CODES,
+    "skx": SKX_CODES,
+}

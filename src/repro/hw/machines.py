@@ -1,0 +1,436 @@
+"""Concrete machine presets.
+
+Two presets mirror the paper's two testbeds (Table I and Table IV):
+
+* :func:`raptor_lake_i7_13700` — the Intel 13th-gen desktop with 8 P-cores
+  (2 threads each) and 8 E-cores, PL1 = 65 W / PL2 = 219 W.
+* :func:`orangepi_800` — the Rockchip RK3399 board with 2 Cortex-A72 big
+  cores and 4 Cortex-A53 LITTLE cores, thermally limited.
+
+Two more exercise generality:
+
+* :func:`homogeneous_xeon` — a traditional homogeneous machine (the paper's
+  "on a traditional machine you get the expected result" baseline).
+* :func:`dynamiq_three_tier` — an ARM machine with *three* core types
+  (prime/big/LITTLE), since the paper notes perf must handle "ARM CPUs with
+  three types".
+
+Power and microarchitecture coefficients are calibrated so that the
+closed-loop simulation (DVFS + RAPL capping + thermal throttling) lands
+near the paper's measured operating points; see DESIGN.md "calibration
+anchors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.coretype import ArchEvent, CoreType, PowerCoefficients
+from repro.hw.topology import CpuTopology
+
+# Intel CPUID leaf 0x1A core-type values.
+INTEL_CORE_TYPE_ATOM = 0x20
+INTEL_CORE_TYPE_CORE = 0x40
+
+# ARM MIDR part numbers.
+MIDR_PART_CORTEX_A53 = 0xD03
+MIDR_PART_CORTEX_A55 = 0xD05
+MIDR_PART_CORTEX_A72 = 0xD08
+MIDR_PART_CORTEX_A76 = 0xD0B
+MIDR_PART_CORTEX_X1 = 0xD44
+
+
+@dataclass
+class MachineSpec:
+    """Everything needed to instantiate a simulated machine."""
+
+    name: str
+    topology: CpuTopology
+    memory_gib: int
+    # Package power model.
+    uncore_base_w: float            # always-on package power (uncore, fabric)
+    dram_w_per_util: float          # DRAM power at full-machine utilization
+    # RAPL (None on machines without RAPL, e.g. ARM boards).
+    rapl_pl1_w: float | None = None
+    rapl_pl2_w: float | None = None
+    rapl_pl1_window_s: float = 8.0
+    rapl_pl2_window_s: float = 2.0
+    # Thermal.
+    ambient_c: float = 25.0
+    tjmax_c: float = 100.0
+    thermal_trip_c: float = 100.0   # temperature the throttler defends
+    thermal_r_c_per_w: float = 0.6  # package thermal resistance
+    thermal_c_j_per_c: float = 40.0  # package heat capacity
+    thermal_zone_name: str = "x86_pkg_temp"
+    thermal_zone_index: int = 9
+    # Firmware personality: affects ARM PMU naming in sysfs ("devicetree"
+    # boards vs "acpi" servers export different names for the same PMU).
+    firmware: str = "acpi"
+    vendor_string: str = ""
+    model_string: str = ""
+    # Board overhead added by a wall power meter (WattsUpPro in the paper).
+    board_base_w: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def has_rapl(self) -> bool:
+        return self.rapl_pl1_w is not None
+
+
+def _raptor_cove() -> CoreType:
+    """Raptor Lake P-core (libpfm4 models it with the Alder Lake GLC table)."""
+    return CoreType(
+        name="P-core",
+        microarch="goldencove",
+        vendor="intel",
+        pmu_name="cpu_core",
+        pfm_pmu="adl_glc",
+        smt=2,
+        capacity=1024,
+        min_freq_mhz=800,
+        base_freq_mhz=2100,
+        max_freq_mhz=5100,
+        ipc=4.0,
+        flops_per_cycle=16.0,       # 2x 256-bit FMA units
+        branch_misp_rate=0.01,
+        llc_miss_penalty_cycles=220.0,
+        l1d_kib=48,
+        l2_kib=2048,
+        power=PowerCoefficients(c_dyn=1.70, v0=0.60, v_slope=0.16, leak_w=0.10),
+        cpuid_core_type=INTEL_CORE_TYPE_CORE,
+        x86_family=6,
+        x86_model=0xB7,
+        x86_stepping=1,
+        extra_pmu_events=(ArchEvent.TOPDOWN_SLOTS,),
+        n_gp_counters=8,
+        n_fixed_counters=4,
+    )
+
+
+def _gracemont() -> CoreType:
+    """Raptor Lake E-core (libpfm4 ADL GRT table)."""
+    return CoreType(
+        name="E-core",
+        microarch="gracemont",
+        vendor="intel",
+        pmu_name="cpu_atom",
+        pfm_pmu="adl_grt",
+        smt=1,
+        capacity=580,
+        min_freq_mhz=800,
+        base_freq_mhz=1500,
+        max_freq_mhz=4100,
+        ipc=3.0,
+        flops_per_cycle=8.0,        # AVX2 via 2x 128-bit pipes
+        branch_misp_rate=0.015,
+        llc_miss_penalty_cycles=260.0,
+        l1d_kib=32,
+        l2_kib=1024,                # 4 MiB per 4-core cluster
+        power=PowerCoefficients(c_dyn=0.58, v0=0.55, v_slope=0.18, leak_w=0.06),
+        cpuid_core_type=INTEL_CORE_TYPE_ATOM,
+        # Same family/model/stepping as the P-core: the paper's point that
+        # /proc/cpuinfo cannot distinguish Intel hybrid core types.
+        x86_family=6,
+        x86_model=0xB7,
+        x86_stepping=1,
+        n_gp_counters=6,
+        n_fixed_counters=3,
+    )
+
+
+def _cortex_a72(firmware: str = "devicetree") -> CoreType:
+    pmu_name = "armv8_cortex_a72" if firmware == "devicetree" else "apmu0"
+    return CoreType(
+        name="big",
+        microarch="cortex_a72",
+        vendor="arm",
+        pmu_name=pmu_name,
+        pfm_pmu="arm_a72",
+        smt=1,
+        capacity=1024,
+        min_freq_mhz=408,
+        base_freq_mhz=1200,
+        max_freq_mhz=1800,
+        ipc=2.2,
+        flops_per_cycle=4.0,        # 2-wide NEON DP FMA
+        branch_misp_rate=0.02,
+        llc_miss_penalty_cycles=180.0,
+        l1d_kib=32,
+        l2_kib=1024,
+        power=PowerCoefficients(c_dyn=1.30, v0=0.90, v_slope=0.15, leak_w=0.10),
+        midr_part=MIDR_PART_CORTEX_A72,
+        n_gp_counters=6,
+        n_fixed_counters=1,
+    )
+
+
+def _cortex_a53(firmware: str = "devicetree") -> CoreType:
+    pmu_name = "armv8_cortex_a53" if firmware == "devicetree" else "apmu1"
+    return CoreType(
+        name="LITTLE",
+        microarch="cortex_a53",
+        vendor="arm",
+        pmu_name=pmu_name,
+        pfm_pmu="arm_a53",
+        smt=1,
+        capacity=420,
+        min_freq_mhz=408,
+        base_freq_mhz=1000,
+        max_freq_mhz=1400,
+        ipc=1.2,
+        flops_per_cycle=2.0,        # in-order, 1x 128-bit NEON
+        branch_misp_rate=0.03,
+        llc_miss_penalty_cycles=140.0,
+        l1d_kib=32,
+        l2_kib=512,
+        power=PowerCoefficients(c_dyn=0.231, v0=0.90, v_slope=0.10, leak_w=0.08),
+        midr_part=MIDR_PART_CORTEX_A53,
+        n_gp_counters=6,
+        n_fixed_counters=1,
+    )
+
+
+def raptor_lake_i7_13700() -> MachineSpec:
+    """The paper's Table I machine: i7-13700, 8P (16 threads) + 8E, 32 GiB."""
+    p = _raptor_cove()
+    e = _gracemont()
+    return MachineSpec(
+        name="raptor-lake-i7-13700",
+        topology=CpuTopology.build([(p, 8), (e, 8)]),
+        memory_gib=32,
+        uncore_base_w=6.0,
+        dram_w_per_util=10.0,
+        rapl_pl1_w=65.0,
+        rapl_pl2_w=219.0,
+        rapl_pl1_window_s=28.0,
+        rapl_pl2_window_s=2.44,
+        ambient_c=25.0,
+        tjmax_c=100.0,
+        thermal_trip_c=100.0,
+        thermal_r_c_per_w=0.55,
+        thermal_c_j_per_c=60.0,
+        thermal_zone_name="x86_pkg_temp",
+        thermal_zone_index=9,
+        firmware="acpi",
+        vendor_string="GenuineIntel",
+        model_string="13th Gen Intel(R) Core(TM) i7-13700",
+        extra={"llc_mib": 30.0, "memory_type": "DDR5", "memory_gts": 4.4},
+    )
+
+
+def orangepi_800(firmware: str = "devicetree") -> MachineSpec:
+    """The paper's Table IV machine: RK3399, 2x A72 big + 4x A53 LITTLE.
+
+    No RAPL; performance is limited by the passive-cooling thermal budget,
+    which is what produces Figures 3 and 4.
+    """
+    big = _cortex_a72(firmware)
+    little = _cortex_a53(firmware)
+    return MachineSpec(
+        name="orangepi-800",
+        # RK3399 numbers the A53 cluster first (cpu0-3), A72 second (cpu4-5).
+        topology=CpuTopology.build([(little, 4), (big, 2)]),
+        memory_gib=4,
+        uncore_base_w=0.5,
+        dram_w_per_util=0.3,
+        rapl_pl1_w=None,
+        rapl_pl2_w=None,
+        ambient_c=25.0,
+        tjmax_c=115.0,
+        thermal_trip_c=85.0,
+        thermal_r_c_per_w=18.0,     # passive cooling: hot and fast to heat
+        thermal_c_j_per_c=0.5,
+        thermal_zone_name="soc-thermal",
+        thermal_zone_index=0,
+        firmware=firmware,
+        vendor_string="Rockchip",
+        model_string="Rockchip RK3399 (OrangePi 800)",
+        board_base_w=2.5,
+        extra={"llc_mib": 1.0, "memory_type": "LPDDR4"},
+    )
+
+
+def alder_lake_i5_12600k() -> MachineSpec:
+    """An Alder Lake i5-12600K: 6 P-cores (12 threads) + 4 E-cores.
+
+    Same microarchitectures and PMUs as the Raptor Lake preset but a
+    different core mix and power budget — exercises topology generality
+    (nothing in the library may assume the 8+8 layout).
+    """
+    p = _raptor_cove()
+    e = _gracemont()
+    # The i5 tops out lower than the i7.
+    p = CoreType(**{**p.__dict__, "max_freq_mhz": 4900})
+    e = CoreType(**{**e.__dict__, "max_freq_mhz": 3600})
+    return MachineSpec(
+        name="alder-lake-i5-12600k",
+        topology=CpuTopology.build([(p, 6), (e, 4)]),
+        memory_gib=16,
+        uncore_base_w=5.0,
+        dram_w_per_util=8.0,
+        rapl_pl1_w=125.0,
+        rapl_pl2_w=150.0,
+        rapl_pl1_window_s=28.0,
+        rapl_pl2_window_s=2.44,
+        ambient_c=25.0,
+        tjmax_c=100.0,
+        thermal_trip_c=100.0,
+        thermal_r_c_per_w=0.45,
+        thermal_c_j_per_c=55.0,
+        thermal_zone_name="x86_pkg_temp",
+        thermal_zone_index=9,
+        firmware="acpi",
+        vendor_string="GenuineIntel",
+        model_string="12th Gen Intel(R) Core(TM) i5-12600K",
+        extra={"llc_mib": 20.0, "memory_type": "DDR4"},
+    )
+
+
+def homogeneous_xeon() -> MachineSpec:
+    """A traditional homogeneous server; the control machine for the tests."""
+    core = CoreType(
+        name="core",
+        microarch="skylake_sp",
+        vendor="intel",
+        pmu_name="cpu",
+        pfm_pmu="skx",
+        smt=2,
+        capacity=1024,
+        min_freq_mhz=1200,
+        base_freq_mhz=2400,
+        max_freq_mhz=3500,
+        ipc=3.5,
+        flops_per_cycle=32.0,       # AVX-512
+        branch_misp_rate=0.01,
+        llc_miss_penalty_cycles=200.0,
+        l1d_kib=32,
+        l2_kib=1024,
+        power=PowerCoefficients(c_dyn=3.6, v0=0.65, v_slope=0.12, leak_w=0.5),
+        x86_family=6,
+        x86_model=0x55,
+        x86_stepping=4,
+        n_gp_counters=8,
+        n_fixed_counters=3,
+    )
+    return MachineSpec(
+        name="xeon-homogeneous",
+        topology=CpuTopology.build([(core, 8)]),
+        memory_gib=64,
+        uncore_base_w=18.0,
+        dram_w_per_util=10.0,
+        rapl_pl1_w=140.0,
+        rapl_pl2_w=200.0,
+        ambient_c=25.0,
+        tjmax_c=96.0,
+        thermal_trip_c=96.0,
+        thermal_r_c_per_w=0.35,
+        thermal_c_j_per_c=80.0,
+        firmware="acpi",
+        vendor_string="GenuineIntel",
+        model_string="Intel(R) Xeon(R) Homogeneous Control",
+        extra={"llc_mib": 11.0, "memory_type": "DDR4"},
+    )
+
+
+def dynamiq_three_tier(firmware: str = "devicetree") -> MachineSpec:
+    """An ARM DynamIQ machine with three core types (prime/big/LITTLE).
+
+    The paper notes Linux exports one PMU per core type and that "there
+    exist ARM CPUs with three types"; this preset exercises that path in
+    the detection and multi-PMU EventSet code.
+    """
+    prime = CoreType(
+        name="prime",
+        microarch="cortex_x1",
+        vendor="arm",
+        pmu_name="armv8_cortex_x1" if firmware == "devicetree" else "apmu0",
+        pfm_pmu="arm_x1",
+        smt=1,
+        capacity=1024,
+        min_freq_mhz=500,
+        base_freq_mhz=2000,
+        max_freq_mhz=2800,
+        ipc=3.2,
+        flops_per_cycle=8.0,
+        branch_misp_rate=0.01,
+        llc_miss_penalty_cycles=190.0,
+        l1d_kib=64,
+        l2_kib=1024,
+        power=PowerCoefficients(c_dyn=0.9, v0=0.85, v_slope=0.12, leak_w=0.15),
+        midr_part=MIDR_PART_CORTEX_X1,
+        n_gp_counters=6,
+        n_fixed_counters=1,
+    )
+    big = CoreType(
+        name="big",
+        microarch="cortex_a76",
+        vendor="arm",
+        pmu_name="armv8_cortex_a76" if firmware == "devicetree" else "apmu1",
+        pfm_pmu="arm_a76",
+        smt=1,
+        capacity=700,
+        min_freq_mhz=500,
+        base_freq_mhz=1800,
+        max_freq_mhz=2400,
+        ipc=2.8,
+        flops_per_cycle=8.0,
+        branch_misp_rate=0.012,
+        llc_miss_penalty_cycles=180.0,
+        l1d_kib=64,
+        l2_kib=512,
+        power=PowerCoefficients(c_dyn=0.55, v0=0.85, v_slope=0.11, leak_w=0.1),
+        midr_part=MIDR_PART_CORTEX_A76,
+        n_gp_counters=6,
+        n_fixed_counters=1,
+    )
+    little = CoreType(
+        name="LITTLE",
+        microarch="cortex_a55",
+        vendor="arm",
+        pmu_name="armv8_cortex_a55" if firmware == "devicetree" else "apmu2",
+        pfm_pmu="arm_a55",
+        smt=1,
+        capacity=260,
+        min_freq_mhz=300,
+        base_freq_mhz=1200,
+        max_freq_mhz=1800,
+        ipc=1.4,
+        flops_per_cycle=2.0,
+        branch_misp_rate=0.025,
+        llc_miss_penalty_cycles=150.0,
+        l1d_kib=32,
+        l2_kib=256,
+        power=PowerCoefficients(c_dyn=0.18, v0=0.85, v_slope=0.09, leak_w=0.05),
+        midr_part=MIDR_PART_CORTEX_A55,
+        n_gp_counters=6,
+        n_fixed_counters=1,
+    )
+    return MachineSpec(
+        name="dynamiq-three-tier",
+        topology=CpuTopology.build([(little, 4), (big, 3), (prime, 1)]),
+        memory_gib=8,
+        uncore_base_w=0.8,
+        dram_w_per_util=0.5,
+        rapl_pl1_w=None,
+        rapl_pl2_w=None,
+        ambient_c=25.0,
+        tjmax_c=110.0,
+        thermal_trip_c=80.0,
+        thermal_r_c_per_w=14.0,
+        thermal_c_j_per_c=1.8,
+        thermal_zone_name="soc-thermal",
+        thermal_zone_index=0,
+        firmware=firmware,
+        vendor_string="ARM",
+        model_string="DynamIQ three-tier reference",
+        extra={"llc_mib": 2.0, "memory_type": "LPDDR4X"},
+    )
+
+
+MACHINE_PRESETS = {
+    "raptor-lake-i7-13700": raptor_lake_i7_13700,
+    "alder-lake-i5-12600k": alder_lake_i5_12600k,
+    "orangepi-800": orangepi_800,
+    "xeon-homogeneous": homogeneous_xeon,
+    "dynamiq-three-tier": dynamiq_three_tier,
+}

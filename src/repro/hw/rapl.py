@@ -1,0 +1,130 @@
+"""RAPL (Running Average Power Limit) emulation.
+
+Two halves, as on real Intel hardware:
+
+* **Energy accounting** — each :class:`RaplDomain` accumulates energy in
+  2^-16 J units in a 32-bit register that wraps, exactly like the
+  ``MSR_PKG_ENERGY_STATUS`` counters PAPI's rapl component and the kernel's
+  ``power`` perf PMU read.
+
+* **Power capping** — :class:`RaplPackage` enforces the two power limits
+  from the paper's Figure 2: the long-term limit PL1 (65 W on the
+  i7-13700) over a multi-second averaging window, and the short-term limit
+  PL2 (219 W) over a short window.  Enforcement is a running-average
+  controller that lowers a package-wide frequency-ceiling scale; because
+  the averaging window starts empty, a freshly started workload may burst
+  to PL2 for roughly one PL1 window before being clamped to PL1 — the
+  "initial spike" visible in Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.dvfs import DvfsGovernor
+from repro.hw.machines import MachineSpec
+
+#: Energy unit of the emulated MSR: 2^-16 joules (15.26 uJ), Intel default.
+ENERGY_UNIT_J = 2.0 ** -16
+#: The energy status register is 32 bits wide and wraps.
+ENERGY_COUNTER_MASK = 0xFFFFFFFF
+
+CEILING_NAME = "rapl"
+
+
+@dataclass
+class RaplDomain:
+    """One RAPL domain (package, pp0/cores, dram...)."""
+
+    name: str
+    energy_j: float = 0.0      # unwrapped ground truth
+    _raw_units: float = 0.0
+
+    def accumulate(self, power_w: float, dt_s: float) -> None:
+        e = power_w * dt_s
+        self.energy_j += e
+        self._raw_units += e / ENERGY_UNIT_J
+
+    def read_raw(self) -> int:
+        """The wrapped 32-bit MSR value, in 2^-16 J units."""
+        return int(self._raw_units) & ENERGY_COUNTER_MASK
+
+    def read_uj(self) -> int:
+        """Energy in microjoules as the kernel's powercap sysfs reports it."""
+        return int(self.energy_j * 1e6)
+
+
+@dataclass
+class RaplPackage:
+    """Package-level RAPL: domains plus the PL1/PL2 capping controller."""
+
+    spec: MachineSpec
+    package: RaplDomain = field(default_factory=lambda: RaplDomain("package-0"))
+    cores: RaplDomain = field(default_factory=lambda: RaplDomain("core"))
+    dram: RaplDomain = field(default_factory=lambda: RaplDomain("dram"))
+    _avg1_w: float = 0.0       # running average over the PL1 window
+    _avg_fast_w: float = 0.0   # short EWMA the controller acts on
+    _scale: float = 1.0        # package frequency-ceiling scale in (0, 1]
+    throttle_events: int = 0
+
+    #: Smoothing window of the control signal, seconds.
+    FAST_WINDOW_S = 0.25
+
+    @property
+    def enabled(self) -> bool:
+        return self.spec.has_rapl
+
+    @property
+    def domains(self) -> list[RaplDomain]:
+        return [self.package, self.cores, self.dram]
+
+    def step(
+        self,
+        governor: DvfsGovernor,
+        package_w: float,
+        cores_w: float,
+        dram_w: float,
+        dt_s: float,
+    ) -> None:
+        """Account one tick of energy and run the capping controller."""
+        self.package.accumulate(package_w, dt_s)
+        self.cores.accumulate(cores_w, dt_s)
+        self.dram.accumulate(dram_w, dt_s)
+        if not self.enabled:
+            return
+        pl1 = self.spec.rapl_pl1_w
+        pl2 = self.spec.rapl_pl2_w
+        w1 = self.spec.rapl_pl1_window_s
+        # Exponential running averages; the PL1 window starts empty, so a
+        # fresh workload may burst up to PL2 until it fills — Figure 2's
+        # initial spike.
+        self._avg1_w += (package_w - self._avg1_w) * min(1.0, dt_s / w1)
+        self._avg_fast_w += (package_w - self._avg_fast_w) * min(
+            1.0, dt_s / self.FAST_WINDOW_S
+        )
+
+        # The budget the controller defends: PL2 while the long-term
+        # average is still under PL1, then PL1.
+        budget = pl2 if (pl2 is not None and self._avg1_w < pl1 * 0.98) else pl1
+        signal = max(self._avg_fast_w, 1e-3)
+        ratio = (budget / signal) ** 0.25
+        # Rate-limit scale changes: shrink faster than grow.
+        lo = 1.0 - min(0.5, 1.2 * dt_s)
+        hi = 1.0 + min(0.2, 0.5 * dt_s)
+        adj = min(max(ratio, lo), hi)
+        if adj < 1.0:
+            self.throttle_events += 1
+        self._scale = min(1.0, max(0.05, self._scale * adj))
+
+        for i, cl in enumerate(self.spec.topology.clusters):
+            governor.set_ceiling(i, CEILING_NAME, cl.ctype.max_freq_mhz * self._scale)
+
+    # -- introspection used by the monitor/sampler -------------------------
+
+    @property
+    def avg_power_pl1_window_w(self) -> float:
+        return self._avg1_w
+
+    @property
+    def scale(self) -> float:
+        return self._scale

@@ -1,0 +1,152 @@
+"""Lumped RC thermal model and IPA-style thermal throttling.
+
+The package temperature follows a first-order RC model::
+
+    C * dT/dt = P - (T - T_ambient) / R
+
+On the Raptor Lake machine the RAPL power caps keep power low enough that
+the 100 degC trip is never reached (the paper notes neither benchmark is
+thermally throttled).  On the OrangePi the trip point *is* the binding
+constraint: the big cores heat the SoC past the trip within seconds and
+get scaled down hard — the mechanism behind Figures 3 and 4.
+
+Throttling mimics Linux's Intelligent Power Allocator (IPA): when the
+temperature approaches the trip point a package power budget is computed
+and clusters are throttled greedily, the least power-efficient
+(power per unit capacity) cluster first, which is why the big cluster
+pins at minimum frequency while the LITTLE cluster keeps running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.machines import MachineSpec
+from repro.hw.dvfs import DvfsGovernor
+
+CEILING_NAME = "thermal"
+
+
+@dataclass
+class ThermalZone:
+    """A sysfs-visible thermal zone (millidegree granularity)."""
+
+    name: str
+    index: int
+    temp_c: float
+
+    @property
+    def temp_millic(self) -> int:
+        return round(self.temp_c * 1000)
+
+
+class ThermalModel:
+    """Integrates package temperature and applies thermal frequency limits."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+        self.temp_c = spec.ambient_c
+        self.zone = ThermalZone(
+            name=spec.thermal_zone_name,
+            index=spec.thermal_zone_index,
+            temp_c=self.temp_c,
+        )
+        # Per-cluster throttle scale in (0, 1], 1 = unthrottled.
+        self._scale = [1.0] * len(spec.topology.clusters)
+        self.throttle_events = 0
+
+    @property
+    def sustainable_power_w(self) -> float:
+        """Power at which temperature settles exactly at the trip point."""
+        return (self.spec.thermal_trip_c - self.spec.ambient_c) / self.spec.thermal_r_c_per_w
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance the RC model by ``dt_s`` under ``power_w``; returns temp."""
+        spec = self.spec
+        dTdt = (power_w - (self.temp_c - spec.ambient_c) / spec.thermal_r_c_per_w) / spec.thermal_c_j_per_c
+        self.temp_c += dTdt * dt_s
+        self.temp_c = max(spec.ambient_c, self.temp_c)
+        self.zone.temp_c = self.temp_c
+        return self.temp_c
+
+    def is_settled(self, target_c: float) -> bool:
+        """Whether the package has cooled to ``target_c`` (run-start gate)."""
+        return self.temp_c <= target_c
+
+    #: Proportional gain of the thermal governor, as a fraction of the
+    #: sustainable power per degC of headroom.  Far from the trip point
+    #: the budget is effectively unlimited; it converges on the
+    #: sustainable power as the trip is approached.
+    BUDGET_GAIN_FRACTION_PER_C = 0.1
+
+    def apply_throttling(
+        self,
+        governor: DvfsGovernor,
+        cluster_activity: list[float],
+        other_power_w: float,
+        dt_s: float,
+    ) -> None:
+        """Allocate a thermal power budget to clusters (Linux IPA style).
+
+        The budget is ``sustainable + gain * (trip - T)``: far from the
+        trip point it is effectively unlimited; as the package heats it
+        converges on the sustainable power, so temperature approaches the
+        trip asymptotically instead of oscillating.  The budget (minus
+        uncore/DRAM draw) is granted to clusters most-efficient-first —
+        capacity per watt — so on a big.LITTLE part the big cluster is
+        squeezed to its minimum frequency before the LITTLE cluster loses
+        anything.
+
+        ``cluster_activity`` is the summed effective busy fraction of the
+        cores in each cluster over the last tick; ``other_power_w`` is the
+        uncore+DRAM power that comes off the top of the budget.
+        """
+        spec = self.spec
+        topo = spec.topology
+        margin = spec.thermal_trip_c - self.temp_c
+        budget = self.sustainable_power_w * (
+            1.0 + self.BUDGET_GAIN_FRACTION_PER_C * margin
+        )
+        if margin < 0:
+            self.throttle_events += 1
+
+        # Active clusters burn their minimum-frequency power no matter
+        # what the allocator decides; take that off the top so granting a
+        # cluster zero surplus does not push the package past budget.
+        floor_w = {}
+        for i, cl in enumerate(topo.clusters):
+            activity = cluster_activity[i]
+            if activity > 1e-6:
+                floor_w[i] = cl.ctype.power.core_power(
+                    cl.ctype.min_freq_ghz, 1.0
+                ) * activity
+        remaining = budget - other_power_w - sum(floor_w.values())
+
+        def efficiency(i: int) -> float:
+            ct = topo.clusters[i].ctype
+            demand = ct.power.core_power(ct.max_freq_ghz, 1.0)
+            return ct.capacity / max(demand, 1e-6)
+
+        order = sorted(range(len(topo.clusters)), key=efficiency, reverse=True)
+        for i in order:
+            cl = topo.clusters[i]
+            ct = cl.ctype
+            activity = cluster_activity[i]
+            if activity <= 1e-6:
+                governor.set_ceiling(i, CEILING_NAME, ct.max_freq_mhz)
+                self._scale[i] = 1.0
+                continue
+            # Grant this cluster its floor plus a share of the surplus.
+            extra_demand = (
+                ct.power.core_power(ct.max_freq_ghz, 1.0)
+                - ct.power.core_power(ct.min_freq_ghz, 1.0)
+            ) * activity
+            grant = min(max(remaining, 0.0), extra_demand)
+            per_core = (floor_w[i] + grant) / activity
+            f_ghz = ct.power.freq_for_power(
+                per_core, 1.0, ct.min_freq_ghz, ct.max_freq_ghz
+            )
+            governor.set_ceiling(i, CEILING_NAME, f_ghz * 1000.0)
+            self._scale[i] = f_ghz / ct.max_freq_ghz
+            used_extra = ct.power.core_power(f_ghz, 1.0) * activity - floor_w[i]
+            remaining -= max(used_extra, 0.0)

@@ -1,0 +1,147 @@
+"""CPU topology: logical CPUs, physical cores, clusters.
+
+A :class:`CpuTopology` is a flat list of logical CPUs (:class:`Core`
+instances — one per hardware thread, matching how Linux numbers CPUs),
+grouped into *clusters* of identical core type.  Frequency (DVFS) is
+per-cluster, as on real hardware: all Raptor Lake E-cores share one clock
+domain, each ARM big.LITTLE cluster has its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.coretype import CoreType
+
+
+@dataclass
+class Core:
+    """One logical CPU (hardware thread).
+
+    ``cpu_id`` is the Linux CPU number.  ``phys_core`` identifies the
+    physical core (SMT siblings share it).  ``cluster`` indexes into
+    :attr:`CpuTopology.clusters`.
+    """
+
+    cpu_id: int
+    phys_core: int
+    cluster: int
+    ctype: CoreType
+    smt_thread: int = 0     # 0 = primary hardware thread
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Core(cpu{self.cpu_id}, phys{self.phys_core}, "
+            f"{self.ctype.name}, smt{self.smt_thread})"
+        )
+
+
+@dataclass
+class Cluster:
+    """A group of identical cores sharing a clock domain."""
+
+    index: int
+    ctype: CoreType
+    cpu_ids: list[int] = field(default_factory=list)
+
+
+class CpuTopology:
+    """The set of logical CPUs in a machine.
+
+    Construct via :meth:`build` with an ordered list of
+    ``(core_type, n_physical_cores)`` pairs; CPU numbering follows the
+    Linux convention of enumerating the primary hardware thread of every
+    physical core first within each cluster, with SMT siblings interleaved
+    the way Raptor Lake exposes them (P-core threads adjacent: cpu0/cpu1
+    are the two threads of P-core 0).
+    """
+
+    def __init__(self, cores: list[Core], clusters: list[Cluster]):
+        self.cores = cores
+        self.clusters = clusters
+        self._by_id = {c.cpu_id: c for c in cores}
+        if len(self._by_id) != len(cores):
+            raise ValueError("duplicate cpu_id in topology")
+
+    @classmethod
+    def build(cls, layout: list[tuple[CoreType, int]]) -> "CpuTopology":
+        cores: list[Core] = []
+        clusters: list[Cluster] = []
+        cpu_id = 0
+        phys = 0
+        for cluster_idx, (ctype, n_phys) in enumerate(layout):
+            cluster = Cluster(index=cluster_idx, ctype=ctype)
+            for _ in range(n_phys):
+                for smt in range(ctype.smt):
+                    core = Core(
+                        cpu_id=cpu_id,
+                        phys_core=phys,
+                        cluster=cluster_idx,
+                        ctype=ctype,
+                        smt_thread=smt,
+                    )
+                    cores.append(core)
+                    cluster.cpu_ids.append(cpu_id)
+                    cpu_id += 1
+                phys += 1
+            clusters.append(cluster)
+        return cls(cores, clusters)
+
+    # -- basic queries ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __iter__(self):
+        return iter(self.cores)
+
+    def core(self, cpu_id: int) -> Core:
+        return self._by_id[cpu_id]
+
+    @property
+    def n_cpus(self) -> int:
+        return len(self.cores)
+
+    @property
+    def n_physical_cores(self) -> int:
+        return len({c.phys_core for c in self.cores})
+
+    @property
+    def core_types(self) -> list[CoreType]:
+        """Distinct core types, in cluster order, de-duplicated."""
+        seen: dict[str, CoreType] = {}
+        for cl in self.clusters:
+            seen.setdefault(cl.ctype.name, cl.ctype)
+        return list(seen.values())
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return len(self.core_types) > 1
+
+    def cpus_of_type(self, ctype_name: str) -> list[int]:
+        """Logical CPU ids whose core type name matches ``ctype_name``."""
+        return [c.cpu_id for c in self.cores if c.ctype.name == ctype_name]
+
+    def cpus_of_pmu(self, pmu_name: str) -> list[int]:
+        """Logical CPU ids served by the Linux PMU ``pmu_name``."""
+        return [c.cpu_id for c in self.cores if c.ctype.pmu_name == pmu_name]
+
+    def smt_siblings(self, cpu_id: int) -> list[int]:
+        me = self.core(cpu_id)
+        return [
+            c.cpu_id
+            for c in self.cores
+            if c.phys_core == me.phys_core and c.cpu_id != cpu_id
+        ]
+
+    def primary_threads(self) -> list[int]:
+        """One logical CPU per physical core (the smt-0 thread)."""
+        return [c.cpu_id for c in self.cores if c.smt_thread == 0]
+
+    def capacity_of(self, cpu_id: int) -> int:
+        """Linux-style cpu_capacity, scaled so the biggest core is 1024."""
+        top = max(
+            ct.capacity * ct.max_freq_mhz for ct in self.core_types
+        )
+        me = self.core(cpu_id).ctype
+        return round(1024 * me.capacity * me.max_freq_mhz / top)

@@ -1,0 +1,19 @@
+"""Simulated Linux kernel services.
+
+The pieces of Linux the paper's tooling stack sits on:
+
+* :mod:`repro.kernel.sched` — CPU scheduler (runqueues, affinity,
+  capacity-aware placement, migrations).
+* :mod:`repro.kernel.perf` — the ``perf_event`` subsystem: one PMU
+  exported per core type, ``perf_event_open()``, per-thread contexts with
+  counter save/restore on context switch, event groups, multiplexing,
+  and user-space ``rdpmc`` reads.
+* :mod:`repro.kernel.sysfs` / :mod:`repro.kernel.procfs` — the virtual
+  filesystems tools scrape for core-type detection.
+* :mod:`repro.kernel.syscall_cost` — the syscall latency model behind the
+  paper's overhead discussion (§V-5).
+"""
+
+from repro.kernel.errno import Errno, KernelError
+
+__all__ = ["Errno", "KernelError"]

@@ -1,0 +1,27 @@
+"""Kernel error codes, matching Linux semantics for perf_event_open."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Errno(enum.IntEnum):
+    EPERM = 1
+    ENOENT = 2
+    EBADF = 9
+    EBUSY = 16
+    EINVAL = 22
+    ENOSPC = 28
+    ESRCH = 3
+    EOPNOTSUPP = 95
+
+
+class KernelError(OSError):
+    """A failed simulated syscall."""
+
+    def __init__(self, errno_: Errno, message: str):
+        super().__init__(int(errno_), message)
+        self.kernel_errno = errno_
+
+    def __str__(self) -> str:
+        return f"[{self.kernel_errno.name}] {self.args[1]}"

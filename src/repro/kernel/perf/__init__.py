@@ -1,0 +1,48 @@
+"""The simulated ``perf_event`` kernel subsystem.
+
+Reproduces the Linux behaviour the paper builds on:
+
+* one PMU *type* is exported per core type (plus software, uncore and
+  RAPL "power" PMUs); the type number is what userspace reads from
+  ``/sys/devices/<pmu>/type`` and passes in ``perf_event_attr.type``;
+* a per-thread event follows the thread across CPUs, with counter state
+  saved/restored at context switch, but **only counts while the thread
+  runs on a CPU whose PMU matches the event's PMU type** — the central
+  heterogeneity mechanism ("an event might be measuring hardware features
+  that do not exist on the new core");
+* event *groups* are scheduled atomically and must be homogeneous in PMU
+  type (grouping across PMUs fails with EINVAL, which is exactly why PAPI
+  needs one group per PMU type);
+* when a PMU runs out of hardware counters the kernel multiplexes via
+  round-robin rotation, exposing ``time_enabled``/``time_running`` so
+  userspace can scale;
+* ``read()`` has a syscall cost; ``rdpmc`` offers a cheap user-space read
+  for self-monitoring threads.
+"""
+
+from repro.kernel.perf.attr import (
+    PerfEventAttr,
+    PerfType,
+    HwConfig,
+    SwConfig,
+    ReadFormat,
+    PERF_PMU_TYPE_SHIFT,
+)
+from repro.kernel.perf.event import KernelPerfEvent, PerfReadValue, PerfSample
+from repro.kernel.perf.subsystem import PerfSubsystem, PerfFd
+from repro.kernel.perf.rdpmc import RdpmcReader
+
+__all__ = [
+    "PerfEventAttr",
+    "PerfType",
+    "HwConfig",
+    "SwConfig",
+    "ReadFormat",
+    "PERF_PMU_TYPE_SHIFT",
+    "KernelPerfEvent",
+    "PerfReadValue",
+    "PerfSample",
+    "PerfSubsystem",
+    "PerfFd",
+    "RdpmcReader",
+]

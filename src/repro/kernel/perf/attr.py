@@ -1,0 +1,92 @@
+"""``perf_event_attr`` and the perf ABI constants we model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PerfType(enum.IntEnum):
+    """The static ``perf_event_attr.type`` values from the perf ABI.
+
+    Dynamic PMUs (the per-core-type CPU PMUs, uncore, RAPL power) get
+    their type numbers assigned at registration time, published in sysfs;
+    those start at :data:`DYNAMIC_PMU_TYPE_BASE`.
+    """
+
+    HARDWARE = 0
+    SOFTWARE = 1
+    TRACEPOINT = 2
+    HW_CACHE = 3
+    RAW = 4
+    BREAKPOINT = 5
+
+
+#: First type number handed out to dynamically registered PMUs.
+DYNAMIC_PMU_TYPE_BASE = 8
+
+#: On hybrid kernels, generic PERF_TYPE_HARDWARE events select the target
+#: PMU in the high bits of config: ``config = (pmu_type << 32) | hw_id``.
+PERF_PMU_TYPE_SHIFT = 32
+
+
+class HwConfig(enum.IntEnum):
+    """PERF_COUNT_HW_* generic hardware event ids."""
+
+    CPU_CYCLES = 0
+    INSTRUCTIONS = 1
+    CACHE_REFERENCES = 2
+    CACHE_MISSES = 3
+    BRANCH_INSTRUCTIONS = 4
+    BRANCH_MISSES = 5
+    BUS_CYCLES = 6
+    STALLED_CYCLES_FRONTEND = 7
+    STALLED_CYCLES_BACKEND = 8
+    REF_CPU_CYCLES = 9
+
+
+class SwConfig(enum.IntEnum):
+    """PERF_COUNT_SW_* software event ids."""
+
+    CPU_CLOCK = 0
+    TASK_CLOCK = 1
+    CONTEXT_SWITCHES = 3
+    CPU_MIGRATIONS = 4
+
+
+class ReadFormat(enum.IntFlag):
+    """read_format flags controlling what read() returns."""
+
+    NONE = 0
+    TOTAL_TIME_ENABLED = 1
+    TOTAL_TIME_RUNNING = 2
+    ID = 4
+    GROUP = 8
+
+
+@dataclass
+class PerfEventAttr:
+    """The subset of ``struct perf_event_attr`` the simulation honours."""
+
+    type: int
+    config: int
+    disabled: bool = True
+    inherit: bool = False
+    exclude_user: bool = False
+    exclude_kernel: bool = False
+    exclude_idle: bool = False
+    pinned: bool = False
+    read_format: ReadFormat = ReadFormat.TOTAL_TIME_ENABLED | ReadFormat.TOTAL_TIME_RUNNING
+    sample_period: int = 0
+    name: str = ""              # debugging aid, not part of the real ABI
+    extra: dict = field(default_factory=dict)
+
+    def pmu_type_hint(self) -> int | None:
+        """The PMU type selected by hybrid extended encoding, if any."""
+        if self.type == PerfType.HARDWARE and (self.config >> PERF_PMU_TYPE_SHIFT):
+            return self.config >> PERF_PMU_TYPE_SHIFT
+        return None
+
+    def base_config(self) -> int:
+        """config with any hybrid PMU-type bits stripped."""
+        return self.config & ((1 << PERF_PMU_TYPE_SHIFT) - 1)

@@ -1,0 +1,227 @@
+"""Kernel perf events: state, accrual and the heterogeneity rule.
+
+A :class:`KernelPerfEvent` attached to a thread accrues ``time_enabled``
+whenever the thread runs with the event enabled, but only accumulates
+counts (and ``time_running``) while the thread executes on a CPU whose
+PMU type matches the event's — the kernel behaviour the paper describes:
+"the kernel tracks the core type and only enables event counters if they
+match the core currently being run on."
+
+Multiplexing: when a context has more events of one PMU type than that
+PMU has hardware counters, groups rotate round-robin; an event counts
+only while its group holds counters, and the ``enabled``/``running``
+times let userspace scale the result.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.hw.coretype import ArchEvent
+from repro.kernel.perf.attr import PerfEventAttr, ReadFormat
+from repro.kernel.perf.pmu import KernelPmu, PmuKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.task import SimThread
+
+_event_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class PerfSample:
+    """One overflow sample (the perf-record path).
+
+    The simulation carries no instruction pointers, so a sample records
+    *where and when* the overflow happened: timestamp, CPU, thread and
+    the PMU that counted — enough for the per-core-type profiles the
+    perf tool reports on hybrid machines.
+    """
+
+    time_s: float
+    cpu: int
+    tid: int
+    pmu: str
+
+
+#: Ring-buffer capacity per event; further samples are dropped and
+#: counted as lost (like a full perf mmap buffer).
+SAMPLE_BUFFER_CAP = 65536
+
+
+@dataclass
+class PerfReadValue:
+    """What a perf read() returns for one event."""
+
+    value: int
+    time_enabled_ns: int
+    time_running_ns: int
+    id: int
+
+    def scaled_value(self) -> float:
+        """The perf-tool style multiplexing-scaled estimate."""
+        if self.time_running_ns == 0:
+            return 0.0
+        return self.value * self.time_enabled_ns / self.time_running_ns
+
+
+class KernelPerfEvent:
+    """One opened perf event."""
+
+    def __init__(
+        self,
+        attr: PerfEventAttr,
+        pmu: KernelPmu,
+        target_tid: Optional[int],
+        target_cpu: Optional[int],
+        group_leader: Optional["KernelPerfEvent"] = None,
+        arch_event: Optional[ArchEvent] = None,
+    ):
+        self.id = next(_event_ids)
+        self.attr = attr
+        self.pmu = pmu
+        self.arch_event = arch_event
+        self.target_tid = target_tid
+        self.target_cpu = target_cpu
+        self.enabled = not attr.disabled
+        self.count = 0.0
+        self.time_enabled_s = 0.0
+        self.time_running_s = 0.0
+        self.group_leader = group_leader if group_leader is not None else self
+        self.siblings: list[KernelPerfEvent] = []
+        if group_leader is not None:
+            group_leader.siblings.append(self)
+        self.closed = False
+        # Software-event baseline snapshots (count = live stat - baseline).
+        self._sw_base: Optional[float] = None
+        # RAPL baseline (energy joules at enable).
+        self._rapl_base: Optional[float] = None
+        # Sampling state (attr.sample_period > 0).
+        self.samples: list[PerfSample] = []
+        self.lost_samples = 0
+        self._next_overflow = float(attr.sample_period) if attr.sample_period else None
+
+    # -- group helpers ------------------------------------------------------
+
+    @property
+    def is_group_leader(self) -> bool:
+        return self.group_leader is self
+
+    def group_events(self) -> list["KernelPerfEvent"]:
+        """Leader plus siblings (leader first)."""
+        leader = self.group_leader
+        return [leader, *leader.siblings]
+
+    def hw_counters_needed(self) -> int:
+        """Hardware counters this event's group needs on its PMU."""
+        return sum(
+            1 for e in self.group_events() if e.pmu.kind is PmuKind.CPU
+        )
+
+    # -- state --------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.count = 0.0
+        self._sw_base = None
+        self._rapl_base = None
+        # Linux's PERF_EVENT_IOC_RESET zeroes the count but not the times;
+        # we match that.
+
+    # -- accrual (called from the subsystem's account hook) ------------------
+
+    def accrue(
+        self,
+        core_pmu_type: int,
+        values: np.ndarray,
+        time_s: float,
+        counting_allowed: bool,
+        now_s: float = 0.0,
+        cpu: int = -1,
+    ) -> None:
+        """Credit one execution slice of the target thread.
+
+        ``counting_allowed`` is False while the event's group is rotated
+        out by the multiplexer.
+        """
+        if not self.enabled or self.closed:
+            return
+        self.time_enabled_s += time_s
+        if self.pmu.kind is PmuKind.CPU and self.pmu.type != core_pmu_type:
+            return  # wrong core type: enabled but not running
+        if not counting_allowed:
+            return
+        self.time_running_s += time_s
+        if self.pmu.kind is PmuKind.CPU and self.arch_event is not None:
+            self.count += float(values[self.arch_event])
+            if self._next_overflow is not None:
+                self._record_overflows(now_s, cpu)
+
+    def _record_overflows(self, now_s: float, cpu: int) -> None:
+        """Emit one sample per period crossing within the slice."""
+        period = float(self.attr.sample_period)
+        while self.count >= self._next_overflow:
+            self._next_overflow += period
+            if len(self.samples) >= SAMPLE_BUFFER_CAP:
+                self.lost_samples += 1
+                continue
+            self.samples.append(
+                PerfSample(
+                    time_s=now_s,
+                    cpu=cpu,
+                    tid=self.target_tid if self.target_tid is not None else -1,
+                    pmu=self.pmu.name,
+                )
+            )
+
+    def read_samples(self) -> list["PerfSample"]:
+        """Drain the sample buffer (like reading the mmap ring)."""
+        out = self.samples
+        self.samples = []
+        return out
+
+    def accrue_cpuwide(self, values: np.ndarray) -> None:
+        """CPU-wide hardware events: count whatever ran on their CPU.
+
+        Their enabled/running clocks follow wall time (accrued per tick),
+        since a CPU-wide event keeps "running" through idle.
+        """
+        if self.enabled and not self.closed and self.arch_event is not None:
+            self.count += float(values[self.arch_event])
+
+    def accrue_uncore(self, values: np.ndarray) -> None:
+        """Uncore events count package traffic from every core."""
+        if self.enabled and not self.closed and self.arch_event is not None:
+            self.count += float(values[self.arch_event])
+
+    def accrue_wall_time(self, dt_s: float) -> None:
+        """CPU-wide (uncore/RAPL) events: times advance with wall time."""
+        if self.enabled and not self.closed:
+            self.time_enabled_s += dt_s
+            self.time_running_s += dt_s
+
+    def read_value(self) -> PerfReadValue:
+        return PerfReadValue(
+            value=int(self.count),
+            time_enabled_ns=int(self.time_enabled_s * 1e9),
+            time_running_ns=int(self.time_running_s * 1e9),
+            id=self.id,
+        )
+
+    def wants(self, flag: ReadFormat) -> bool:
+        return bool(self.attr.read_format & flag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tgt = f"tid={self.target_tid}" if self.target_tid is not None else f"cpu={self.target_cpu}"
+        return (
+            f"KernelPerfEvent(#{self.id} {self.pmu.name}:{self.attr.base_config():#x} "
+            f"{tgt} {'on' if self.enabled else 'off'} count={self.count:.0f})"
+        )

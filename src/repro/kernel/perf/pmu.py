@@ -1,0 +1,179 @@
+"""Kernel-side PMU descriptors and the registry built from a machine.
+
+Each distinct core type registers its own PMU with its own dynamic type
+number (the paper: "a separate PMU type exported for each type of CPU
+core"), alongside the software PMU, a package uncore PMU, and — on
+machines with RAPL — the ``power`` energy PMU.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.hw.coretype import ArchEvent
+from repro.hw.eventcodes import CODES_BY_PFM_PMU
+from repro.kernel.perf.attr import (
+    DYNAMIC_PMU_TYPE_BASE,
+    HwConfig,
+    PerfType,
+    SwConfig,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Machine
+
+
+class PmuKind(enum.Enum):
+    CPU = "cpu"
+    SOFTWARE = "software"
+    UNCORE = "uncore"
+    RAPL = "rapl"
+
+
+#: Generic PERF_TYPE_HARDWARE id -> architectural event.
+GENERIC_HW_MAP: dict[int, ArchEvent] = {
+    HwConfig.CPU_CYCLES: ArchEvent.CYCLES,
+    HwConfig.INSTRUCTIONS: ArchEvent.INSTRUCTIONS,
+    HwConfig.CACHE_REFERENCES: ArchEvent.LLC_REFERENCES,
+    HwConfig.CACHE_MISSES: ArchEvent.LLC_MISSES,
+    HwConfig.BRANCH_INSTRUCTIONS: ArchEvent.BRANCHES,
+    HwConfig.BRANCH_MISSES: ArchEvent.BRANCH_MISSES,
+    HwConfig.STALLED_CYCLES_BACKEND: ArchEvent.STALLED_CYCLES,
+    HwConfig.REF_CPU_CYCLES: ArchEvent.REF_CYCLES,
+}
+
+#: RAPL event config values of the Linux ``power`` PMU.
+RAPL_CONFIG_PKG = 0x02
+RAPL_CONFIG_CORES = 0x01
+RAPL_CONFIG_RAM = 0x03
+
+#: The power PMU reports energy in 2^-32 J units (its sysfs scale file).
+RAPL_PERF_UNIT_J = 2.0 ** -32
+
+
+@dataclass
+class KernelPmu:
+    """One registered PMU."""
+
+    name: str
+    type: int
+    kind: PmuKind
+    cpus: list[int] = field(default_factory=list)   # sysfs "cpus"/"cpumask"
+    decode: dict[int, ArchEvent] = field(default_factory=dict)
+    n_counters: int = 8
+    n_fixed: int = 3
+
+    def decodes(self, config: int) -> bool:
+        return config in self.decode
+
+    def arch_event(self, config: int) -> ArchEvent:
+        return self.decode[config]
+
+
+class PmuRegistry:
+    """All PMUs of one machine, indexed by type number and name."""
+
+    def __init__(self) -> None:
+        self.by_type: dict[int, KernelPmu] = {}
+        self.by_name: dict[str, KernelPmu] = {}
+        self._next_type = DYNAMIC_PMU_TYPE_BASE
+
+    def register(self, pmu: KernelPmu) -> KernelPmu:
+        if pmu.type in self.by_type:
+            raise ValueError(f"PMU type {pmu.type} already registered")
+        if pmu.name in self.by_name:
+            raise ValueError(f"PMU name {pmu.name!r} already registered")
+        self.by_type[pmu.type] = pmu
+        self.by_name[pmu.name] = pmu
+        return pmu
+
+    def alloc_type(self) -> int:
+        t = self._next_type
+        self._next_type += 1
+        return t
+
+    def cpu_pmus(self) -> list[KernelPmu]:
+        return [p for p in self.by_type.values() if p.kind is PmuKind.CPU]
+
+    def default_cpu_pmu(self) -> KernelPmu:
+        """The PMU generic PERF_TYPE_HARDWARE events fall through to.
+
+        On hybrid kernels this is the boot CPU's PMU — the P-core/big PMU
+        when cpu0 is a P-core, the LITTLE PMU on boards like the RK3399
+        where cpu0 is a LITTLE core.
+        """
+        cpu_pmus = self.cpu_pmus()
+        if not cpu_pmus:
+            raise LookupError("no CPU PMU registered")
+        return min(cpu_pmus, key=lambda p: min(p.cpus) if p.cpus else 1 << 30)
+
+    @classmethod
+    def for_machine(cls, machine: "Machine") -> "PmuRegistry":
+        reg = cls()
+        reg.register(
+            KernelPmu(
+                name="software",
+                type=int(PerfType.SOFTWARE),
+                kind=PmuKind.SOFTWARE,
+                decode={
+                    int(SwConfig.CONTEXT_SWITCHES): ArchEvent.CONTEXT_SWITCHES,
+                    int(SwConfig.CPU_MIGRATIONS): ArchEvent.MIGRATIONS,
+                    # Clock events: values come from thread runtime, in ns.
+                    int(SwConfig.CPU_CLOCK): ArchEvent.CYCLES,
+                    int(SwConfig.TASK_CLOCK): ArchEvent.CYCLES,
+                },
+                n_counters=1 << 16,
+            )
+        )
+        topo = machine.topology
+        for ctype in topo.core_types:
+            codes = CODES_BY_PFM_PMU.get(ctype.pfm_pmu, {})
+            decode = {
+                cfg: ev for cfg, ev in codes.items() if ctype.supports_event(ev)
+            }
+            reg.register(
+                KernelPmu(
+                    name=ctype.pmu_name,
+                    type=reg.alloc_type(),
+                    kind=PmuKind.CPU,
+                    cpus=topo.cpus_of_type(ctype.name),
+                    decode=decode,
+                    n_counters=ctype.n_gp_counters,
+                    n_fixed=ctype.n_fixed_counters,
+                )
+            )
+        # Package uncore PMU: LLC-level events, counted package-wide.
+        reg.register(
+            KernelPmu(
+                name="uncore_llc",
+                type=reg.alloc_type(),
+                kind=PmuKind.UNCORE,
+                cpus=[0],
+                decode={
+                    0x01: ArchEvent.LLC_REFERENCES,
+                    0x02: ArchEvent.LLC_MISSES,
+                },
+                n_counters=4,
+            )
+        )
+        if machine.spec.has_rapl:
+            reg.register(
+                KernelPmu(
+                    name="power",
+                    type=reg.alloc_type(),
+                    kind=PmuKind.RAPL,
+                    cpus=[0],
+                    decode={
+                        # RAPL configs do not map to ArchEvents; the
+                        # subsystem special-cases them.  Keep keys so
+                        # validation accepts them.
+                        RAPL_CONFIG_PKG: ArchEvent.CYCLES,
+                        RAPL_CONFIG_CORES: ArchEvent.CYCLES,
+                        RAPL_CONFIG_RAM: ArchEvent.CYCLES,
+                    },
+                    n_counters=8,
+                )
+            )
+        return reg

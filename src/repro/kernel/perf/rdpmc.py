@@ -1,0 +1,56 @@
+"""User-space counter reads (``rdpmc``).
+
+On x86 a self-monitoring thread can read its own active counters with the
+``rdpmc`` instruction via the mmap'd perf page, skipping the read()
+syscall entirely — the "fast" path the paper's §V-5 wants preserved.  The
+read is only valid while the calling thread is the event's target *and*
+is currently running on a CPU whose PMU matches the event; otherwise the
+mmap page's ``index`` field is zero and userspace must fall back to the
+syscall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.kernel.perf.pmu import PmuKind
+from repro.kernel.perf.subsystem import PerfSubsystem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.task import SimThread
+
+
+@dataclass
+class RdpmcResult:
+    """Outcome of one user-space read attempt."""
+
+    valid: bool
+    value: int = 0
+    reason: str = ""
+
+
+class RdpmcReader:
+    """Reads one event's counter from user space."""
+
+    def __init__(self, subsystem: PerfSubsystem, fd: int):
+        self.subsystem = subsystem
+        self.fd = fd
+
+    def read(self, caller: "SimThread") -> RdpmcResult:
+        self.subsystem.cost.charge(caller, "rdpmc")
+        ev = self.subsystem._event(self.fd)
+        if ev.pmu.kind is not PmuKind.CPU:
+            return RdpmcResult(False, reason="rdpmc only covers CPU PMU events")
+        if ev.target_tid != caller.tid:
+            return RdpmcResult(False, reason="not the event's target thread")
+        cpu: Optional[int] = caller.cpu if caller.cpu is not None else caller.last_cpu
+        if cpu is None:
+            return RdpmcResult(False, reason="caller not on a CPU")
+        core = self.subsystem.machine.topology.core(cpu)
+        if self.subsystem.registry.by_name[core.ctype.pmu_name].type != ev.pmu.type:
+            # Running on the other core type: the counter is not live here.
+            return RdpmcResult(False, reason="event PMU does not match current core")
+        if not ev.enabled:
+            return RdpmcResult(False, reason="event disabled")
+        return RdpmcResult(True, value=int(ev.count))

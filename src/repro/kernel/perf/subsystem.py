@@ -1,0 +1,432 @@
+"""``perf_event_open`` and friends.
+
+:class:`PerfSubsystem` is the syscall surface: ``perf_event_open``,
+``ioctl`` (enable/disable/reset, optionally group-wide), ``read`` and
+``close``.  It validates requests the way Linux does — in particular the
+rules the paper's PAPI redesign has to live with:
+
+* an event group may not mix CPU PMU types (EINVAL);
+* a CPU-PMU event bound to a CPU the PMU does not cover is rejected;
+* generic ``PERF_TYPE_HARDWARE`` events on a hybrid machine either carry
+  the target PMU in the high config bits or fall through to the boot
+  CPU's PMU.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.hw.coretype import ArchEvent
+from repro.hw.topology import Core
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.perf.attr import PerfEventAttr, PerfType, ReadFormat
+from repro.kernel.perf.event import KernelPerfEvent, PerfReadValue
+from repro.kernel.perf.pmu import (
+    GENERIC_HW_MAP,
+    KernelPmu,
+    PmuKind,
+    PmuRegistry,
+    RAPL_CONFIG_CORES,
+    RAPL_CONFIG_PKG,
+    RAPL_CONFIG_RAM,
+    RAPL_PERF_UNIT_J,
+)
+from repro.kernel.perf.attr import SwConfig
+from repro.kernel.syscall_cost import SyscallCostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Machine
+    from repro.sim.task import SimThread
+
+#: How often the kernel rotates multiplexed event groups (per-thread
+#: runtime clock), matching the scheduler-tick-driven rotation in Linux.
+MUX_ROTATION_PERIOD_S = 0.004
+
+
+class PerfIoctl(enum.Enum):
+    ENABLE = "enable"
+    DISABLE = "disable"
+    RESET = "reset"
+
+
+@dataclass
+class PerfFd:
+    fd: int
+    event: KernelPerfEvent
+
+
+class PerfSubsystem:
+    """The kernel perf_event layer of one machine."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self.registry = PmuRegistry.for_machine(machine)
+        self.cost = SyscallCostModel()
+        self._fds: dict[int, KernelPerfEvent] = {}
+        self._next_fd = 3
+        self._thread_events: dict[int, list[KernelPerfEvent]] = {}
+        self._cpuwide_events: dict[int, list[KernelPerfEvent]] = {}
+        self._uncore_events: list[KernelPerfEvent] = []
+        self._rapl_events: list[KernelPerfEvent] = []
+        # cpu_id -> PMU type number, for the hot accrual path.
+        self._cpu_pmu_type = [
+            self.registry.by_name[c.ctype.pmu_name].type
+            for c in machine.topology.cores
+        ]
+        # Hardware counters stolen from each PMU by outside users (the
+        # classic case: the NMI watchdog pins one fixed counter); shrinks
+        # the budget groups and the multiplexer can use.
+        self._reserved: dict[int, int] = {}
+        machine.account_hooks.append(self._account)
+        machine.tick_hooks.append(self._on_tick)
+
+    def reserve_counters(self, pmu_name: str, n: int) -> None:
+        """Model an external consumer (e.g. the NMI watchdog) holding
+        ``n`` hardware counters of ``pmu_name``."""
+        pmu = self.registry.by_name[pmu_name]
+        if n < 0 or n > pmu.n_counters + pmu.n_fixed:
+            raise ValueError(
+                f"cannot reserve {n} of {pmu.n_counters + pmu.n_fixed} counters"
+            )
+        self._reserved[pmu.type] = n
+
+    def _budget(self, pmu: KernelPmu) -> int:
+        return pmu.n_counters + pmu.n_fixed - self._reserved.get(pmu.type, 0)
+
+    # ------------------------------------------------------------------ open
+
+    def perf_event_open(
+        self,
+        attr: PerfEventAttr,
+        pid: int,
+        cpu: int,
+        group_fd: int = -1,
+        flags: int = 0,
+        caller: Optional["SimThread"] = None,
+    ) -> int:
+        self.cost.charge(caller, "perf_event_open")
+        if pid == -1 and cpu == -1:
+            raise KernelError(Errno.EINVAL, "pid == -1 requires cpu >= 0")
+
+        pmu, arch_event, rapl_domain = self._resolve(attr)
+
+        target_tid: Optional[int] = None
+        target_cpu: Optional[int] = None
+        if pid >= 0:
+            try:
+                self.machine.thread_by_tid(pid)
+            except KeyError:
+                raise KernelError(Errno.ESRCH, f"no such thread {pid}") from None
+            target_tid = pid
+        else:
+            if not 0 <= cpu < self.machine.topology.n_cpus:
+                raise KernelError(Errno.EINVAL, f"no such cpu {cpu}")
+            if pmu.kind is PmuKind.CPU and cpu not in pmu.cpus:
+                raise KernelError(
+                    Errno.EINVAL,
+                    f"PMU {pmu.name} does not cover cpu {cpu} "
+                    f"(covers {pmu.cpus})",
+                )
+            target_cpu = cpu
+
+        leader: Optional[KernelPerfEvent] = None
+        if group_fd != -1:
+            leader = self._fds.get(group_fd)
+            if leader is None:
+                raise KernelError(Errno.EBADF, f"bad group_fd {group_fd}")
+            if not leader.is_group_leader:
+                raise KernelError(Errno.EINVAL, "group_fd is not a group leader")
+            if (leader.target_tid, leader.target_cpu) != (target_tid, target_cpu):
+                raise KernelError(
+                    Errno.EINVAL, "group members must share the leader's target"
+                )
+            self._check_group_compatible(leader, pmu)
+
+        event = KernelPerfEvent(
+            attr=attr,
+            pmu=pmu,
+            target_tid=target_tid,
+            target_cpu=target_cpu,
+            group_leader=leader,
+            arch_event=arch_event,
+        )
+        if rapl_domain is not None:
+            event._rapl_domain = rapl_domain  # type: ignore[attr-defined]
+
+        if leader is not None and pmu.kind is PmuKind.CPU:
+            if leader.hw_counters_needed() > self._budget(pmu):
+                leader.siblings.remove(event)
+                raise KernelError(
+                    Errno.EINVAL,
+                    f"group exceeds {pmu.name}'s "
+                    f"{self._budget(pmu)} available hardware counters",
+                )
+
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = event
+        if target_tid is not None:
+            self._thread_events.setdefault(target_tid, []).append(event)
+        elif pmu.kind is PmuKind.UNCORE:
+            self._uncore_events.append(event)
+        elif pmu.kind is PmuKind.RAPL:
+            self._rapl_events.append(event)
+        else:
+            self._cpuwide_events.setdefault(target_cpu, []).append(event)
+        if not attr.disabled:
+            self._arm(event)
+        return fd
+
+    def _resolve(
+        self, attr: PerfEventAttr
+    ) -> tuple[KernelPmu, Optional[ArchEvent], Optional[object]]:
+        """Map attr -> (pmu, architectural event, rapl domain)."""
+        if attr.type == PerfType.HARDWARE:
+            hint = attr.pmu_type_hint()
+            if hint is not None:
+                pmu = self.registry.by_type.get(hint)
+                if pmu is None or pmu.kind is not PmuKind.CPU:
+                    raise KernelError(
+                        Errno.ENOENT, f"no CPU PMU with type {hint}"
+                    )
+            else:
+                pmu = self.registry.default_cpu_pmu()
+            base = attr.base_config()
+            arch = GENERIC_HW_MAP.get(base)
+            if arch is None:
+                raise KernelError(
+                    Errno.EINVAL, f"unknown generic hardware event {base:#x}"
+                )
+            if arch not in pmu.decode.values():
+                raise KernelError(
+                    Errno.EINVAL,
+                    f"{pmu.name} cannot count {arch.name}",
+                )
+            return pmu, arch, None
+
+        if attr.type == PerfType.SOFTWARE:
+            pmu = self.registry.by_type[int(PerfType.SOFTWARE)]
+            if attr.config not in pmu.decode:
+                raise KernelError(
+                    Errno.EINVAL, f"unsupported software event {attr.config:#x}"
+                )
+            return pmu, pmu.decode[attr.config], None
+
+        pmu = self.registry.by_type.get(attr.type)
+        if pmu is None:
+            raise KernelError(Errno.ENOENT, f"no PMU with type {attr.type}")
+        if pmu.kind is PmuKind.RAPL:
+            if attr.config not in (
+                RAPL_CONFIG_PKG,
+                RAPL_CONFIG_CORES,
+                RAPL_CONFIG_RAM,
+            ):
+                raise KernelError(
+                    Errno.EINVAL, f"unknown RAPL event {attr.config:#x}"
+                )
+            rapl = self.machine.rapl
+            domain = {
+                RAPL_CONFIG_PKG: rapl.package,
+                RAPL_CONFIG_CORES: rapl.cores,
+                RAPL_CONFIG_RAM: rapl.dram,
+            }[attr.config]
+            return pmu, None, domain
+        if not pmu.decodes(attr.base_config()):
+            raise KernelError(
+                Errno.EINVAL,
+                f"PMU {pmu.name} does not decode config {attr.base_config():#x}",
+            )
+        return pmu, pmu.arch_event(attr.base_config()), None
+
+    def _check_group_compatible(self, leader: KernelPerfEvent, pmu: KernelPmu) -> None:
+        """Software events may join any group; everything else must match PMUs."""
+        if pmu.kind is PmuKind.SOFTWARE:
+            return
+        for member in leader.group_events():
+            if member.pmu.kind is PmuKind.SOFTWARE:
+                continue
+            if member.pmu.type != pmu.type:
+                raise KernelError(
+                    Errno.EINVAL,
+                    f"cannot group {pmu.name} event with {member.pmu.name} "
+                    "event: event groups cannot span PMUs",
+                )
+
+    # ---------------------------------------------------------------- ioctls
+
+    def ioctl(
+        self,
+        fd: int,
+        op: PerfIoctl,
+        flag_group: bool = False,
+        caller: Optional["SimThread"] = None,
+    ) -> None:
+        self.cost.charge(caller, "ioctl")
+        event = self._event(fd)
+        targets = event.group_events() if flag_group else [event]
+        for ev in targets:
+            if op is PerfIoctl.ENABLE:
+                self._arm(ev)
+            elif op is PerfIoctl.DISABLE:
+                ev.disable()
+            elif op is PerfIoctl.RESET:
+                ev.reset()
+                self._rebase(ev)
+
+    def _arm(self, ev: KernelPerfEvent) -> None:
+        ev.enable()
+        self._rebase(ev)
+
+    def _rebase(self, ev: KernelPerfEvent) -> None:
+        """Snapshot baselines for events counted by differencing."""
+        if ev.pmu.kind is PmuKind.SOFTWARE and ev.target_tid is not None:
+            ev._sw_base = self._sw_stat(ev)
+        if ev.pmu.kind is PmuKind.RAPL:
+            ev._rapl_base = ev._rapl_domain.energy_j  # type: ignore[attr-defined]
+
+    def _sw_stat(self, ev: KernelPerfEvent) -> float:
+        thread = self.machine.thread_by_tid(ev.target_tid)
+        if ev.attr.config == SwConfig.CONTEXT_SWITCHES:
+            return float(thread.nr_switches)
+        if ev.attr.config == SwConfig.CPU_MIGRATIONS:
+            return float(thread.nr_migrations)
+        if ev.attr.config in (SwConfig.CPU_CLOCK, SwConfig.TASK_CLOCK):
+            # On-CPU time (spinning included), in nanoseconds like Linux.
+            return thread.total_runtime_s * 1e9
+        return 0.0
+
+    # ------------------------------------------------------------------ read
+
+    def read(
+        self, fd: int, caller: Optional["SimThread"] = None
+    ) -> PerfReadValue | list[PerfReadValue]:
+        event = self._event(fd)
+        group = event.wants(ReadFormat.GROUP)
+        self.cost.charge(caller, "read_group" if group else "read")
+        if group:
+            return [self._materialize(ev) for ev in event.group_events()]
+        return self._materialize(event)
+
+    def _materialize(self, ev: KernelPerfEvent) -> PerfReadValue:
+        if ev.pmu.kind is PmuKind.SOFTWARE and ev.target_tid is not None:
+            base = ev._sw_base if ev._sw_base is not None else 0.0
+            ev.count = self._sw_stat(ev) - base
+        elif ev.pmu.kind is PmuKind.RAPL:
+            base = ev._rapl_base if ev._rapl_base is not None else 0.0
+            joules = ev._rapl_domain.energy_j - base  # type: ignore[attr-defined]
+            ev.count = joules / RAPL_PERF_UNIT_J
+        return ev.read_value()
+
+    def close(self, fd: int, caller: Optional["SimThread"] = None) -> None:
+        self.cost.charge(caller, "close")
+        event = self._fds.pop(fd, None)
+        if event is None:
+            raise KernelError(Errno.EBADF, f"bad fd {fd}")
+        event.closed = True
+        event.disable()
+        for bucket in (
+            self._thread_events.get(event.target_tid or -2, []),
+            self._cpuwide_events.get(
+                event.target_cpu if event.target_cpu is not None else -2, []
+            ),
+            self._uncore_events,
+            self._rapl_events,
+        ):
+            if event in bucket:
+                bucket.remove(event)
+
+    def _event(self, fd: int) -> KernelPerfEvent:
+        ev = self._fds.get(fd)
+        if ev is None:
+            raise KernelError(Errno.EBADF, f"bad fd {fd}")
+        return ev
+
+    # ------------------------------------------------------------- accounting
+
+    def _account(
+        self, thread: "SimThread", core: Core, values: np.ndarray, time_s: float
+    ) -> None:
+        core_pmu_type = self._cpu_pmu_type[core.cpu_id]
+        now_s = self.machine.now_s
+        events = self._thread_events.get(thread.tid)
+        if events:
+            active = self._mux_active(thread, core_pmu_type, events)
+            for ev in events:
+                ev.accrue(
+                    core_pmu_type,
+                    values,
+                    time_s,
+                    counting_allowed=ev.group_leader in active,
+                    now_s=now_s,
+                    cpu=core.cpu_id,
+                )
+        for ev in self._cpuwide_events.get(core.cpu_id, ()):
+            ev.accrue_cpuwide(values)
+        for ev in self._uncore_events:
+            ev.accrue_uncore(values)
+
+    def _mux_active(
+        self,
+        thread: "SimThread",
+        core_pmu_type: int,
+        events: list[KernelPerfEvent],
+    ) -> set[KernelPerfEvent]:
+        """Group leaders currently holding counters on this core's PMU."""
+        leaders: list[KernelPerfEvent] = []
+        for ev in events:
+            if not ev.is_group_leader or not ev.enabled:
+                continue
+            if ev.pmu.kind is PmuKind.CPU and ev.pmu.type != core_pmu_type:
+                # Foreign-PMU groups take no counters here; mark active so
+                # software members keep counting.
+                leaders.append(ev)
+                continue
+            leaders.append(ev)
+        cpu_leaders = [
+            ev
+            for ev in leaders
+            if ev.pmu.kind is PmuKind.CPU and ev.pmu.type == core_pmu_type
+        ]
+        if not cpu_leaders:
+            return set(leaders)
+        pmu = cpu_leaders[0].pmu
+        budget = self._budget(pmu)
+        needed = sum(ev.hw_counters_needed() for ev in cpu_leaders)
+        if needed <= budget:
+            return set(leaders)
+        # Rotate: pinned groups first, then round-robin by thread runtime.
+        active: set[KernelPerfEvent] = {
+            ev for ev in leaders if ev not in cpu_leaders
+        }
+        pinned = [ev for ev in cpu_leaders if ev.attr.pinned]
+        rotating = [ev for ev in cpu_leaders if not ev.attr.pinned]
+        for ev in pinned:
+            need = ev.hw_counters_needed()
+            if need <= budget:
+                active.add(ev)
+                budget -= need
+        if rotating:
+            start = int(thread.total_runtime_s / MUX_ROTATION_PERIOD_S) % len(rotating)
+            for i in range(len(rotating)):
+                ev = rotating[(start + i) % len(rotating)]
+                need = ev.hw_counters_needed()
+                if need <= budget:
+                    active.add(ev)
+                    budget -= need
+                else:
+                    break
+        return active
+
+    def _on_tick(self, machine: "Machine") -> None:
+        dt = machine.clock.dt_s
+        for ev in self._uncore_events:
+            ev.accrue_wall_time(dt)
+        for ev in self._rapl_events:
+            ev.accrue_wall_time(dt)
+        for bucket in self._cpuwide_events.values():
+            for ev in bucket:
+                ev.accrue_wall_time(dt)

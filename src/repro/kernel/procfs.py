@@ -1,0 +1,73 @@
+"""Simulated ``/proc/cpuinfo``.
+
+Reproduces the identification pitfall from §IV-B: on Intel hybrid parts
+every logical CPU reports the *same* family/model/stepping and model
+name, so ``/proc/cpuinfo`` cannot distinguish P-cores from E-cores.  On
+ARM each processor block carries its own ``CPU part``, so big and LITTLE
+cores *are* distinguishable there.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Machine
+
+
+def cpuinfo_text(machine: "Machine") -> str:
+    """Render /proc/cpuinfo for the machine."""
+    topo = machine.topology
+    is_arm = any(ct.vendor == "arm" for ct in topo.core_types)
+    blocks: list[str] = []
+    for core in topo.cores:
+        ct = core.ctype
+        if is_arm:
+            midr = machine.cpuid.midr(core.cpu_id)
+            blocks.append(
+                "\n".join(
+                    [
+                        f"processor\t: {core.cpu_id}",
+                        "BogoMIPS\t: 48.00",
+                        "Features\t: fp asimd evtstrm aes pmull sha1 sha2 crc32",
+                        f"CPU implementer\t: {midr.implementer:#04x}",
+                        "CPU architecture: 8",
+                        f"CPU variant\t: {midr.variant:#03x}",
+                        f"CPU part\t: {midr.part:#05x}",
+                        f"CPU revision\t: {midr.revision}",
+                    ]
+                )
+            )
+        else:
+            freq = machine.governor.freq_of_cpu_mhz(core.cpu_id)
+            blocks.append(
+                "\n".join(
+                    [
+                        f"processor\t: {core.cpu_id}",
+                        f"vendor_id\t: {machine.spec.vendor_string}",
+                        f"cpu family\t: {ct.x86_family}",
+                        f"model\t\t: {ct.x86_model}",
+                        f"model name\t: {machine.spec.model_string}",
+                        f"stepping\t: {ct.x86_stepping}",
+                        f"cpu MHz\t\t: {freq:.3f}",
+                        f"cache size\t: {ct.l2_kib} KB",
+                        f"physical id\t: 0",
+                        f"core id\t\t: {core.phys_core}",
+                        f"cpu cores\t: {topo.n_physical_cores}",
+                        f"siblings\t: {topo.n_cpus}",
+                    ]
+                )
+            )
+    return "\n\n".join(blocks) + "\n"
+
+
+class ProcFs:
+    """Minimal /proc with a live cpuinfo."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+
+    def read(self, path: str) -> str:
+        if path.rstrip("/") == "/proc/cpuinfo":
+            return cpuinfo_text(self.machine)
+        raise FileNotFoundError(path)

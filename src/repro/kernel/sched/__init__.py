@@ -1,0 +1,13 @@
+"""Kernel CPU scheduler."""
+
+from repro.kernel.sched.affinity import CpuMask, parse_cpu_list, format_cpu_list, taskset
+from repro.kernel.sched.scheduler import Scheduler, SchedEntry
+
+__all__ = [
+    "CpuMask",
+    "parse_cpu_list",
+    "format_cpu_list",
+    "taskset",
+    "Scheduler",
+    "SchedEntry",
+]

@@ -1,0 +1,85 @@
+"""CPU affinity masks and the taskset-style helpers.
+
+The paper's experiments pin HPL threads and the ``papi_hybrid`` test with
+``taskset``; the artifact's monitoring script takes core lists such as
+``0,2,4,6,8,10,12,14,16-24``.  This module parses and formats that syntax
+(the same one the kernel uses in sysfs ``cpus`` files).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.task import SimThread
+
+
+def parse_cpu_list(text: str) -> set[int]:
+    """Parse a Linux CPU list ("0,2,4-7") into a set of CPU ids."""
+    cpus: set[int] = set()
+    text = text.strip()
+    if not text:
+        return cpus
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            lo_s, hi_s = part.split("-", 1)
+            lo, hi = int(lo_s), int(hi_s)
+            if hi < lo:
+                raise ValueError(f"backwards CPU range: {part!r}")
+            cpus.update(range(lo, hi + 1))
+        else:
+            cpus.add(int(part))
+    return cpus
+
+
+def format_cpu_list(cpus: Iterable[int]) -> str:
+    """Format CPU ids the way the kernel does ("0-3,8,10-11")."""
+    ids = sorted(set(cpus))
+    if not ids:
+        return ""
+    runs: list[tuple[int, int]] = []
+    start = prev = ids[0]
+    for c in ids[1:]:
+        if c == prev + 1:
+            prev = c
+            continue
+        runs.append((start, prev))
+        start = prev = c
+    runs.append((start, prev))
+    return ",".join(f"{a}" if a == b else f"{a}-{b}" for a, b in runs)
+
+
+class CpuMask:
+    """An affinity mask over a machine's CPUs."""
+
+    def __init__(self, cpus: Iterable[int] | str, n_cpus: int | None = None):
+        self.cpus = parse_cpu_list(cpus) if isinstance(cpus, str) else set(cpus)
+        if n_cpus is not None:
+            bad = {c for c in self.cpus if not 0 <= c < n_cpus}
+            if bad:
+                raise ValueError(f"CPUs outside the machine: {sorted(bad)}")
+        if not self.cpus:
+            raise ValueError("affinity mask may not be empty")
+
+    def __contains__(self, cpu: int) -> bool:
+        return cpu in self.cpus
+
+    def __iter__(self):
+        return iter(sorted(self.cpus))
+
+    def __len__(self) -> int:
+        return len(self.cpus)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CpuMask) and self.cpus == other.cpus
+
+    def __repr__(self) -> str:
+        return f"CpuMask({format_cpu_list(self.cpus)!r})"
+
+
+def taskset(thread: "SimThread", cpus: Iterable[int] | str, n_cpus: int | None = None) -> None:
+    """Bind a thread to a CPU set (sched_setaffinity equivalent)."""
+    thread.affinity = CpuMask(cpus, n_cpus).cpus

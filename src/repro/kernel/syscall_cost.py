@@ -1,0 +1,71 @@
+"""Syscall latency model.
+
+The paper's §V-5 worries that the multi-group EventSet design adds
+syscalls ("it will typically take at least two or more relatively
+high-latency read syscalls to gather all of the event values").  To make
+that overhead measurable inside the simulation, every perf syscall charges
+the calling thread a fixed instruction cost (derived from typical
+perf_event self-monitoring latencies, cf. Weaver, ISPASS 2015), and a
+global tally is kept so experiments can report syscalls-per-operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.task import SimThread
+
+#: Instructions retired per syscall, by syscall name.  Roughly calibrated
+#: to ns latencies at ~3 GHz / IPC 1.6 (library+kernel path code).
+SYSCALL_COST_INSTRUCTIONS: dict[str, float] = {
+    "perf_event_open": 22_000.0,
+    "read": 2_600.0,
+    "read_group": 3_400.0,      # group reads move more data but in one call
+    "ioctl": 1_800.0,
+    "close": 2_000.0,
+    "rdpmc": 50.0,              # not a syscall: user-space counter read
+}
+
+
+@dataclass
+class SyscallStats:
+    """Running totals of simulated perf syscalls."""
+
+    calls: dict[str, int] = field(default_factory=dict)
+    instructions_charged: float = 0.0
+
+    def record(self, name: str, instructions: float) -> None:
+        self.calls[name] = self.calls.get(name, 0) + 1
+        self.instructions_charged += instructions
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    def snapshot(self) -> "SyscallStats":
+        return SyscallStats(dict(self.calls), self.instructions_charged)
+
+    def delta(self, since: "SyscallStats") -> "SyscallStats":
+        calls = {
+            k: v - since.calls.get(k, 0)
+            for k, v in self.calls.items()
+            if v - since.calls.get(k, 0)
+        }
+        return SyscallStats(calls, self.instructions_charged - since.instructions_charged)
+
+
+class SyscallCostModel:
+    """Charges syscall overhead to calling threads and tallies it."""
+
+    def __init__(self, costs: Optional[dict[str, float]] = None):
+        self.costs = dict(SYSCALL_COST_INSTRUCTIONS if costs is None else costs)
+        self.stats = SyscallStats()
+
+    def charge(self, caller: Optional["SimThread"], name: str) -> float:
+        cost = self.costs.get(name, 2_000.0)
+        self.stats.record(name, cost)
+        if caller is not None:
+            caller.inject_overhead(cost)
+        return cost

@@ -1,0 +1,190 @@
+"""Simulated ``/sys`` tree.
+
+Everything §IV-B of the paper says tools scrape to figure out a machine's
+core types is materialized here:
+
+* ``/sys/devices/<pmu>/type`` and ``.../cpus`` — the per-PMU files the
+  perf tool scans (with the ARM firmware-naming quirk: devicetree boards
+  and ACPI servers publish different names for the same PMU);
+* ``/sys/devices/system/cpu/cpuX/cpu_capacity`` — the opaque 0..1024
+  number (ARM only, as on real kernels);
+* ``cpufreq`` limits and ``cache`` sizes — the "cannot always be
+  guaranteed to work" heuristics;
+* thermal zones and the RAPL powercap tree used by the monitoring
+  scripts;
+* optionally the *proposed but never merged*
+  ``/sys/devices/system/cpu/types`` interface [Neri 2020], off by
+  default to match reality.
+
+Files are dynamic: reading ``scaling_cur_freq`` reflects the DVFS state
+at read time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.kernel.sched.affinity import format_cpu_list
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.perf.subsystem import PerfSubsystem
+    from repro.sim.engine import Machine
+
+Provider = Callable[[], str]
+
+
+class SysFs:
+    """A read-only virtual filesystem of path -> content providers."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        perf: Optional["PerfSubsystem"] = None,
+        expose_cpu_types: bool = False,
+    ):
+        self.machine = machine
+        self.perf = perf
+        self.expose_cpu_types = expose_cpu_types
+        self._files: dict[str, Provider] = {}
+        self._build()
+
+    # -- filesystem interface ----------------------------------------------
+
+    def read(self, path: str) -> str:
+        path = path.rstrip("/")
+        provider = self._files.get(path)
+        if provider is None:
+            raise FileNotFoundError(path)
+        return provider()
+
+    def exists(self, path: str) -> bool:
+        path = path.rstrip("/")
+        if path in self._files:
+            return True
+        prefix = path + "/"
+        return any(p.startswith(prefix) for p in self._files)
+
+    def listdir(self, path: str) -> list[str]:
+        path = path.rstrip("/")
+        prefix = path + "/"
+        names = {
+            p[len(prefix):].split("/", 1)[0]
+            for p in self._files
+            if p.startswith(prefix)
+        }
+        if not names and path not in self._files:
+            raise FileNotFoundError(path)
+        return sorted(names)
+
+    def add(self, path: str, provider: Provider | str) -> None:
+        if isinstance(provider, str):
+            value = provider
+            provider = lambda: value  # noqa: E731
+        self._files[path.rstrip("/")] = provider
+
+    # -- tree construction ---------------------------------------------------
+
+    def _build(self) -> None:
+        m = self.machine
+        topo = m.topology
+        spec = m.spec
+        is_arm = any(ct.vendor == "arm" for ct in topo.core_types)
+
+        # PMU directories.
+        if self.perf is not None:
+            for pmu in self.perf.registry.by_type.values():
+                base = f"/sys/devices/{pmu.name}"
+                self.add(f"{base}/type", str(pmu.type))
+                if pmu.kind.value == "cpu":
+                    self.add(f"{base}/cpus", format_cpu_list(pmu.cpus))
+                else:
+                    self.add(f"{base}/cpumask", format_cpu_list(pmu.cpus or [0]))
+
+        # Per-CPU directories.
+        self.add(
+            "/sys/devices/system/cpu/online",
+            format_cpu_list(c.cpu_id for c in topo.cores),
+        )
+        self.add(
+            "/sys/devices/system/cpu/possible",
+            format_cpu_list(c.cpu_id for c in topo.cores),
+        )
+        for core in topo.cores:
+            cpu = core.cpu_id
+            base = f"/sys/devices/system/cpu/cpu{cpu}"
+            ct = core.ctype
+            if is_arm:
+                # cpu_capacity is exported by arm64 kernels only.
+                self.add(f"{base}/cpu_capacity", str(topo.capacity_of(cpu)))
+                midr = m.cpuid.midr(cpu)
+                self.add(
+                    f"{base}/regs/identification/midr_el1",
+                    f"{midr.value:#018x}",
+                )
+            self.add(
+                f"{base}/cpufreq/cpuinfo_max_freq", str(ct.max_freq_mhz * 1000)
+            )
+            self.add(
+                f"{base}/cpufreq/cpuinfo_min_freq", str(ct.min_freq_mhz * 1000)
+            )
+            self.add(
+                f"{base}/cpufreq/scaling_cur_freq",
+                (lambda c=cpu: str(round(m.governor.freq_of_cpu_mhz(c) * 1000))),
+            )
+            self.add(f"{base}/topology/core_id", str(core.phys_core))
+            self.add(f"{base}/topology/physical_package_id", "0")
+            self.add(
+                f"{base}/topology/thread_siblings_list",
+                format_cpu_list([cpu, *topo.smt_siblings(cpu)]),
+            )
+            self.add(f"{base}/cache/index0/level", "1")
+            self.add(f"{base}/cache/index0/size", f"{ct.l1d_kib}K")
+            self.add(f"{base}/cache/index0/type", "Data")
+            self.add(f"{base}/cache/index2/level", "2")
+            self.add(f"{base}/cache/index2/size", f"{ct.l2_kib}K")
+            self.add(f"{base}/cache/index2/type", "Unified")
+            llc_kib = round(float(spec.extra.get("llc_mib", 8.0)) * 1024)
+            self.add(f"{base}/cache/index3/level", "3")
+            self.add(f"{base}/cache/index3/size", f"{llc_kib}K")
+            self.add(f"{base}/cache/index3/type", "Unified")
+
+        # The proposed-but-unmerged types interface.
+        if self.expose_cpu_types:
+            lines = []
+            for ct in topo.core_types:
+                cpus = format_cpu_list(topo.cpus_of_type(ct.name))
+                lines.append(f"{ct.name}: {cpus}")
+            self.add("/sys/devices/system/cpu/types", "\n".join(lines))
+
+        # Thermal zone.
+        tz = f"/sys/class/thermal/thermal_zone{spec.thermal_zone_index}"
+        self.add(f"{tz}/type", spec.thermal_zone_name)
+        self.add(f"{tz}/temp", lambda: str(m.thermal.zone.temp_millic))
+
+        # RAPL powercap tree.
+        if spec.has_rapl:
+            base = "/sys/class/powercap/intel-rapl/intel-rapl:0"
+            self.add(f"{base}/name", "package-0")
+            self.add(f"{base}/energy_uj", lambda: str(m.rapl.package.read_uj()))
+            self.add(
+                f"{base}/constraint_0_name", "long_term"
+            )
+            self.add(
+                f"{base}/constraint_0_power_limit_uw",
+                str(round(spec.rapl_pl1_w * 1e6)),
+            )
+            self.add(f"{base}/constraint_1_name", "short_term")
+            self.add(
+                f"{base}/constraint_1_power_limit_uw",
+                str(round(spec.rapl_pl2_w * 1e6)),
+            )
+            self.add(
+                f"{base}:0/name", "core"
+            )
+            self.add(
+                f"{base}:0/energy_uj", lambda: str(m.rapl.cores.read_uj())
+            )
+            self.add(f"{base}:1/name", "dram")
+            self.add(
+                f"{base}:1/energy_uj", lambda: str(m.rapl.dram.read_uj())
+            )

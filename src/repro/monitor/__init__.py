@@ -1,0 +1,28 @@
+"""Monitoring tools: the paper's data-acquisition scripts, in-sim.
+
+* :mod:`repro.monitor.sampler` — the ``mon_hpl.py`` analog: 1 Hz polling
+  of core frequencies, thermal zones and RAPL energy during a run.
+* :mod:`repro.monitor.perf_stat` — a miniature ``perf stat`` built
+  directly on the simulated kernel (the heterogeneous-aware baseline
+  tool the paper contrasts PAPI with).
+* :mod:`repro.monitor.process_runs` — the ``process_runs.py`` analog:
+  aggregate N identical runs into one averaged run.
+"""
+
+from repro.monitor.sampler import Sampler, SampleTrace, monitored_run
+from repro.monitor.perf_stat import PerfStat, PerfStatResult, perf_stat_threads
+from repro.monitor.perf_record import PerfRecord, PerfRecordReport
+from repro.monitor.process_runs import AggregatedTrace, aggregate_traces
+
+__all__ = [
+    "Sampler",
+    "SampleTrace",
+    "monitored_run",
+    "PerfStat",
+    "PerfStatResult",
+    "perf_stat_threads",
+    "PerfRecord",
+    "PerfRecordReport",
+    "AggregatedTrace",
+    "aggregate_traces",
+]

@@ -1,0 +1,79 @@
+"""Multi-run aggregation — the ``process_runs.py`` artifact analog.
+
+The paper performs 10 identical HPL runs (each preceded by a thermal
+settle) and averages them into one representative run.  Traces of
+slightly different lengths are resampled onto a common time grid before
+averaging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.monitor.sampler import SampleTrace
+
+
+@dataclass
+class AggregatedTrace:
+    """The average of several runs' traces on a common grid."""
+
+    n_runs: int
+    times_s: np.ndarray
+    freq_mhz: dict[str, np.ndarray] = field(default_factory=dict)
+    temp_c: np.ndarray = field(default_factory=lambda: np.empty(0))
+    package_w: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def median_freq_ghz(self, label: str) -> float:
+        return float(np.median(self.freq_mhz[label])) / 1000.0
+
+    def peak_power_w(self) -> float:
+        return float(self.package_w.max()) if self.package_w.size else 0.0
+
+    def steady_power_w(self, tail_frac: float = 0.5) -> float:
+        if not self.package_w.size:
+            return 0.0
+        tail = self.package_w[int(len(self.package_w) * (1 - tail_frac)):]
+        return float(tail.mean())
+
+
+def _resample(t_src: np.ndarray, y_src: np.ndarray, t_dst: np.ndarray) -> np.ndarray:
+    if len(t_src) == 0:
+        return np.zeros_like(t_dst)
+    return np.interp(t_dst, t_src, y_src)
+
+
+def aggregate_traces(traces: Sequence[SampleTrace]) -> AggregatedTrace:
+    """Average N traces onto the grid of the shortest run."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    shortest = min(traces, key=lambda tr: tr.times_s[-1] if tr.times_s else 0.0)
+    grid = np.asarray(shortest.times_s)
+    agg = AggregatedTrace(n_runs=len(traces), times_s=grid)
+    labels = set()
+    for tr in traces:
+        labels.update(tr.freq_mhz)
+    for label in sorted(labels):
+        stack = [
+            _resample(
+                np.asarray(tr.times_s), np.asarray(tr.freq_mhz.get(label, [])), grid
+            )
+            for tr in traces
+            if tr.freq_mhz.get(label)
+        ]
+        if stack:
+            agg.freq_mhz[label] = np.mean(stack, axis=0)
+    agg.temp_c = np.mean(
+        [_resample(np.asarray(tr.times_s), np.asarray(tr.temp_c), grid) for tr in traces],
+        axis=0,
+    )
+    agg.package_w = np.mean(
+        [
+            _resample(np.asarray(tr.times_s), np.asarray(tr.package_w), grid)
+            for tr in traces
+        ],
+        axis=0,
+    )
+    return agg

@@ -1,0 +1,127 @@
+"""1 Hz run monitoring — the ``mon_hpl.py`` artifact analog.
+
+Polls, at a fixed period, exactly what the paper's script reads from
+sysfs: per-cluster CPU frequency (``scaling_cur_freq``), the thermal zone
+temperature, RAPL energy counters (on machines that have them), and
+instantaneous package power.  It also implements the methodology detail
+of waiting for the package temperature to settle (35 degC in the paper)
+before starting a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TypeVar
+
+import numpy as np
+
+from repro.system import System
+
+T = TypeVar("T")
+
+
+@dataclass
+class SampleTrace:
+    """Time series collected by one monitored run."""
+
+    period_s: float
+    times_s: list[float] = field(default_factory=list)
+    freq_mhz: dict[str, list[float]] = field(default_factory=dict)  # per cluster label
+    temp_c: list[float] = field(default_factory=list)
+    package_w: list[float] = field(default_factory=list)
+    energy_j: list[float] = field(default_factory=list)
+    wall_power_w: list[float] = field(default_factory=list)  # meter incl. board
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {
+            "t": np.asarray(self.times_s),
+            "temp_c": np.asarray(self.temp_c),
+            "package_w": np.asarray(self.package_w),
+            "energy_j": np.asarray(self.energy_j),
+            "wall_power_w": np.asarray(self.wall_power_w),
+        }
+        for label, series in self.freq_mhz.items():
+            out[f"freq_{label}_mhz"] = np.asarray(series)
+        return out
+
+    def median_freq_ghz(self, label: str) -> float:
+        series = self.freq_mhz.get(label)
+        if not series:
+            raise KeyError(f"no frequency series {label!r}")
+        return float(np.median(series)) / 1000.0
+
+    def peak_power_w(self) -> float:
+        return max(self.package_w) if self.package_w else 0.0
+
+    def steady_power_w(self, tail_frac: float = 0.5) -> float:
+        """Mean power over the last ``tail_frac`` of the run."""
+        if not self.package_w:
+            return 0.0
+        tail = self.package_w[int(len(self.package_w) * (1 - tail_frac)):]
+        return float(np.mean(tail))
+
+    def max_temp_c(self) -> float:
+        return max(self.temp_c) if self.temp_c else 0.0
+
+
+class Sampler:
+    """Registers a tick hook and records samples every ``period_s``."""
+
+    def __init__(self, system: System, period_s: float = 1.0):
+        self.system = system
+        self.period_s = period_s
+        self.trace = SampleTrace(period_s=period_s)
+        self._next_sample_s = 0.0
+        self._active = False
+        self._t0 = 0.0
+        self._last_energy_j: Optional[float] = None
+        system.machine.tick_hooks.append(self._on_tick)
+
+    def start(self) -> None:
+        self._active = True
+        self._t0 = self.system.machine.now_s
+        self._next_sample_s = self._t0
+        self._last_energy_j = None
+
+    def stop(self) -> SampleTrace:
+        self._active = False
+        return self.trace
+
+    def _on_tick(self, machine) -> None:
+        if not self._active or machine.now_s + 1e-12 < self._next_sample_s:
+            return
+        self._next_sample_s += self.period_s
+        trace = self.trace
+        trace.times_s.append(machine.now_s - self._t0)
+        for i, cl in enumerate(machine.topology.clusters):
+            label = cl.ctype.name
+            trace.freq_mhz.setdefault(label, []).append(machine.governor.freq_mhz[i])
+        trace.temp_c.append(machine.thermal.temp_c)
+        # Power is derived from energy-counter deltas, exactly like the
+        # paper's mon_hpl.py computes it from RAPL readings at 1 Hz — so
+        # each point is the average power over the sample period.
+        energy = machine.rapl.package.energy_j
+        if self._last_energy_j is None:
+            power = machine.last_power.package_w if machine.last_power else 0.0
+        else:
+            power = (energy - self._last_energy_j) / self.period_s
+        self._last_energy_j = energy
+        trace.package_w.append(power)
+        trace.wall_power_w.append(power + machine.spec.board_base_w)
+        trace.energy_j.append(energy)
+
+
+def monitored_run(
+    system: System,
+    run_fn: Callable[[], T],
+    period_s: float = 1.0,
+    settle_temp_c: Optional[float] = 35.0,
+) -> tuple[T, SampleTrace]:
+    """The mon_hpl.py workflow: settle thermally, run, sample throughout."""
+    if settle_temp_c is not None:
+        system.machine.cool_down(settle_temp_c, max_s=600.0)
+    sampler = Sampler(system, period_s=period_s)
+    sampler.start()
+    result = run_fn()
+    trace = sampler.stop()
+    return result, trace

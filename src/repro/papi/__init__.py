@@ -1,0 +1,54 @@
+"""PAPI reproduction.
+
+The paper's contribution: a PAPI whose ``perf_event`` component supports
+heterogeneous processors.  The component runs in one of two modes:
+
+* ``legacy`` — the PAPI 7.1 behaviour: one perf PMU type per EventSet,
+  conflicts rejected, unqualified event names ambiguous on hybrid
+  machines (§IV-D/E's before picture);
+* ``hybrid`` — the paper's patch: events are bucketed into one perf event
+  group per PMU type, an EventSet can mix P-core, E-core, uncore and RAPL
+  events, and presets become derived multi-PMU events (§IV-E, §V-2,
+  §V-3).
+
+Usage::
+
+    from repro import System, Papi
+
+    system = System("raptor-lake-i7-13700")
+    papi = Papi(system, mode="hybrid")
+    es = papi.create_eventset()
+    papi.attach(es, thread)
+    papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+    papi.add_event(es, "adl_grt::INST_RETIRED:ANY")
+    papi.start(es)
+    ...
+    values = papi.stop(es)
+"""
+
+from repro.papi.consts import (
+    PAPI_OK,
+    PapiErrorCode,
+    PapiState,
+    PRESETS,
+)
+from repro.papi.error import PapiError
+from repro.papi.eventset import EventSet, EventEntry
+from repro.papi.library import Papi
+from repro.papi.hwinfo import PapiHardwareInfo, CoreClassInfo
+from repro.papi.sysdetect import detect_core_types, DetectionReport
+
+__all__ = [
+    "PAPI_OK",
+    "PapiErrorCode",
+    "PapiState",
+    "PRESETS",
+    "PapiError",
+    "EventSet",
+    "EventEntry",
+    "Papi",
+    "PapiHardwareInfo",
+    "CoreClassInfo",
+    "detect_core_types",
+    "DetectionReport",
+]

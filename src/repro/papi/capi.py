@@ -1,0 +1,180 @@
+"""C-flavoured PAPI API.
+
+A faithful shim over :class:`repro.papi.library.Papi` with the C
+library's calling conventions: integer return codes instead of
+exceptions, out-parameters passed as single-element lists, thread
+targets by tid, and ``PAPI_strerror`` for diagnostics.  Ported PAPI test
+programs (like the paper's ``papi_hybrid_100m_one_eventset``) read
+almost line-for-line against this interface::
+
+    api = CApi(system)
+    assert api.PAPI_library_init(PAPI_VER_CURRENT) == PAPI_VER_CURRENT
+
+    es = [PAPI_NULL]
+    assert api.PAPI_create_eventset(es) == PAPI_OK
+    assert api.PAPI_attach(es[0], tid) == PAPI_OK
+    assert api.PAPI_add_named_event(es[0], "adl_glc::INST_RETIRED:ANY") == PAPI_OK
+    assert api.PAPI_start(es[0]) == PAPI_OK
+    ...
+    values = [0, 0]
+    assert api.PAPI_stop(es[0], values) == PAPI_OK
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.papi.consts import PAPI_OK, PapiErrorCode
+from repro.papi.error import PapiError
+from repro.papi.library import Papi
+from repro.system import System
+
+#: The simulated library version (major 7, minor 1 + hybrid support).
+PAPI_VER_CURRENT = 0x07010200
+PAPI_NULL = -1
+
+_STRERROR = {
+    PAPI_OK: "No error",
+    PapiErrorCode.EINVAL: "Invalid argument",
+    PapiErrorCode.ENOMEM: "Insufficient memory",
+    PapiErrorCode.ESYS: "A System/C library call failed",
+    PapiErrorCode.ECMP: "Not supported by component",
+    PapiErrorCode.ENOEVNT: "Event does not exist",
+    PapiErrorCode.ECNFLCT: "Event exists, but cannot be counted due to hardware resource limits",
+    PapiErrorCode.ENOTRUN: "EventSet is currently not running",
+    PapiErrorCode.EISRUN: "EventSet is currently counting",
+    PapiErrorCode.ENOEVST: "No such EventSet available",
+    PapiErrorCode.ENOTPRESET: "Event in argument is not a valid preset",
+    PapiErrorCode.ENOINIT: "PAPI hasn't been initialized yet",
+    PapiErrorCode.ENOCMP: "Component Index isn't set",
+    PapiErrorCode.EMISC: "Unknown error code",
+}
+
+
+class CApi:
+    """One process's PAPI, C calling conventions."""
+
+    def __init__(self, system: System, mode: str = "hybrid"):
+        self._system = system
+        self._mode = mode
+        self._papi: Optional[Papi] = None
+
+    # -- helpers -------------------------------------------------------------
+
+    def _lib(self) -> Papi:
+        if self._papi is None:
+            raise PapiError(PapiErrorCode.ENOINIT, "PAPI_library_init not called")
+        return self._papi
+
+    def _call(self, fn, *args, **kw) -> int:
+        try:
+            fn(*args, **kw)
+            return PAPI_OK
+        except PapiError as exc:
+            return int(exc.code)
+
+    # -- the API ---------------------------------------------------------------
+
+    def PAPI_library_init(self, version: int) -> int:
+        """Returns the library version on success, or a negative code."""
+        if version != PAPI_VER_CURRENT:
+            return int(PapiErrorCode.EINVAL)
+        self._papi = Papi(self._system, mode=self._mode)
+        return PAPI_VER_CURRENT
+
+    def PAPI_is_initialized(self) -> bool:
+        return self._papi is not None
+
+    def PAPI_shutdown(self) -> None:
+        self._papi = None
+
+    def PAPI_create_eventset(self, eventset_out: list) -> int:
+        try:
+            eventset_out[0] = self._lib().create_eventset()
+            return PAPI_OK
+        except PapiError as exc:
+            return int(exc.code)
+
+    def PAPI_attach(self, eventset: int, tid: int) -> int:
+        try:
+            thread = self._system.machine.thread_by_tid(tid)
+        except KeyError:
+            return int(PapiErrorCode.EINVAL)
+        return self._call(self._lib().attach, eventset, thread)
+
+    def PAPI_add_named_event(self, eventset: int, name: str) -> int:
+        return self._call(self._lib().add_event, eventset, name)
+
+    def PAPI_start(self, eventset: int) -> int:
+        return self._call(self._lib().start, eventset)
+
+    def PAPI_read(self, eventset: int, values_out: list) -> int:
+        try:
+            values = self._lib().read(eventset)
+        except PapiError as exc:
+            return int(exc.code)
+        if len(values_out) < len(values):
+            return int(PapiErrorCode.EINVAL)
+        for i, v in enumerate(values):
+            values_out[i] = int(v)
+        return PAPI_OK
+
+    def PAPI_accum(self, eventset: int, values_io: list) -> int:
+        try:
+            out = self._lib().accum(eventset, [float(v) for v in values_io])
+        except PapiError as exc:
+            return int(exc.code)
+        for i, v in enumerate(out):
+            values_io[i] = int(v)
+        return PAPI_OK
+
+    def PAPI_stop(self, eventset: int, values_out: list) -> int:
+        try:
+            values = self._lib().stop(eventset)
+        except PapiError as exc:
+            return int(exc.code)
+        if len(values_out) < len(values):
+            return int(PapiErrorCode.EINVAL)
+        for i, v in enumerate(values):
+            values_out[i] = int(v)
+        return PAPI_OK
+
+    def PAPI_reset(self, eventset: int) -> int:
+        return self._call(self._lib().reset, eventset)
+
+    def PAPI_cleanup_eventset(self, eventset: int) -> int:
+        return self._call(self._lib().cleanup_eventset, eventset)
+
+    def PAPI_destroy_eventset(self, eventset_io: list) -> int:
+        rc = self._call(self._lib().destroy_eventset, eventset_io[0])
+        if rc == PAPI_OK:
+            eventset_io[0] = PAPI_NULL
+        return rc
+
+    def PAPI_num_events(self, eventset: int) -> int:
+        try:
+            return self._lib().eventset(eventset).num_events
+        except PapiError as exc:
+            return int(exc.code)
+
+    def PAPI_query_named_event(self, name: str) -> int:
+        try:
+            ok = self._lib().query_event(name)
+        except PapiError as exc:
+            return int(exc.code)
+        return PAPI_OK if ok else int(PapiErrorCode.ENOEVNT)
+
+    def PAPI_get_real_usec(self) -> int:
+        return self._lib().get_real_usec()
+
+    def PAPI_num_components(self) -> int:
+        return self._lib().num_components()
+
+    @staticmethod
+    def PAPI_strerror(code: int) -> str:
+        if code == PAPI_OK:
+            return _STRERROR[PAPI_OK]
+        try:
+            return _STRERROR[PapiErrorCode(code)]
+        except (ValueError, KeyError):
+            return "Unknown error code"

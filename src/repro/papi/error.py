@@ -1,0 +1,16 @@
+"""PAPI errors."""
+
+from __future__ import annotations
+
+from repro.papi.consts import PapiErrorCode
+
+
+class PapiError(Exception):
+    """Raised where the C API would return a negative PAPI error code."""
+
+    def __init__(self, code: PapiErrorCode, message: str):
+        super().__init__(message)
+        self.code = code
+
+    def __str__(self) -> str:
+        return f"PAPI_{self.code.name} ({int(self.code)}): {self.args[0]}"

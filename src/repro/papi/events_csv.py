@@ -1,0 +1,201 @@
+"""PAPI preset definitions from ``PAPI_events.csv``.
+
+Real PAPI defines preset events in a CSV file keyed by CPU
+family/model; §V-2 of the paper points out that this breaks on Intel
+hybrid parts ("there is only one family/model type for the overall
+processor, so the current way of defining presets by family/model will
+not work") and that the parser must learn about per-core-type
+availability.
+
+This module implements both generations of the format:
+
+* classic rows — ``PRESET,<name>,<family/model key>,<native event>`` —
+  which match a whole processor;
+* hybrid-aware rows with a ``coretype:`` qualifier in the key —
+  ``PRESET,PAPI_TOT_INS,adl coretype:glc,INST_RETIRED:ANY`` — which
+  match one core type of a hybrid processor, letting a preset expand to
+  a DERIVED_ADD across core types.
+
+``load_preset_table`` resolves the table against a system and returns,
+per preset, the list of qualified native events to open — the structure
+:class:`repro.papi.library.Papi` consumes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+from repro.papi.consts import PapiErrorCode
+from repro.papi.error import PapiError
+from repro.pfmlib.library import Pfmlib
+
+
+@dataclass(frozen=True)
+class PresetRow:
+    """One CSV row."""
+
+    preset: str
+    cpu_key: str            # e.g. "adl", "skx", "arm_a53", with optional
+                            # " coretype:<pfm suffix>" qualifier
+    native: str
+    derived: str = "NOT_DERIVED"
+
+    @property
+    def base_key(self) -> str:
+        return self.cpu_key.split("coretype:")[0].strip()
+
+    @property
+    def coretype(self) -> str | None:
+        if "coretype:" not in self.cpu_key:
+            return None
+        return self.cpu_key.split("coretype:", 1)[1].strip()
+
+
+@dataclass
+class PresetTable:
+    """Parsed CSV: preset name -> rows."""
+
+    rows: dict[str, list[PresetRow]] = field(default_factory=dict)
+
+    def add(self, row: PresetRow) -> None:
+        self.rows.setdefault(row.preset, []).append(row)
+
+    def presets(self) -> list[str]:
+        return sorted(self.rows)
+
+
+def parse_events_csv(text: str) -> PresetTable:
+    """Parse PAPI_events.csv content.
+
+    Format (comment lines start with '#')::
+
+        PRESET,<papi name>,<cpu key>,<native event>[,<derived>]
+    """
+    table = PresetTable()
+    reader = csv.reader(io.StringIO(text))
+    for lineno, fields in enumerate(reader, 1):
+        if not fields or not fields[0].strip() or fields[0].lstrip().startswith("#"):
+            continue
+        fields = [f.strip() for f in fields]
+        if fields[0].upper() != "PRESET":
+            raise ValueError(f"line {lineno}: expected PRESET rows, got {fields[0]!r}")
+        if len(fields) < 4:
+            raise ValueError(f"line {lineno}: need at least 4 fields, got {len(fields)}")
+        if not fields[1].startswith("PAPI_"):
+            raise ValueError(f"line {lineno}: preset names start with PAPI_")
+        table.add(
+            PresetRow(
+                preset=fields[1],
+                cpu_key=fields[2],
+                native=fields[3],
+                derived=fields[4] if len(fields) > 4 else "NOT_DERIVED",
+            )
+        )
+    return table
+
+
+#: CPU-key aliases: pfm PMU name -> (family key, coretype suffix).
+_PMU_TO_KEY: dict[str, tuple[str, str]] = {
+    "adl_glc": ("adl", "glc"),
+    "adl_grt": ("adl", "grt"),
+    "skx": ("skx", ""),
+    "arm_a53": ("arm_a53", ""),
+    "arm_a55": ("arm_a55", ""),
+    "arm_a72": ("arm_a72", ""),
+    "arm_a76": ("arm_a76", ""),
+    "arm_x1": ("arm_x1", ""),
+}
+
+
+@dataclass
+class ResolvedPreset:
+    """A preset mapped onto this machine's active PMUs."""
+
+    name: str
+    natives: list[str]          # fully qualified "pmu::EVENT:UMASK"
+    derived: str
+
+
+def load_preset_table(
+    table: PresetTable, pfm: Pfmlib, hybrid_aware: bool = True
+) -> dict[str, ResolvedPreset]:
+    """Resolve a preset table against the active PMUs.
+
+    With ``hybrid_aware=False`` (the pre-patch parser) a preset row with
+    a ``coretype:`` qualifier is ignored and plain family/model rows are
+    ambiguous on hybrid machines — reproducing why the CSV format had to
+    change.
+    """
+    out: dict[str, ResolvedPreset] = {}
+    active = pfm.default_pmus()
+    keys = {}
+    for t in active:
+        fam, suffix = _PMU_TO_KEY.get(t.name, (t.name, ""))
+        keys[t.name] = (fam, suffix)
+    hybrid_machine = len(active) > 1
+
+    for preset, rows in table.rows.items():
+        natives: list[str] = []
+        derived = "NOT_DERIVED"
+        for t in active:
+            fam, suffix = keys[t.name]
+            for row in rows:
+                if row.base_key != fam:
+                    continue
+                if row.coretype is not None:
+                    if not hybrid_aware:
+                        continue  # old parser cannot read these rows
+                    if row.coretype != suffix:
+                        continue
+                elif hybrid_machine and suffix and hybrid_aware:
+                    # A plain family row on a hybrid machine: the new
+                    # parser treats it as applying to every core type.
+                    pass
+                natives.append(f"{t.name}::{row.native}")
+                if row.derived != "NOT_DERIVED":
+                    derived = row.derived
+                break
+        if not natives:
+            continue
+        if len(natives) > 1:
+            derived = "DERIVED_ADD"
+        if not hybrid_aware and hybrid_machine and natives:
+            raise PapiError(
+                PapiErrorCode.EMISC,
+                f"{preset}: family/model preset rows are ambiguous on a "
+                "hybrid machine; the CSV parser needs the coretype "
+                "extension (§V-2)",
+            )
+        out[preset] = ResolvedPreset(name=preset, natives=natives, derived=derived)
+    return out
+
+
+#: A shipping events file covering the simulated machines, in the
+#: hybrid-aware format.
+DEFAULT_EVENTS_CSV = """\
+# PAPI_events.csv — preset definitions (hybrid-aware format)
+# PRESET,<name>,<cpu key>,<native event>[,<derived>]
+PRESET,PAPI_TOT_INS,adl coretype:glc,INST_RETIRED:ANY
+PRESET,PAPI_TOT_INS,adl coretype:grt,INST_RETIRED:ANY
+PRESET,PAPI_TOT_CYC,adl coretype:glc,CPU_CLK_UNHALTED:THREAD
+PRESET,PAPI_TOT_CYC,adl coretype:grt,CPU_CLK_UNHALTED:THREAD
+PRESET,PAPI_L3_TCM,adl coretype:glc,LONGEST_LAT_CACHE:MISS
+PRESET,PAPI_L3_TCM,adl coretype:grt,LONGEST_LAT_CACHE:MISS
+PRESET,PAPI_TOT_INS,skx,INST_RETIRED:ANY
+PRESET,PAPI_TOT_CYC,skx,CPU_CLK_UNHALTED:THREAD
+PRESET,PAPI_L3_TCM,skx,LONGEST_LAT_CACHE:MISS
+PRESET,PAPI_TOT_INS,arm_a53,INST_RETIRED:ANY
+PRESET,PAPI_TOT_INS,arm_a72,INST_RETIRED:ANY
+PRESET,PAPI_TOT_INS,arm_a55,INST_RETIRED:ANY
+PRESET,PAPI_TOT_INS,arm_a76,INST_RETIRED:ANY
+PRESET,PAPI_TOT_INS,arm_x1,INST_RETIRED:ANY
+PRESET,PAPI_TOT_CYC,arm_a53,CPU_CYCLES:ANY
+PRESET,PAPI_TOT_CYC,arm_a72,CPU_CYCLES:ANY
+PRESET,PAPI_TOT_CYC,arm_a55,CPU_CYCLES:ANY
+PRESET,PAPI_TOT_CYC,arm_a76,CPU_CYCLES:ANY
+PRESET,PAPI_TOT_CYC,arm_x1,CPU_CYCLES:ANY
+PRESET,PAPI_L3_TCM,arm_a53,L3D_CACHE_REFILL:ANY
+PRESET,PAPI_L3_TCM,arm_a72,L3D_CACHE_REFILL:ANY
+"""

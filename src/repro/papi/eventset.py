@@ -1,0 +1,56 @@
+"""EventSets: PAPI's grouping abstraction.
+
+An :class:`EventSet` is an ordered list of :class:`EventEntry` items the
+user added; each entry resolves to one or more *native slots* managed by
+the owning component.  A plain native event owns one slot; a derived
+preset on a heterogeneous machine owns one slot per core PMU and reports
+their sum (DERIVED_ADD) — §V-2's transparent multi-PMU presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.papi.consts import PapiState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.papi.component import Component
+    from repro.sim.task import SimThread
+
+
+@dataclass
+class EventEntry:
+    """One user-visible event in an EventSet."""
+
+    name: str                   # as added: native string or preset name
+    is_preset: bool
+    slot_indices: list[int]     # indices into the component's native slots
+    derived: str = "NOT_DERIVED"  # or "DERIVED_ADD"
+
+    def describe(self) -> str:
+        kind = "preset" if self.is_preset else "native"
+        return f"{self.name} [{kind}, {self.derived}, slots={self.slot_indices}]"
+
+
+@dataclass
+class EventSet:
+    """One PAPI EventSet."""
+
+    esid: int
+    state: PapiState = PapiState.STOPPED
+    component: Optional["Component"] = None
+    entries: list[EventEntry] = field(default_factory=list)
+    attached: Optional["SimThread"] = None
+    multiplexed: bool = False
+
+    @property
+    def running(self) -> bool:
+        return self.state is PapiState.RUNNING
+
+    @property
+    def num_events(self) -> int:
+        return len(self.entries)
+
+    def names(self) -> list[str]:
+        return [e.name for e in self.entries]

@@ -1,0 +1,84 @@
+"""PAPI high-level (region) API.
+
+The calipering capability the paper names as PAPI's key advantage over
+the perf tool: wrap arbitrary chunks of code in begin/end calls and get
+per-region counts.  Regions may be entered repeatedly; counts accumulate
+per region with an invocation counter, like ``PAPI_hl_region_begin`` /
+``PAPI_hl_region_end``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.papi.consts import PapiErrorCode
+from repro.papi.error import PapiError
+from repro.papi.library import Papi
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.task import SimThread
+
+DEFAULT_EVENTS = ("PAPI_TOT_INS", "PAPI_TOT_CYC")
+
+
+@dataclass
+class RegionStats:
+    """Accumulated counts for one named region."""
+
+    name: str
+    events: tuple[str, ...]
+    invocations: int = 0
+    totals: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip(self.events, self.totals))
+
+
+class HighLevelApi:
+    """Region-based measurement for one thread."""
+
+    def __init__(
+        self,
+        papi: Papi,
+        thread: "SimThread",
+        events: Sequence[str] = DEFAULT_EVENTS,
+    ):
+        self.papi = papi
+        self.thread = thread
+        self.events = tuple(events)
+        self.regions: dict[str, RegionStats] = {}
+        self._esid = papi.create_eventset()
+        papi.attach(self._esid, thread)
+        for ev in self.events:
+            papi.add_event(self._esid, ev, caller=thread)
+        self._open_region: Optional[str] = None
+
+    def region_begin(self, name: str) -> None:
+        if self._open_region is not None:
+            raise PapiError(
+                PapiErrorCode.EISRUN,
+                f"region {self._open_region!r} is still open",
+            )
+        self.papi.start(self._esid, caller=self.thread)
+        self._open_region = name
+
+    def region_end(self, name: str) -> RegionStats:
+        if self._open_region != name:
+            raise PapiError(
+                PapiErrorCode.EINVAL,
+                f"region_end({name!r}) does not match open region "
+                f"{self._open_region!r}",
+            )
+        values = self.papi.stop(self._esid, caller=self.thread)
+        self._open_region = None
+        stats = self.regions.get(name)
+        if stats is None:
+            stats = RegionStats(name=name, events=self.events, totals=[0.0] * len(values))
+            self.regions[name] = stats
+        stats.invocations += 1
+        stats.totals = [a + b for a, b in zip(stats.totals, values)]
+        return stats
+
+    def shutdown(self) -> None:
+        self.papi.destroy_eventset(self._esid, caller=self.thread)

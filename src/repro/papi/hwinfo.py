@@ -1,0 +1,83 @@
+"""``PAPI_get_hardware_info`` with heterogeneous reporting.
+
+Implements §V-1 of the paper's future work: besides the classic totals
+(which on PAPI 7.1 cannot say *which* core is which), the info struct
+reports one :class:`CoreClassInfo` per core type with counts, frequency
+range and the Linux PMU serving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+
+@dataclass(frozen=True)
+class CoreClassInfo:
+    """One core type in a (possibly heterogeneous) processor."""
+
+    name: str
+    pmu_name: str
+    pfm_pmu: str
+    n_physical_cores: int
+    n_logical_cpus: int
+    cpu_ids: tuple[int, ...]
+    max_mhz: int
+    base_mhz: int
+    capacity: int
+
+
+@dataclass(frozen=True)
+class PapiHardwareInfo:
+    """The hardware-info struct, heterogeneous-aware."""
+
+    vendor_string: str
+    model_string: str
+    totalcpus: int          # logical CPUs
+    cores: int              # physical cores
+    threads: int            # max hardware threads per core
+    sockets: int
+    memory_gib: int
+    heterogeneous: bool
+    core_classes: tuple[CoreClassInfo, ...]
+
+    def class_of_cpu(self, cpu_id: int) -> CoreClassInfo:
+        for cc in self.core_classes:
+            if cpu_id in cc.cpu_ids:
+                return cc
+        raise KeyError(f"cpu {cpu_id} not in any core class")
+
+
+def get_hardware_info(system: "System") -> PapiHardwareInfo:
+    topo = system.topology
+    classes = []
+    for ct in topo.core_types:
+        cpu_ids = tuple(topo.cpus_of_type(ct.name))
+        phys = len({topo.core(c).phys_core for c in cpu_ids})
+        classes.append(
+            CoreClassInfo(
+                name=ct.name,
+                pmu_name=ct.pmu_name,
+                pfm_pmu=ct.pfm_pmu,
+                n_physical_cores=phys,
+                n_logical_cpus=len(cpu_ids),
+                cpu_ids=cpu_ids,
+                max_mhz=ct.max_freq_mhz,
+                base_mhz=ct.base_freq_mhz,
+                capacity=topo.capacity_of(cpu_ids[0]),
+            )
+        )
+    return PapiHardwareInfo(
+        vendor_string=system.spec.vendor_string,
+        model_string=system.spec.model_string,
+        totalcpus=topo.n_cpus,
+        cores=topo.n_physical_cores,
+        threads=max(ct.smt for ct in topo.core_types),
+        sockets=1,
+        memory_gib=system.spec.memory_gib,
+        heterogeneous=topo.is_heterogeneous,
+        core_classes=tuple(classes),
+    )

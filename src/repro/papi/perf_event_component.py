@@ -1,0 +1,260 @@
+"""The PAPI ``perf_event`` component — before and after the paper's patch.
+
+``mode="legacy"`` reproduces PAPI 7.1: an EventSet maps to exactly one
+perf event group, so every event must come from the same perf PMU type;
+adding a P-core event to an EventSet holding an E-core event fails with
+``PAPI_ECNFLCT``, and uncore/RAPL events are refused outright (that is
+why the separate components exist).
+
+``mode="hybrid"`` implements §IV-E: the component tracks the PMU type of
+every added event and splits the EventSet into **one perf event group
+per PMU type**.  Start/stop/read/reset then iterate over the groups —
+the extra layer of indirection whose overhead §V-5 worries about (each
+group costs one extra syscall per operation, which the experiments
+measure through the syscall-cost model).  Hybrid mode also accepts
+uncore and RAPL events into combined EventSets (§V-3).
+
+Multiplexing (``EventSet.multiplexed``) opens every event as its own
+group leader, exactly how PAPI implements software multiplexing on
+perf_event, and returns enabled/running-scaled estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.kernel.perf.attr import PerfEventAttr, ReadFormat
+from repro.kernel.perf.pmu import PmuKind
+from repro.kernel.perf.subsystem import PerfIoctl
+from repro.papi.component import Component
+from repro.papi.consts import PapiErrorCode
+from repro.papi.error import PapiError
+from repro.papi.eventset import EventSet
+from repro.pfmlib.library import EventInfo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.task import SimThread
+
+
+@dataclass
+class NativeSlot:
+    """One opened kernel event backing part of an EventSet."""
+
+    info: EventInfo
+    attr: PerfEventAttr
+    fd: int
+    pmu_type: int
+    pmu_kind: PmuKind
+
+
+@dataclass
+class PerfState:
+    """Per-EventSet bookkeeping inside the component."""
+
+    slots: list[NativeSlot] = field(default_factory=list)
+    # group key (pmu type) -> slot indices; index 0 is the group leader.
+    groups: dict[int, list[int]] = field(default_factory=dict)
+
+
+class PerfEventComponent(Component):
+    """The CPU perf_event component, in legacy or hybrid mode."""
+
+    def __init__(self, cmp_id, system, pfm, mode: str = "hybrid"):
+        super().__init__(cmp_id, system, pfm)
+        if mode not in ("legacy", "hybrid"):
+            raise ValueError(f"unknown perf_event component mode {mode!r}")
+        self.mode = mode
+        self.name = "perf_event"
+        self._state: dict[int, PerfState] = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    def state_of(self, es: EventSet) -> PerfState:
+        return self._state.setdefault(es.esid, PerfState())
+
+    def num_groups(self, es: EventSet) -> int:
+        """How many perf event groups back this EventSet (the paper's
+        indirection metric)."""
+        return len(self.state_of(es).groups)
+
+    def supports(self, info: EventInfo) -> bool:
+        ptype = self.pfm.kernel_pmu_type(info)
+        kind = self.system.perf.registry.by_type[ptype].kind
+        if self.mode == "legacy":
+            return kind is PmuKind.CPU
+        return kind in (PmuKind.CPU, PmuKind.UNCORE, PmuKind.RAPL)
+
+    # -- slot management -------------------------------------------------------
+
+    def add_slot(
+        self, es: EventSet, info: EventInfo, caller: Optional["SimThread"]
+    ) -> int:
+        state = self.state_of(es)
+        ptype = self.pfm.kernel_pmu_type(info)
+        pmu = self.system.perf.registry.by_type[ptype]
+
+        if pmu.kind is PmuKind.CPU and es.attached is None:
+            raise PapiError(
+                PapiErrorCode.EINVAL,
+                "EventSet must be attached to a thread before CPU events "
+                "are added",
+            )
+        if self.mode == "legacy":
+            if pmu.kind is not PmuKind.CPU:
+                raise PapiError(
+                    PapiErrorCode.ECMP,
+                    f"{info.fullname}: the legacy perf_event component only "
+                    "counts CPU events; use the perf_event_uncore or rapl "
+                    "component",
+                )
+            existing = {s.pmu_type for s in state.slots}
+            if existing and ptype not in existing:
+                other = next(iter(existing))
+                raise PapiError(
+                    PapiErrorCode.ECNFLCT,
+                    f"cannot add {info.fullname} (PMU type {ptype}) to an "
+                    f"EventSet already using PMU type {other}: EventSets "
+                    "can only handle events belonging to the same "
+                    "perf_event PMU type",
+                )
+
+        attr = PerfEventAttr(type=ptype, config=info.config, name=info.fullname)
+        if pmu.kind is PmuKind.CPU:
+            pid, cpu = es.attached.tid, -1
+        else:
+            pid, cpu = -1, (pmu.cpus[0] if pmu.cpus else 0)
+
+        group_key = ptype
+        group = state.groups.get(group_key)
+        if es.multiplexed or pmu.kind is PmuKind.RAPL:
+            # Multiplexed EventSets make each event its own group leader.
+            group_fd = -1
+        elif group:
+            group_fd = state.slots[group[0]].fd
+        else:
+            group_fd = -1
+            attr.read_format |= ReadFormat.GROUP
+
+        fd = self.system.perf.perf_event_open(
+            attr, pid=pid, cpu=cpu, group_fd=group_fd, caller=caller
+        )
+        slot = NativeSlot(info=info, attr=attr, fd=fd, pmu_type=ptype, pmu_kind=pmu.kind)
+        state.slots.append(slot)
+        idx = len(state.slots) - 1
+        if es.multiplexed or pmu.kind is PmuKind.RAPL:
+            # Unique key per slot so each reads/starts independently.
+            state.groups[-(idx + 1)] = [idx]
+        else:
+            state.groups.setdefault(group_key, []).append(idx)
+        return idx
+
+    def _leader_fds(self, es: EventSet) -> list[int]:
+        state = self.state_of(es)
+        return [state.slots[idxs[0]].fd for idxs in state.groups.values()]
+
+    # -- counting ---------------------------------------------------------------
+
+    def start(self, es: EventSet, caller: Optional["SimThread"]) -> None:
+        self._require_inactive_slot(es)
+        for fd in self._leader_fds(es):
+            self.system.perf.ioctl(fd, PerfIoctl.RESET, flag_group=True, caller=caller)
+            self.system.perf.ioctl(fd, PerfIoctl.ENABLE, flag_group=True, caller=caller)
+        self._mark_active(es)
+
+    def read(self, es: EventSet, caller: Optional["SimThread"]) -> list[float]:
+        state = self.state_of(es)
+        values = [0.0] * len(state.slots)
+        for idxs in state.groups.values():
+            leader = state.slots[idxs[0]]
+            result = self.system.perf.read(leader.fd, caller=caller)
+            if isinstance(result, list):
+                for idx, rv in zip(idxs, result):
+                    values[idx] = self._value_of(es, rv)
+            else:
+                values[idxs[0]] = self._value_of(es, result)
+        return values
+
+    def _value_of(self, es: EventSet, rv) -> float:
+        if es.multiplexed:
+            return rv.scaled_value()
+        return float(rv.value)
+
+    def stop(self, es: EventSet, caller: Optional["SimThread"]) -> list[float]:
+        values = self.read(es, caller)
+        for fd in self._leader_fds(es):
+            self.system.perf.ioctl(fd, PerfIoctl.DISABLE, flag_group=True, caller=caller)
+        self._mark_inactive(es)
+        return values
+
+    def reset(self, es: EventSet, caller: Optional["SimThread"]) -> None:
+        for fd in self._leader_fds(es):
+            self.system.perf.ioctl(fd, PerfIoctl.RESET, flag_group=True, caller=caller)
+
+    def cleanup(self, es: EventSet, caller: Optional["SimThread"]) -> None:
+        state = self._state.pop(es.esid, None)
+        if state:
+            for slot in state.slots:
+                self.system.perf.close(slot.fd, caller=caller)
+        self._mark_inactive(es)
+
+    # -- overflow dispatch (PAPI_overflow) ----------------------------------------
+
+    def set_overflow(
+        self,
+        es: EventSet,
+        entry_index: int,
+        threshold: int,
+        caller: Optional["SimThread"] = None,
+    ) -> list[int]:
+        """Re-open the entry's slots in sampling mode.
+
+        Returns the sampling fds.  Must be called on a stopped EventSet;
+        a threshold of 0 disables sampling again.  Each backing slot (one
+        per PMU for derived presets) gets its own sample stream, so on a
+        hybrid machine overflows are delivered no matter which core type
+        the thread runs on.
+        """
+        if es.running:
+            raise PapiError(
+                PapiErrorCode.EISRUN, "cannot change overflow while counting"
+            )
+        if threshold < 0:
+            raise PapiError(PapiErrorCode.EINVAL, "negative overflow threshold")
+        state = self.state_of(es)
+        entry = es.entries[entry_index]
+        for idx in entry.slot_indices:
+            if state.slots[idx].pmu_kind is not PmuKind.CPU:
+                raise PapiError(
+                    PapiErrorCode.ECMP,
+                    f"{state.slots[idx].info.fullname}: overflow requires a "
+                    "CPU event",
+                )
+        # Sampling events must lead their own group, so the whole EventSet
+        # is rebuilt as standalone leaders (exactly how PAPI combines
+        # overflow with its multiplexing machinery).
+        sampling = set(entry.slot_indices)
+        for slot in state.slots:
+            self.system.perf.close(slot.fd, caller=caller)
+        state.groups.clear()
+        fds = []
+        for idx, slot in enumerate(state.slots):
+            attr = PerfEventAttr(
+                type=slot.attr.type,
+                config=slot.attr.config,
+                sample_period=threshold if idx in sampling else 0,
+                name=slot.attr.name,
+            )
+            if slot.pmu_kind is PmuKind.CPU:
+                pid, cpu = es.attached.tid, -1
+            else:
+                pmu = self.system.perf.registry.by_type[slot.pmu_type]
+                pid, cpu = -1, (pmu.cpus[0] if pmu.cpus else 0)
+            slot.attr = attr
+            slot.fd = self.system.perf.perf_event_open(
+                attr, pid=pid, cpu=cpu, caller=caller
+            )
+            state.groups[-(idx + 1)] = [idx]
+            if idx in sampling:
+                fds.append(slot.fd)
+        return fds

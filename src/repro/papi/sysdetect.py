@@ -1,0 +1,256 @@
+"""Core-type detection — every strategy from §IV-B, with its pitfalls.
+
+The paper enumerates the ways tools try to discover heterogeneous core
+types on Linux, none of which works everywhere:
+
+1. ``cpu_capacity`` sysfs — ARM only, opaque values;
+2. ``/proc/cpuinfo`` / MIDR identification — works on ARM, but Intel
+   P/E-cores share family/model/stepping so it *cannot* tell them apart;
+3. the Intel ``cpuid`` leaf 0x1A — x86 only;
+4. scanning ``/sys/devices/*/cpus`` PMU files, perf-style — reliable but
+   names depend on boot firmware (devicetree vs ACPI);
+5. max-frequency / cache-size heuristics — "cannot always be guaranteed
+   to work" (and genuinely fails when clusters share a frequency range).
+
+:func:`detect_core_types` runs them all, reports each outcome, and forms
+a consensus the way the paper's sysdetect component would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from repro.kernel.sched.affinity import parse_cpu_list
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+
+@dataclass
+class StrategyResult:
+    """Outcome of one detection strategy."""
+
+    strategy: str
+    applicable: bool
+    classes: dict[str, list[int]] = field(default_factory=dict)
+    detail: str = ""
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+
+@dataclass
+class DetectionReport:
+    """All strategies plus the consensus grouping."""
+
+    results: list[StrategyResult]
+    consensus: dict[str, list[int]]
+
+    @property
+    def heterogeneous(self) -> bool:
+        return len(self.consensus) > 1
+
+    def by_strategy(self, name: str) -> StrategyResult:
+        for r in self.results:
+            if r.strategy == name:
+                return r
+        raise KeyError(name)
+
+
+def _cpu_ids(system: "System") -> list[int]:
+    return [c.cpu_id for c in system.topology.cores]
+
+
+def strategy_cpu_capacity(system: "System") -> StrategyResult:
+    """Group CPUs by /sys/devices/system/cpu/cpuX/cpu_capacity (ARM only)."""
+    groups: dict[str, list[int]] = {}
+    for cpu in _cpu_ids(system):
+        path = f"/sys/devices/system/cpu/cpu{cpu}/cpu_capacity"
+        try:
+            cap = system.sysfs.read(path)
+        except FileNotFoundError:
+            return StrategyResult(
+                "cpu_capacity",
+                applicable=False,
+                detail="cpu_capacity not exported (non-ARM kernel)",
+            )
+        groups.setdefault(f"capacity_{cap}", []).append(cpu)
+    return StrategyResult(
+        "cpu_capacity",
+        applicable=True,
+        classes=groups,
+        detail="opaque 0..1024 capacity values",
+    )
+
+
+def strategy_cpuinfo(system: "System") -> StrategyResult:
+    """Group by identification values in /proc/cpuinfo.
+
+    Distinguishes ARM parts; on Intel hybrid machines every CPU reports
+    identical family/model/stepping, so a single class comes back even on
+    a P+E machine — the pitfall the paper highlights.
+    """
+    text = system.procfs.read("/proc/cpuinfo")
+    groups: dict[str, list[int]] = {}
+    cpu = None
+    ident: dict[int, str] = {}
+    fam = model = step = part = None
+    for line in text.splitlines() + [""]:
+        if not line.strip():
+            if cpu is not None:
+                if part is not None:
+                    key = f"part_{part}"
+                else:
+                    key = f"fms_{fam}_{model}_{step}"
+                ident[cpu] = key
+            cpu = fam = model = step = part = None
+            continue
+        k, _, v = line.partition(":")
+        k, v = k.strip(), v.strip()
+        if k == "processor":
+            cpu = int(v)
+        elif k == "CPU part":
+            part = v
+        elif k == "cpu family":
+            fam = v
+        elif k == "model":
+            model = v
+        elif k == "stepping":
+            step = v
+    for c, key in ident.items():
+        groups.setdefault(key, []).append(c)
+    return StrategyResult(
+        "cpuinfo",
+        applicable=True,
+        classes=groups,
+        detail="family/model/stepping (x86) or CPU part (ARM)",
+    )
+
+
+def strategy_cpuid(system: "System") -> StrategyResult:
+    """Intel cpuid leaf 0x1A core-type field (x86 only)."""
+    if not system.machine.cpuid.is_x86():
+        return StrategyResult(
+            "cpuid_leaf_1a",
+            applicable=False,
+            detail="cpuid is Intel-specific, not a general interface",
+        )
+    labels = {0x20: "atom", 0x40: "core"}
+    groups: dict[str, list[int]] = {}
+    for cpu in _cpu_ids(system):
+        ct = system.machine.cpuid.core_type(cpu)
+        groups.setdefault(labels.get(ct, f"type_{ct:#x}"), []).append(cpu)
+    return StrategyResult(
+        "cpuid_leaf_1a",
+        applicable=True,
+        classes=groups,
+        detail="leaf 0x1A EAX[31:24]",
+    )
+
+
+def strategy_pmu_scan(system: "System") -> StrategyResult:
+    """perf-style scan of /sys/devices/<pmu>/cpus files."""
+    groups: dict[str, list[int]] = {}
+    try:
+        names = system.sysfs.listdir("/sys/devices")
+    except FileNotFoundError:
+        return StrategyResult("pmu_scan", applicable=False, detail="no /sys/devices")
+    for name in names:
+        cpus_path = f"/sys/devices/{name}/cpus"
+        if not system.sysfs.exists(cpus_path):
+            continue
+        cpus = sorted(parse_cpu_list(system.sysfs.read(cpus_path)))
+        if cpus:
+            groups[name] = cpus
+    return StrategyResult(
+        "pmu_scan",
+        applicable=bool(groups),
+        classes=groups,
+        detail="PMU names are firmware-dependent on ARM (devicetree vs ACPI)",
+    )
+
+
+def strategy_max_freq(system: "System") -> StrategyResult:
+    """Heuristic: group by cpuinfo_max_freq + L2 size."""
+    groups: dict[str, list[int]] = {}
+    for cpu in _cpu_ids(system):
+        base = f"/sys/devices/system/cpu/cpu{cpu}"
+        try:
+            freq = system.sysfs.read(f"{base}/cpufreq/cpuinfo_max_freq")
+            l2 = system.sysfs.read(f"{base}/cache/index2/size")
+        except FileNotFoundError:
+            return StrategyResult(
+                "max_freq_heuristic", applicable=False, detail="cpufreq missing"
+            )
+        groups.setdefault(f"freq_{freq}_l2_{l2}", []).append(cpu)
+    return StrategyResult(
+        "max_freq_heuristic",
+        applicable=True,
+        classes=groups,
+        detail="cannot always be guaranteed to work",
+    )
+
+
+def strategy_cpu_types_sysfs(system: "System") -> StrategyResult:
+    """The proposed /sys/devices/system/cpu/types interface [Neri 2020].
+
+    Never merged upstream, so this is normally not applicable — unless
+    the system was built with ``expose_cpu_types=True``.
+    """
+    path = "/sys/devices/system/cpu/types"
+    if not system.sysfs.exists(path):
+        return StrategyResult(
+            "cpu_types_sysfs",
+            applicable=False,
+            detail="proposed interface was not merged upstream",
+        )
+    groups: dict[str, list[int]] = {}
+    for line in system.sysfs.read(path).splitlines():
+        name, _, cpus = line.partition(":")
+        groups[name.strip()] = sorted(parse_cpu_list(cpus.strip()))
+    return StrategyResult("cpu_types_sysfs", applicable=True, classes=groups)
+
+
+STRATEGIES: list[Callable[["System"], StrategyResult]] = [
+    strategy_cpu_types_sysfs,
+    strategy_cpuid,
+    strategy_cpu_capacity,
+    strategy_cpuinfo,
+    strategy_pmu_scan,
+    strategy_max_freq,
+]
+
+
+def detect_core_types(system: "System") -> DetectionReport:
+    """Run every strategy; consensus prefers the PMU scan (kernel-named
+    classes), falling back through the priority order."""
+    results = [s(system) for s in STRATEGIES]
+    consensus: dict[str, list[int]] = {}
+    pmu = next(r for r in results if r.strategy == "pmu_scan")
+    if pmu.applicable:
+        # Only CPU PMUs expose a "cpus" file, so these classes should
+        # partition the CPU set; accept them when they do.
+        all_cpus = set(_cpu_ids(system))
+        covered = set().union(*pmu.classes.values()) if pmu.classes else set()
+        if covered == all_cpus and _disjoint(pmu.classes):
+            consensus = pmu.classes
+    if not consensus:
+        for r in results:
+            if r.applicable and r.classes and _disjoint(r.classes):
+                covered = set().union(*r.classes.values())
+                if covered == set(_cpu_ids(system)):
+                    consensus = r.classes
+                    break
+    return DetectionReport(results=results, consensus=consensus)
+
+
+def _disjoint(classes: dict[str, list[int]]) -> bool:
+    seen: set[int] = set()
+    for cpus in classes.values():
+        s = set(cpus)
+        if s & seen:
+            return False
+        seen |= s
+    return True

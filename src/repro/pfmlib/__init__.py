@@ -1,0 +1,24 @@
+"""libpfm4 reproduction.
+
+libpfm4's job in the PAPI stack is (1) knowing which PMUs are present,
+(2) translating event-name strings like ``adl_glc::INST_RETIRED:ANY``
+into the ``perf_event_attr`` the kernel expects, and (3) publishing the
+event lists PAPI re-exports.  This package reproduces that interface,
+including the hybrid-support history the paper recounts: Intel
+Alder/Raptor Lake P+E detection, and the ARM big.LITTLE PMU-scanning bug
+that (without the authors' patch) only detects the boot CPU's PMU.
+"""
+
+from repro.pfmlib.events import PfmEvent, PfmPmuTable
+from repro.pfmlib.library import EventInfo, Pfmlib, PfmError
+from repro.pfmlib.parser import ParsedEvent, parse_event_string
+
+__all__ = [
+    "PfmEvent",
+    "PfmPmuTable",
+    "EventInfo",
+    "Pfmlib",
+    "PfmError",
+    "ParsedEvent",
+    "parse_event_string",
+]

@@ -1,0 +1,66 @@
+"""PMU event-table data structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PfmEvent:
+    """One named event with its unit-mask variants.
+
+    ``umasks`` maps attribute names (e.g. ``ANY``, ``MISS``) to the raw
+    config codes the kernel decodes.  ``default_umask`` names the variant
+    selected when the event string carries no attribute.
+    """
+
+    name: str
+    desc: str
+    umasks: dict[str, int] = field(default_factory=dict)
+    default_umask: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.umasks:
+            raise ValueError(f"{self.name}: an event needs at least one umask")
+        if self.default_umask is None:
+            object.__setattr__(self, "default_umask", next(iter(self.umasks)))
+        if self.default_umask not in self.umasks:
+            raise ValueError(
+                f"{self.name}: default umask {self.default_umask!r} not in umasks"
+            )
+
+    def code(self, umask: str | None = None) -> int:
+        key = umask if umask is not None else self.default_umask
+        try:
+            return self.umasks[key]
+        except KeyError:
+            raise KeyError(
+                f"event {self.name} has no attribute {umask!r} "
+                f"(has {sorted(self.umasks)})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class PfmPmuTable:
+    """One PMU's event table.
+
+    ``name`` is the libpfm4 PMU name (``adl_glc``); ``linux_name`` the
+    sysfs directory whose ``type`` file gives the kernel type number
+    (``cpu_core``).  ``is_core`` marks CPU core PMUs — the "default PMU"
+    candidates unqualified event names search.
+    """
+
+    name: str
+    desc: str
+    linux_name: str
+    is_core: bool
+    events: dict[str, PfmEvent]
+
+    def event(self, name: str) -> PfmEvent:
+        try:
+            return self.events[name.upper()]
+        except KeyError:
+            raise KeyError(f"PMU {self.name} has no event {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self.events

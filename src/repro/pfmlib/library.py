@@ -1,0 +1,215 @@
+"""The libpfm4 interface: PMU detection and OS event encoding.
+
+Detection reproduces the support history §IV-C describes:
+
+* Intel hybrid (Alder/Raptor Lake): both the ``adl_glc`` and ``adl_grt``
+  tables activate — this is the post-fix upstream behaviour the authors
+  obtained after requesting hybrid support.
+* ARM big.LITTLE: upstream libpfm4 scans only the boot CPU's PMU, so on
+  an RK3399 it would see just the Cortex-A53 cluster.  The authors'
+  not-yet-merged patches are modelled by two constructor flags:
+  ``arm_multi_pmu_patch`` (scan every core type) and ``arm_a72_patch``
+  (the Cortex-A72 table itself, also unmerged at the time).
+
+Encoding resolves the kernel PMU *type* the way userspace must: reading
+``/sys/devices/<name>/type``.  ARM firmware naming differences
+(devicetree vs ACPI) are handled by falling back to a perf-tool-style
+scan of the PMU ``cpus`` files when the canonical name is absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.kernel.perf.attr import PerfEventAttr
+from repro.pfmlib.events import PfmEvent, PfmPmuTable
+from repro.pfmlib.parser import ParsedEvent, parse_event_string
+from repro.pfmlib.tables import ALL_TABLES, RAPL, UNCORE_LLC
+from repro.system import System
+
+
+class PfmError(Exception):
+    """libpfm4-style failure (unknown event, inactive PMU...)."""
+
+
+@dataclass(frozen=True)
+class EventInfo:
+    """A fully resolved event: table entry + kernel identity."""
+
+    pmu: PfmPmuTable
+    linux_name: str
+    event: PfmEvent
+    umask: str
+
+    @property
+    def fullname(self) -> str:
+        return f"{self.pmu.name}::{self.event.name}:{self.umask}"
+
+    @property
+    def config(self) -> int:
+        return self.event.code(self.umask)
+
+
+class Pfmlib:
+    """One initialized libpfm4 instance bound to a system."""
+
+    def __init__(
+        self,
+        system: System,
+        arm_multi_pmu_patch: bool = True,
+        arm_a72_patch: bool = True,
+    ):
+        self.system = system
+        self.arm_multi_pmu_patch = arm_multi_pmu_patch
+        self.arm_a72_patch = arm_a72_patch
+        # pfm table name -> linux PMU directory on *this* machine.
+        self._linux_names: dict[str, str] = {}
+        self.active: list[PfmPmuTable] = []
+        self._detect()
+
+    # -- detection ----------------------------------------------------------
+
+    def _detect(self) -> None:
+        topo = self.system.topology
+        core_types = topo.core_types
+        is_arm = any(ct.vendor == "arm" for ct in core_types)
+        considered = list(core_types)
+        if is_arm and not self.arm_multi_pmu_patch:
+            # Upstream bug: the ARM PMU scan finds only the boot CPU's type.
+            boot_type = topo.core(0).ctype
+            considered = [boot_type]
+        for ct in considered:
+            if ct.pfm_pmu == "arm_a72" and not self.arm_a72_patch:
+                # The Cortex-A72 table itself was a not-yet-merged patch.
+                continue
+            table = ALL_TABLES.get(ct.pfm_pmu)
+            if table is None:
+                continue
+            if table not in self.active:
+                self.active.append(table)
+                self._linux_names[table.name] = ct.pmu_name
+        self.active.append(UNCORE_LLC)
+        self._linux_names[UNCORE_LLC.name] = UNCORE_LLC.linux_name
+        if self.system.spec.has_rapl:
+            self.active.append(RAPL)
+            self._linux_names[RAPL.name] = RAPL.linux_name
+
+    def default_pmus(self) -> list[PfmPmuTable]:
+        """The "core" PMUs unqualified event names search, in order.
+
+        On a hybrid machine there is more than one — the condition PAPI
+        7.1 mishandled (§IV-D).
+        """
+        return [t for t in self.active if t.is_core]
+
+    def pmu_by_name(self, name: str) -> PfmPmuTable:
+        for t in self.active:
+            if t.name == name.lower():
+                return t
+        if name.lower() in ALL_TABLES:
+            raise PfmError(f"PMU {name!r} is known but not active on this system")
+        raise PfmError(f"unknown PMU {name!r}")
+
+    def linux_name(self, table: PfmPmuTable) -> str:
+        return self._linux_names.get(table.name, table.linux_name)
+
+    # -- event lookup ---------------------------------------------------------
+
+    def _resolve_in(self, table: PfmPmuTable, parsed: ParsedEvent) -> EventInfo:
+        event = table.event(parsed.event)  # KeyError on miss
+        if len(parsed.attrs) > 1:
+            raise PfmError(
+                f"{parsed.canonical()}: multiple unit masks are not supported"
+            )
+        umask = parsed.attrs[0] if parsed.attrs else event.default_umask
+        if umask not in event.umasks:
+            raise PfmError(
+                f"event {table.name}::{event.name} has no attribute {umask!r}"
+            )
+        return EventInfo(
+            pmu=table,
+            linux_name=self.linux_name(table),
+            event=event,
+            umask=umask,
+        )
+
+    def find_event(self, text: str) -> EventInfo:
+        """First match, libpfm4 style: qualified PMU or default-PMU order."""
+        matches = self.find_all_matches(text)
+        return matches[0]
+
+    def find_all_matches(self, text: str) -> list[EventInfo]:
+        """Every active PMU in which the event name resolves.
+
+        For a qualified name this is zero or one PMU; for an unqualified
+        name on a hybrid machine it is typically one entry per core type —
+        the raw material for PAPI's derived multi-PMU presets.
+        """
+        parsed = parse_event_string(text)
+        if parsed.pmu is not None:
+            table = self.pmu_by_name(parsed.pmu)
+            try:
+                return [self._resolve_in(table, parsed)]
+            except KeyError as exc:
+                raise PfmError(str(exc)) from None
+        matches: list[EventInfo] = []
+        for table in self.default_pmus():
+            try:
+                matches.append(self._resolve_in(table, parsed))
+            except KeyError:
+                continue
+        if not matches:
+            raise PfmError(f"event {text!r} not found in any active PMU")
+        return matches
+
+    # -- encoding ---------------------------------------------------------------
+
+    def kernel_pmu_type(self, info: EventInfo) -> int:
+        """Resolve the kernel type number via sysfs, perf-tool style."""
+        sysfs = self.system.sysfs
+        path = f"/sys/devices/{info.linux_name}/type"
+        try:
+            return int(sysfs.read(path))
+        except FileNotFoundError:
+            pass
+        # Firmware gave the PMU another name (devicetree vs ACPI): scan
+        # /sys/devices/*/cpus and match the CPU set of the core type this
+        # pfm table describes, like perf does.
+        want: set[int] = set()
+        for ct in self.system.topology.core_types:
+            if ct.pfm_pmu == info.pmu.name:
+                want = set(self.system.topology.cpus_of_type(ct.name))
+                break
+        if want:
+            from repro.kernel.sched.affinity import parse_cpu_list
+
+            for name in sysfs.listdir("/sys/devices"):
+                cpus_path = f"/sys/devices/{name}/cpus"
+                if not sysfs.exists(cpus_path):
+                    continue
+                if parse_cpu_list(sysfs.read(cpus_path)) == want:
+                    return int(sysfs.read(f"/sys/devices/{name}/type"))
+        raise PfmError(
+            f"cannot resolve kernel PMU for {info.fullname} "
+            f"(no /sys/devices/{info.linux_name})"
+        )
+
+    def get_os_event_encoding(self, text: str) -> tuple[PerfEventAttr, EventInfo]:
+        """The libpfm4 call PAPI uses: event string -> perf_event_attr."""
+        info = self.find_event(text)
+        attr = PerfEventAttr(
+            type=self.kernel_pmu_type(info),
+            config=info.config,
+            name=info.fullname,
+        )
+        return attr, info
+
+    # -- enumeration ---------------------------------------------------------
+
+    def list_events(self, pmu: Optional[str] = None) -> Iterator[str]:
+        tables = [self.pmu_by_name(pmu)] if pmu else self.active
+        for table in tables:
+            for event in table.events.values():
+                for umask in event.umasks:
+                    yield f"{table.name}::{event.name}:{umask}"

@@ -1,0 +1,52 @@
+"""Event-name string parsing.
+
+libpfm4 event strings look like ``pmu::EVENT:ATTR1:ATTR2``; the PMU
+qualifier and attributes are optional (``INST_RETIRED`` alone searches
+the default PMUs).  Attribute case is normalized to upper-case, matching
+libpfm4's case-insensitive lookup.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+@dataclass(frozen=True)
+class ParsedEvent:
+    pmu: str | None
+    event: str
+    attrs: tuple[str, ...] = field(default_factory=tuple)
+
+    def canonical(self) -> str:
+        parts = [self.event, *self.attrs]
+        body = ":".join(parts)
+        return f"{self.pmu}::{body}" if self.pmu else body
+
+
+def parse_event_string(text: str) -> ParsedEvent:
+    """Parse ``pmu::EVENT:ATTRS`` syntax; raises ValueError on malformed input."""
+    text = text.strip()
+    if not text:
+        raise ValueError("empty event string")
+    pmu: str | None = None
+    body = text
+    if "::" in text:
+        pmu_part, body = text.split("::", 1)
+        pmu = pmu_part.strip().lower()
+        if not pmu or not _NAME_RE.match(pmu):
+            raise ValueError(f"malformed PMU qualifier in {text!r}")
+    if not body:
+        raise ValueError(f"missing event name in {text!r}")
+    pieces = [p.strip() for p in body.split(":")]
+    if any(not p for p in pieces):
+        raise ValueError(f"empty attribute in {text!r}")
+    event, *attrs = pieces
+    if not _NAME_RE.match(event):
+        raise ValueError(f"malformed event name {event!r}")
+    for a in attrs:
+        if not _NAME_RE.match(a):
+            raise ValueError(f"malformed attribute {a!r}")
+    return ParsedEvent(pmu=pmu, event=event.upper(), attrs=tuple(a.upper() for a in attrs))

@@ -1,0 +1,191 @@
+"""The event tables, one per supported PMU.
+
+Codes agree with :mod:`repro.hw.eventcodes` — in the real stack both the
+kernel and libpfm4 transcribe the same vendor manuals; here they share
+one source of truth and these tables give them libpfm4's naming.
+
+Note the deliberate asymmetries the paper leans on:
+
+* ``TOPDOWN:SLOTS`` exists only in the Golden Cove (P-core) table;
+* the Gracemont table carries the same ``INST_RETIRED:ANY`` spelling that
+  originally had bugs in upstream libpfm4 (fixed after the authors'
+  report — we implement the fixed behaviour);
+* ARM Cortex-A72 support needed a not-yet-merged patch; the
+  :class:`~repro.pfmlib.library.Pfmlib` constructor models its absence.
+"""
+
+from __future__ import annotations
+
+from repro.pfmlib.events import PfmEvent, PfmPmuTable
+
+
+def _intel_common(with_topdown: bool, stalls_code: int) -> dict[str, PfmEvent]:
+    events = {
+        "INST_RETIRED": PfmEvent(
+            "INST_RETIRED",
+            "Number of instructions retired",
+            {"ANY": 0x00C0, "ANY_P": 0x00C0},
+            default_umask="ANY",
+        ),
+        "CPU_CLK_UNHALTED": PfmEvent(
+            "CPU_CLK_UNHALTED",
+            "Core cycles when the thread is not halted",
+            {"THREAD": 0x003C, "REF_TSC": 0x013C},
+            default_umask="THREAD",
+        ),
+        "LONGEST_LAT_CACHE": PfmEvent(
+            "LONGEST_LAT_CACHE",
+            "Last-level cache references and misses",
+            {"REFERENCE": 0x4F2E, "MISS": 0x412E},
+            default_umask="REFERENCE",
+        ),
+        "BR_INST_RETIRED": PfmEvent(
+            "BR_INST_RETIRED",
+            "Branch instructions retired",
+            {"ALL_BRANCHES": 0x00C4},
+        ),
+        "BR_MISP_RETIRED": PfmEvent(
+            "BR_MISP_RETIRED",
+            "Mispredicted branch instructions retired",
+            {"ALL_BRANCHES": 0x00C5},
+        ),
+        "FP_ARITH_INST_RETIRED": PfmEvent(
+            "FP_ARITH_INST_RETIRED",
+            "Floating-point arithmetic instructions retired",
+            {"ALL": 0x01C7},
+        ),
+        "CYCLE_ACTIVITY": PfmEvent(
+            "CYCLE_ACTIVITY",
+            "Cycles with pipeline stalls",
+            {"STALLS_TOTAL": stalls_code},
+        ),
+        "L2_RQSTS": PfmEvent(
+            "L2_RQSTS",
+            "L2 cache requests",
+            {"REFERENCES": 0x1F24, "MISS": 0x3F24},
+            default_umask="REFERENCES",
+        ),
+    }
+    if with_topdown:
+        events["TOPDOWN"] = PfmEvent(
+            "TOPDOWN",
+            "Top-down microarchitecture analysis slots (P-core only)",
+            {"SLOTS": 0x0400},
+        )
+    return events
+
+
+ADL_GLC = PfmPmuTable(
+    name="adl_glc",
+    desc="Intel Alder Lake GoldenCove (P-core)",
+    linux_name="cpu_core",
+    is_core=True,
+    events=_intel_common(with_topdown=True, stalls_code=0x01A3),
+)
+
+ADL_GRT = PfmPmuTable(
+    name="adl_grt",
+    desc="Intel Alder Lake Gracemont (E-core)",
+    linux_name="cpu_atom",
+    is_core=True,
+    events=_intel_common(with_topdown=False, stalls_code=0x0134),
+)
+
+SKX = PfmPmuTable(
+    name="skx",
+    desc="Intel Skylake-SP (homogeneous control)",
+    linux_name="cpu",
+    is_core=True,
+    events=_intel_common(with_topdown=False, stalls_code=0x01A3),
+)
+
+
+def _arm_common() -> dict[str, PfmEvent]:
+    return {
+        "INST_RETIRED": PfmEvent(
+            "INST_RETIRED", "Instructions architecturally executed", {"ANY": 0x08}
+        ),
+        "CPU_CYCLES": PfmEvent("CPU_CYCLES", "Processor cycles", {"ANY": 0x11}),
+        "BR_MIS_PRED": PfmEvent(
+            "BR_MIS_PRED", "Mispredicted branches", {"ANY": 0x10}
+        ),
+        "BR_PRED": PfmEvent("BR_PRED", "Predictable branches", {"ANY": 0x12}),
+        "L2D_CACHE": PfmEvent("L2D_CACHE", "L2 data cache accesses", {"ANY": 0x16}),
+        "L2D_CACHE_REFILL": PfmEvent(
+            "L2D_CACHE_REFILL", "L2 data cache refills", {"ANY": 0x17}
+        ),
+        "L3D_CACHE": PfmEvent("L3D_CACHE", "L3 data cache accesses", {"ANY": 0x2A}),
+        "L3D_CACHE_REFILL": PfmEvent(
+            "L3D_CACHE_REFILL", "L3 data cache refills", {"ANY": 0x2B}
+        ),
+        "ASE_SPEC": PfmEvent(
+            "ASE_SPEC", "Advanced SIMD operations speculatively executed", {"ANY": 0x73}
+        ),
+        "STALL_BACKEND": PfmEvent(
+            "STALL_BACKEND", "Cycles stalled on backend resources", {"ANY": 0x24}
+        ),
+        "BUS_CYCLES": PfmEvent("BUS_CYCLES", "Bus cycles", {"ANY": 0x1D}),
+    }
+
+
+def _arm_table(pfm_name: str, desc: str, linux_name: str) -> PfmPmuTable:
+    return PfmPmuTable(
+        name=pfm_name,
+        desc=desc,
+        linux_name=linux_name,
+        is_core=True,
+        events=_arm_common(),
+    )
+
+
+ARM_A53 = _arm_table("arm_a53", "ARM Cortex-A53", "armv8_cortex_a53")
+ARM_A55 = _arm_table("arm_a55", "ARM Cortex-A55", "armv8_cortex_a55")
+ARM_A72 = _arm_table("arm_a72", "ARM Cortex-A72", "armv8_cortex_a72")
+ARM_A76 = _arm_table("arm_a76", "ARM Cortex-A76", "armv8_cortex_a76")
+ARM_X1 = _arm_table("arm_x1", "ARM Cortex-X1", "armv8_cortex_x1")
+
+RAPL = PfmPmuTable(
+    name="rapl",
+    desc="Intel RAPL energy counters",
+    linux_name="power",
+    is_core=False,
+    events={
+        "RAPL_ENERGY_PKG": PfmEvent(
+            "RAPL_ENERGY_PKG", "Package energy consumed", {"ANY": 0x02}
+        ),
+        "RAPL_ENERGY_CORES": PfmEvent(
+            "RAPL_ENERGY_CORES", "Core-domain energy consumed", {"ANY": 0x01}
+        ),
+        "RAPL_ENERGY_DRAM": PfmEvent(
+            "RAPL_ENERGY_DRAM", "DRAM energy consumed", {"ANY": 0x03}
+        ),
+    },
+)
+
+UNCORE_LLC = PfmPmuTable(
+    name="uncore_llc",
+    desc="Package last-level-cache uncore PMU",
+    linux_name="uncore_llc",
+    is_core=False,
+    events={
+        "LLC_LOOKUPS": PfmEvent("LLC_LOOKUPS", "LLC lookups, all cores", {"ANY": 0x01}),
+        "LLC_MISSES": PfmEvent("LLC_MISSES", "LLC misses, all cores", {"ANY": 0x02}),
+    },
+)
+
+#: All tables known to this libpfm4 build, by pfm PMU name.
+ALL_TABLES: dict[str, PfmPmuTable] = {
+    t.name: t
+    for t in (
+        ADL_GLC,
+        ADL_GRT,
+        SKX,
+        ARM_A53,
+        ARM_A55,
+        ARM_A72,
+        ARM_A76,
+        ARM_X1,
+        RAPL,
+        UNCORE_LLC,
+    )
+}

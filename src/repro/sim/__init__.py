@@ -1,0 +1,36 @@
+"""Discrete-time simulation engine.
+
+The engine advances a :class:`~repro.sim.engine.Machine` in fixed ticks
+(default 10 ms).  Each tick the kernel scheduler places runnable threads
+on logical CPUs, every running thread executes a slice of its current
+:class:`~repro.sim.workload.WorkPhase` at the core's DVFS frequency
+(generating architectural counter events), and the power, RAPL, and
+thermal control loops close around the result.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.workload import (
+    PhaseRates,
+    WorkPhase,
+    ComputePhase,
+    SpinPhase,
+    SleepPhase,
+    SpinBarrier,
+)
+from repro.sim.task import SimThread, ThreadState, Program, ControlOp
+from repro.sim.engine import Machine
+
+__all__ = [
+    "SimClock",
+    "PhaseRates",
+    "WorkPhase",
+    "ComputePhase",
+    "SpinPhase",
+    "SleepPhase",
+    "SpinBarrier",
+    "SimThread",
+    "ThreadState",
+    "Program",
+    "ControlOp",
+    "Machine",
+]

@@ -1,0 +1,23 @@
+"""Virtual time."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated time advancing in fixed ticks."""
+
+    def __init__(self, dt_s: float = 0.01):
+        if dt_s <= 0:
+            raise ValueError("tick length must be positive")
+        self.dt_s = dt_s
+        self.ticks = 0
+
+    @property
+    def now_s(self) -> float:
+        return self.ticks * self.dt_s
+
+    def advance(self) -> None:
+        self.ticks += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(t={self.now_s:.3f}s, dt={self.dt_s}s)"

@@ -1,0 +1,356 @@
+"""The machine: couples hardware models, scheduler and threads.
+
+:class:`Machine` advances in fixed ticks.  Per tick:
+
+1. wake sleeping threads whose condition fired,
+2. the scheduler places runnable threads on CPUs,
+3. each placed thread executes its time share at the CPU's current DVFS
+   frequency, generating architectural counter events that are credited to
+   the thread (per PMU), the per-CPU hardware PMU, and any registered
+   account hooks (the kernel perf layer),
+4. power is sampled; RAPL accounts energy and runs the PL1/PL2 capping
+   controller; the thermal model integrates and applies throttling,
+5. the DVFS governor picks next-tick frequencies.
+
+The engine is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.hw.coretype import ArchEvent, N_ARCH_EVENTS
+from repro.hw.cpuid import CpuidEmulator
+from repro.hw.cache import LlcModel
+from repro.hw.dvfs import DvfsGovernor
+from repro.hw.machines import MachineSpec
+from repro.hw.pmu import CorePmu
+from repro.hw.power import CorePowerState, PowerModel, PowerSample
+from repro.hw.rapl import RaplPackage
+from repro.hw.thermal import ThermalModel
+from repro.hw.topology import Core
+from repro.kernel.sched import Scheduler
+from repro.sim.clock import SimClock
+from repro.sim.task import ControlOp, Program, SimThread, ThreadState
+from repro.sim.workload import (
+    ComputePhase,
+    SleepPhase,
+    SpinPhase,
+    SPIN_RATES,
+    PhaseRates,
+)
+
+#: Intel's top-down pipeline width (slots per cycle) on Golden Cove.
+TOPDOWN_SLOTS_PER_CYCLE = 6
+
+#: Safety valve: max control ops a thread may run inside one time slice.
+MAX_CONTROL_OPS_PER_SLICE = 100_000
+
+AccountHook = Callable[[SimThread, Core, np.ndarray, float], None]
+TickHook = Callable[["Machine"], None]
+
+
+class Machine:
+    """A simulated machine executing simulated threads."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        dt_s: float = 0.01,
+        seed: int = 0,
+        migrate_jitter: float = 0.0,
+        rebalance_jitter: float = 0.0,
+    ):
+        self.spec = spec
+        self.topology = spec.topology
+        self.clock = SimClock(dt_s)
+        self.governor = DvfsGovernor(self.topology)
+        self.power_model = PowerModel(spec)
+        self.thermal = ThermalModel(spec)
+        self.rapl = RaplPackage(spec)
+        self.llc = LlcModel(float(spec.extra.get("llc_mib", 8.0)))
+        self.cpuid = CpuidEmulator(spec)
+        self.pmus = [CorePmu(c.cpu_id, c.ctype) for c in self.topology.cores]
+        self.scheduler = Scheduler(
+            self.topology,
+            seed=seed,
+            migrate_jitter=migrate_jitter,
+            rebalance_jitter=rebalance_jitter,
+        )
+
+        self.threads: list[SimThread] = []
+        self._next_tid = 1000
+        self.account_hooks: list[AccountHook] = []
+        self.tick_hooks: list[TickHook] = []
+        self.last_power: Optional[PowerSample] = None
+        # The TSC / architectural timer rate (invariant across the package).
+        self.tsc_ghz = self.topology.clusters[-1].ctype.base_freq_mhz / 1000.0
+        self._scratch = np.zeros(N_ARCH_EVENTS, dtype=np.float64)
+        self._busy = np.zeros(self.topology.n_cpus, dtype=np.float64)
+        self._spin = np.zeros(self.topology.n_cpus, dtype=np.float64)
+
+    # -- thread lifecycle ---------------------------------------------------
+
+    def spawn(self, thread: SimThread) -> SimThread:
+        """Register a thread; it becomes runnable on the next tick."""
+        if thread.tid == -1:
+            thread.tid = self._next_tid
+            self._next_tid += 1
+        thread.state = ThreadState.READY
+        self.threads.append(thread)
+        return thread
+
+    def spawn_program(
+        self,
+        name: str,
+        items: Iterable,
+        affinity: Optional[set[int]] = None,
+        weight: float = 1.0,
+    ) -> SimThread:
+        return self.spawn(SimThread(name, Program(items), affinity=affinity, weight=weight))
+
+    def thread_by_tid(self, tid: int) -> SimThread:
+        for t in self.threads:
+            if t.tid == tid:
+                return t
+        raise KeyError(f"no thread with tid {tid}")
+
+    # -- main loop ------------------------------------------------------------
+
+    @property
+    def now_s(self) -> float:
+        return self.clock.now_s
+
+    def tick(self) -> None:
+        dt = self.clock.dt_s
+
+        # 1. Wake sleepers.
+        for t in self.threads:
+            if t.state is not ThreadState.BLOCKED:
+                continue
+            phase = t.current_phase
+            woke = False
+            if isinstance(phase, SleepPhase):
+                if phase.until is not None and phase.until():
+                    woke = True
+                elif t.wake_at_s is not None and self.now_s >= t.wake_at_s:
+                    woke = True
+            else:
+                woke = True
+            if woke:
+                t.current_phase = None
+                t.wake_at_s = None
+                t.state = ThreadState.READY
+
+        # 2. Place runnable threads.
+        runnable = [
+            t
+            for t in self.threads
+            if t.state in (ThreadState.READY, ThreadState.RUNNING)
+        ]
+        assignment = self.scheduler.schedule(runnable)
+
+        # 3. Execute.
+        self._busy[:] = 0.0
+        self._spin[:] = 0.0
+        for t in runnable:
+            t.state = ThreadState.READY  # set RUNNING below if placed
+        for cpu_id, entries in assignment.items():
+            core = self.topology.core(cpu_id)
+            freq_ghz = self.governor.freq_of_cpu_ghz(cpu_id)
+            for entry in entries:
+                entry.thread.state = ThreadState.RUNNING
+                busy_s, spin_s = self._execute_slice(
+                    entry.thread, core, freq_ghz, dt * entry.share
+                )
+                self._busy[cpu_id] += busy_s / dt
+                self._spin[cpu_id] += spin_s / dt
+
+        # 4. Power, energy, thermal.
+        states = [
+            CorePowerState(busy_frac=float(self._busy[i]), spin_frac=float(self._spin[i]))
+            for i in range(self.topology.n_cpus)
+        ]
+        sample = self.power_model.sample(states, self.governor.freq_mhz)
+        self.last_power = sample
+        self.rapl.step(
+            self.governor,
+            sample.package_w,
+            sample.cores_w,
+            sample.dram_w,
+            dt,
+        )
+        self.thermal.step(sample.package_w, dt)
+        from repro.hw.power import SPIN_POWER_FRACTION
+
+        cluster_activity = [
+            sum(
+                float(self._busy[c]) + SPIN_POWER_FRACTION * float(self._spin[c])
+                for c in cl.cpu_ids
+            )
+            for cl in self.topology.clusters
+        ]
+        self.thermal.apply_throttling(
+            self.governor,
+            cluster_activity,
+            sample.uncore_w + sample.dram_w,
+            dt,
+        )
+
+        # 5. Governor for next tick.
+        cluster_util = []
+        for cl in self.topology.clusters:
+            u = max(
+                (float(self._busy[c] + self._spin[c]) for c in cl.cpu_ids),
+                default=0.0,
+            )
+            cluster_util.append(min(1.0, u))
+        self.governor.update(cluster_util)
+
+        self.clock.advance()
+        for hook in self.tick_hooks:
+            hook(self)
+
+    def _execute_slice(
+        self, thread: SimThread, core: Core, freq_ghz: float, t_slice: float
+    ) -> tuple[float, float]:
+        """Run ``thread`` on ``core`` for up to ``t_slice`` seconds."""
+        time_left = t_slice
+        busy_s = 0.0
+        spin_s = 0.0
+        control_ops = 0
+        while time_left > 1e-15:
+            phase = thread.current_phase
+            if phase is None:
+                item = thread.take_next()
+                if item is None:
+                    thread.state = ThreadState.DONE
+                    thread.cpu = None
+                    break
+                if isinstance(item, ControlOp):
+                    control_ops += 1
+                    if control_ops > MAX_CONTROL_OPS_PER_SLICE:
+                        raise RuntimeError(
+                            f"thread {thread.name!r} ran {control_ops} control ops "
+                            "in one slice; likely an infinite control loop"
+                        )
+                    item.fn(thread)
+                    continue
+                thread.current_phase = item
+                phase = item
+
+            if isinstance(phase, SleepPhase):
+                if phase.until is not None and phase.until():
+                    thread.current_phase = None
+                    continue
+                thread.state = ThreadState.BLOCKED
+                thread.cpu = None
+                if phase.wake_at_s is not None and thread.wake_at_s is None:
+                    thread.wake_at_s = self.now_s + phase.wake_at_s
+                break
+
+            if isinstance(phase, SpinPhase):
+                if phase.until():
+                    thread.current_phase = None
+                    continue
+                # Spin for the rest of the slice.
+                self._account(thread, core, freq_ghz, SPIN_RATES, time_left, spin=True)
+                spin_s += time_left
+                thread.spin_time_s += time_left
+                time_left = 0.0
+                break
+
+            if isinstance(phase, ComputePhase):
+                rates = phase.rates_fn(core.ctype)
+                instr_per_s = freq_ghz * 1e9 * rates.ipc
+                possible = instr_per_s * time_left
+                executed = min(phase.remaining, possible)
+                dt_used = executed / instr_per_s if instr_per_s > 0 else time_left
+                phase.remaining -= executed
+                self._account(
+                    thread, core, freq_ghz, rates, dt_used, instructions=executed
+                )
+                busy_s += dt_used
+                time_left -= dt_used
+                if phase.done:
+                    thread.current_phase = None
+                    if phase.on_complete is not None:
+                        phase.on_complete(thread)
+                continue
+
+            raise TypeError(f"unknown phase type {type(phase)!r}")
+        thread.vruntime += (busy_s + spin_s) / thread.weight
+        return busy_s, spin_s
+
+    def _account(
+        self,
+        thread: SimThread,
+        core: Core,
+        freq_ghz: float,
+        rates: PhaseRates,
+        time_s: float,
+        instructions: Optional[float] = None,
+        spin: bool = False,
+    ) -> None:
+        if time_s <= 0:
+            return
+        ct = core.ctype
+        cycles = freq_ghz * 1e9 * time_s
+        instr = instructions if instructions is not None else rates.ipc * cycles
+        v = self._scratch
+        v[:] = 0.0
+        v[ArchEvent.CYCLES] = cycles
+        v[ArchEvent.INSTRUCTIONS] = instr
+        v[ArchEvent.FP_OPS] = instr * rates.flops_per_instr
+        refs = instr * rates.llc_refs_per_instr
+        v[ArchEvent.LLC_REFERENCES] = refs
+        v[ArchEvent.LLC_MISSES] = refs * rates.llc_miss_rate
+        l2 = instr * rates.l2_refs_per_instr
+        v[ArchEvent.L2_REFERENCES] = l2
+        v[ArchEvent.L2_MISSES] = l2 * rates.l2_miss_rate
+        branches = instr * rates.branches_per_instr
+        v[ArchEvent.BRANCHES] = branches
+        v[ArchEvent.BRANCH_MISSES] = branches * rates.branch_miss_rate
+        v[ArchEvent.REF_CYCLES] = self.tsc_ghz * 1e9 * time_s
+        v[ArchEvent.STALLED_CYCLES] = max(0.0, cycles - instr / ct.ipc)
+        if ct.supports_event(ArchEvent.TOPDOWN_SLOTS):
+            v[ArchEvent.TOPDOWN_SLOTS] = cycles * TOPDOWN_SLOTS_PER_CYCLE
+
+        thread.account(ct.pmu_name, v, time_s)
+        self.pmus[core.cpu_id].totals += v
+        for hook in self.account_hooks:
+            hook(thread, core, v, time_s)
+
+    # -- convenience runners ---------------------------------------------------
+
+    def run_ticks(self, n: int) -> None:
+        for _ in range(n):
+            self.tick()
+
+    def run_for(self, seconds: float) -> None:
+        self.run_ticks(max(1, round(seconds / self.clock.dt_s)))
+
+    def run_until(self, cond: Callable[[], bool], max_s: float = 3600.0) -> bool:
+        """Tick until ``cond()`` is true; returns False on timeout."""
+        deadline = self.now_s + max_s
+        while not cond():
+            if self.now_s >= deadline:
+                return False
+            self.tick()
+        return True
+
+    def run_until_done(
+        self, threads: Optional[Iterable[SimThread]] = None, max_s: float = 3600.0
+    ) -> bool:
+        watch = list(threads) if threads is not None else self.threads
+        return self.run_until(lambda: all(t.done for t in watch), max_s=max_s)
+
+    def cool_down(self, target_c: float = 35.0, max_s: float = 600.0) -> bool:
+        """Idle the machine until the package settles at ``target_c``.
+
+        Mirrors the paper's methodology of waiting for ``x86_pkg_temp`` to
+        settle at 35 degC before each HPL run.
+        """
+        return self.run_until(lambda: self.thermal.is_settled(target_c), max_s=max_s)

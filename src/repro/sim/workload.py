@@ -1,0 +1,155 @@
+"""Work phases: the unit of simulated execution.
+
+A thread's life is a sequence of phases.  A :class:`ComputePhase` retires a
+fixed number of instructions whose per-core-type execution rates come from
+a ``rates_fn`` — this is where microarchitecture differences (IPC, SIMD
+width, LLC behaviour) enter.  A :class:`SpinPhase` models busy-waiting at a
+synchronization barrier (retiring spin-loop instructions and burning
+power); a :class:`SleepPhase` blocks the thread off-CPU.
+
+:class:`SpinBarrier` is the synchronization primitive the HPL workload
+model uses between panel steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.hw.coretype import CoreType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.task import SimThread
+
+
+@dataclass
+class PhaseRates:
+    """Execution rates of one phase on one core type.
+
+    ``ipc`` is the *effective* retired-instruction rate (memory stalls
+    already folded in — use :func:`repro.hw.cache.memory_stall_cycles` when
+    deriving it).  The remaining fields translate retired instructions into
+    the other architectural events.
+    """
+
+    ipc: float
+    flops_per_instr: float = 0.0
+    llc_refs_per_instr: float = 0.0
+    llc_miss_rate: float = 0.0
+    l2_refs_per_instr: float = 0.0
+    l2_miss_rate: float = 0.0
+    branches_per_instr: float = 0.05
+    branch_miss_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.ipc <= 0:
+            raise ValueError("ipc must be positive")
+
+
+RatesFn = Callable[[CoreType], PhaseRates]
+
+
+def constant_rates(rates: PhaseRates) -> RatesFn:
+    """A rates function that ignores the core type."""
+    return lambda ctype: rates
+
+
+class WorkPhase:
+    """Base class; engine dispatches on the concrete type."""
+
+    __slots__ = ()
+
+
+class ComputePhase(WorkPhase):
+    """Retire ``instructions`` instructions, then optionally call back."""
+
+    __slots__ = ("remaining", "total", "rates_fn", "on_complete", "label")
+
+    def __init__(
+        self,
+        instructions: float,
+        rates_fn: RatesFn,
+        on_complete: Optional[Callable[["SimThread"], None]] = None,
+        label: str = "compute",
+    ):
+        if instructions <= 0:
+            raise ValueError("a compute phase needs a positive instruction count")
+        self.remaining = float(instructions)
+        self.total = float(instructions)
+        self.rates_fn = rates_fn
+        self.on_complete = on_complete
+        self.label = label
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 0.0
+
+
+#: Spin loops retire mostly test-and-branch (and pause) instructions;
+#: a tight register-resident loop sustains high retirement rates.
+SPIN_RATES = PhaseRates(
+    ipc=3.0,
+    flops_per_instr=0.0,
+    llc_refs_per_instr=0.0,
+    branches_per_instr=0.45,
+    branch_miss_rate=0.001,
+)
+
+
+class SpinPhase(WorkPhase):
+    """Busy-wait until ``until()`` turns true (checked each tick)."""
+
+    __slots__ = ("until", "label")
+
+    def __init__(self, until: Callable[[], bool], label: str = "spin"):
+        self.until = until
+        self.label = label
+
+
+class SleepPhase(WorkPhase):
+    """Block off-CPU until ``until()`` turns true or for a duration."""
+
+    __slots__ = ("until", "wake_at_s", "label")
+
+    def __init__(
+        self,
+        until: Optional[Callable[[], bool]] = None,
+        duration_s: Optional[float] = None,
+        label: str = "sleep",
+    ):
+        if until is None and duration_s is None:
+            raise ValueError("sleep needs a wake condition or a duration")
+        self.until = until
+        self.wake_at_s = duration_s  # engine converts to absolute time
+        self.label = label
+
+
+class SpinBarrier:
+    """A generational barrier.
+
+    Threads call :meth:`arrive`; the barrier releases a generation once
+    ``parties`` arrivals are in.  ``wait_phase`` returns the phase a thread
+    should execute while waiting (spin by default, matching BLAS runtime
+    behaviour with active waiting).
+    """
+
+    def __init__(self, parties: int, spin: bool = True):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.parties = parties
+        self.spin = spin
+        self.generation = 0
+        self._arrived = 0
+
+    def arrive(self) -> None:
+        self._arrived += 1
+        if self._arrived >= self.parties:
+            self._arrived = 0
+            self.generation += 1
+
+    def wait_phase(self) -> WorkPhase:
+        gen = self.generation
+        cond = lambda: self.generation != gen  # noqa: E731
+        if self.spin:
+            return SpinPhase(until=cond, label="barrier-spin")
+        return SleepPhase(until=cond, label="barrier-sleep")

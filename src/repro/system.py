@@ -1,0 +1,57 @@
+"""A complete simulated system: hardware + kernel services.
+
+:class:`System` is the top-level object experiments and the PAPI library
+operate on — the equivalent of "a Linux machine": the simulated hardware
+(:class:`~repro.sim.engine.Machine`), the perf_event subsystem, and the
+virtual /sys and /proc trees.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.hw.machines import MACHINE_PRESETS, MachineSpec
+from repro.kernel.perf.subsystem import PerfSubsystem
+from repro.kernel.procfs import ProcFs
+from repro.kernel.sysfs import SysFs
+from repro.sim.engine import Machine
+
+
+class System:
+    """A booted simulated machine."""
+
+    def __init__(
+        self,
+        spec: Union[MachineSpec, str],
+        dt_s: float = 0.01,
+        seed: int = 0,
+        migrate_jitter: float = 0.0,
+        rebalance_jitter: float = 0.0,
+        expose_cpu_types: bool = False,
+    ):
+        if isinstance(spec, str):
+            try:
+                spec = MACHINE_PRESETS[spec]()
+            except KeyError:
+                raise ValueError(
+                    f"unknown machine preset {spec!r}; "
+                    f"known: {sorted(MACHINE_PRESETS)}"
+                ) from None
+        self.spec = spec
+        self.machine = Machine(
+            spec,
+            dt_s=dt_s,
+            seed=seed,
+            migrate_jitter=migrate_jitter,
+            rebalance_jitter=rebalance_jitter,
+        )
+        self.perf = PerfSubsystem(self.machine)
+        self.sysfs = SysFs(self.machine, self.perf, expose_cpu_types=expose_cpu_types)
+        self.procfs = ProcFs(self.machine)
+
+    @property
+    def topology(self):
+        return self.machine.topology
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"System({self.spec.name!r}, t={self.machine.now_s:.3f}s)"

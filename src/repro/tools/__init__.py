@@ -1,0 +1,17 @@
+"""Command-line tools.
+
+Analogs of the paper's artifact scripts and PAPI's utilities, operating
+on the simulated machines:
+
+* ``repro-mon-hpl`` — artifact A2's ``mon_hpl.py``: run HPL N times with
+  1 Hz monitoring, writing raw per-run CSVs (same ``-n_runs``,
+  ``-cores``, ``-settled_temps`` parameters as the paper's Table I of
+  the artifact appendix);
+* ``repro-process-runs`` — artifact A2's ``process_runs.py``: aggregate
+  a raw-data directory into one averaged run;
+* ``repro-hwinfo`` — ``papi_hwinfo``-style hardware report including the
+  §V-1 per-core-type classes and the §IV-B detection survey;
+* ``repro-papi-avail`` — ``papi_avail``/``papi_native_avail``: list the
+  presets and native events available on a machine;
+* ``repro-perf-stat`` — the mini perf tool: count events for a workload.
+"""

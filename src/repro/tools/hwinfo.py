@@ -1,0 +1,62 @@
+"""``repro-hwinfo``: hardware report plus the core-type detection survey."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.hw.machines import MACHINE_PRESETS, orangepi_800
+from repro.kernel.sched.affinity import format_cpu_list
+from repro.papi import detect_core_types
+from repro.papi.hwinfo import get_hardware_info
+from repro.system import System
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro-hwinfo", description=__doc__)
+    p.add_argument("--machine", default="raptor-lake-i7-13700",
+                   choices=sorted(MACHINE_PRESETS))
+    p.add_argument("--firmware", default=None, choices=["devicetree", "acpi"],
+                   help="ARM boot firmware personality (affects PMU names)")
+    p.add_argument("--detect", action="store_true",
+                   help="also run every core-type detection strategy")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.firmware and args.machine == "orangepi-800":
+        system = System(orangepi_800(firmware=args.firmware))
+    else:
+        system = System(args.machine)
+    info = get_hardware_info(system)
+    print(f"Model:          {info.model_string}")
+    print(f"Vendor:         {info.vendor_string}")
+    print(f"CPUs:           {info.totalcpus} logical / {info.cores} cores / "
+          f"{info.sockets} socket(s)")
+    print(f"Memory:         {info.memory_gib} GiB")
+    print(f"Heterogeneous:  {info.heterogeneous}")
+    for cc in info.core_classes:
+        print(
+            f"  class {cc.name:10s} {cc.n_physical_cores} cores "
+            f"({cc.n_logical_cpus} threads)  "
+            f"{cc.base_mhz / 1000:.2f}-{cc.max_mhz / 1000:.2f} GHz  "
+            f"capacity {cc.capacity:4d}  PMU {cc.pmu_name} (pfm {cc.pfm_pmu})  "
+            f"cpus [{format_cpu_list(cc.cpu_ids)}]"
+        )
+    if args.detect:
+        print("\nCore-type detection strategies (IV-B):")
+        report = detect_core_types(system)
+        for r in report.results:
+            if not r.applicable:
+                print(f"  {r.strategy:20s} n/a  ({r.detail})")
+                continue
+            classes = ", ".join(
+                f"{k}=[{format_cpu_list(v)}]" for k, v in sorted(r.classes.items())
+            )
+            print(f"  {r.strategy:20s} {r.n_classes} class(es): {classes}")
+        print(f"  consensus: {len(report.consensus)} core type(s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""``repro-mon-hpl``: the mon_hpl.py artifact, on the simulator.
+
+Workflow T1 of artifact A2: run HPL ``-n_runs`` times, each preceded by
+waiting for the named thermal zone to settle, polling CPU frequency,
+thermal-zone temperatures and RAPL energy at 1 Hz, and write one CSV of
+raw samples per run plus a summary file.
+
+Example (the paper's exact parameters)::
+
+    repro-mon-hpl --machine raptor-lake-i7-13700 \\
+        -n_runs 10 -cores 0,2,4,6,8,10,12,14,16-24 \\
+        -settled_temps thermal_zone9:35000 \\
+        --variant intel --out raw_data/
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+from pathlib import Path
+
+from repro.hpl import HplConfig, run_hpl
+from repro.hw.machines import MACHINE_PRESETS
+from repro.kernel.sched.affinity import parse_cpu_list
+from repro.monitor import Sampler
+from repro.system import System
+
+
+def parse_settled_temps(text: str) -> tuple[int, float]:
+    """Parse ``thermal_zoneN:millidegrees`` into (zone index, degC)."""
+    zone, _, milli = text.partition(":")
+    if not zone.startswith("thermal_zone") or not milli:
+        raise argparse.ArgumentTypeError(
+            f"expected thermal_zoneN:millidegrees, got {text!r}"
+        )
+    return int(zone[len("thermal_zone"):]), int(milli) / 1000.0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-mon-hpl", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("--machine", default="raptor-lake-i7-13700",
+                   choices=sorted(MACHINE_PRESETS))
+    p.add_argument("-n_runs", type=int, default=1, help="identical runs to perform")
+    p.add_argument("-cores", default=None,
+                   help="CPU list to bind HPL threads to (e.g. 0,2,4-7)")
+    p.add_argument("-settled_temps", type=parse_settled_temps, default=None,
+                   metavar="thermal_zoneN:MILLIC",
+                   help="wait for this zone to settle before each run")
+    p.add_argument("--variant", default="openblas", choices=["openblas", "intel"])
+    p.add_argument("--n", type=int, default=23040, help="HPL problem size N")
+    p.add_argument("--nb", type=int, default=192, help="HPL block size NB")
+    p.add_argument("--poll-hz", type=float, default=1.0)
+    p.add_argument("--dt", type=float, default=0.02, help="simulation tick (s)")
+    p.add_argument("--out", type=Path, default=Path("raw_data"))
+    return p
+
+
+def run_one(args, run_idx: int) -> dict:
+    system = System(args.machine, dt_s=args.dt, seed=run_idx)
+    cpus = sorted(parse_cpu_list(args.cores)) if args.cores else None
+    if args.settled_temps is not None:
+        zone_idx, settle_c = args.settled_temps
+        if zone_idx != system.spec.thermal_zone_index:
+            raise SystemExit(
+                f"machine exposes thermal_zone{system.spec.thermal_zone_index} "
+                f"({system.spec.thermal_zone_name}), not thermal_zone{zone_idx}"
+            )
+        system.machine.cool_down(settle_c, max_s=600.0)
+    sampler = Sampler(system, period_s=1.0 / args.poll_hz)
+    sampler.start()
+    result = run_hpl(
+        system, HplConfig(n=args.n, nb=args.nb), variant=args.variant, cpus=cpus
+    )
+    trace = sampler.stop()
+    return {"result": result, "trace": trace}
+
+
+def write_run_csv(path: Path, trace) -> None:
+    labels = sorted(trace.freq_mhz)
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["t_s", *(f"freq_{l}_mhz" for l in labels), "temp_c",
+                    "package_w", "energy_j"])
+        for i, t in enumerate(trace.times_s):
+            w.writerow(
+                [f"{t:.3f}",
+                 *(f"{trace.freq_mhz[l][i]:.0f}" for l in labels),
+                 f"{trace.temp_c[i]:.3f}",
+                 f"{trace.package_w[i]:.3f}",
+                 f"{trace.energy_j[i]:.3f}"]
+            )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    args.out.mkdir(parents=True, exist_ok=True)
+    summary = []
+    for i in range(args.n_runs):
+        out = run_one(args, i)
+        result, trace = out["result"], out["trace"]
+        csv_path = args.out / f"run_{i:03d}.csv"
+        write_run_csv(csv_path, trace)
+        summary.append(
+            {
+                "run": i,
+                "gflops": result.gflops,
+                "wall_s": result.wall_s,
+                "energy_j": result.energy_j,
+                "avg_power_w": result.avg_power_w,
+                "csv": csv_path.name,
+            }
+        )
+        print(
+            f"run {i}: {result.gflops:.2f} Gflop/s in {result.wall_s:.1f} s, "
+            f"avg {result.avg_power_w:.1f} W -> {csv_path}"
+        )
+    meta = {
+        "machine": args.machine,
+        "variant": args.variant,
+        "n": args.n,
+        "nb": args.nb,
+        "cores": args.cores,
+        "runs": summary,
+    }
+    (args.out / "summary.json").write_text(json.dumps(meta, indent=2))
+    print(f"wrote {args.out / 'summary.json'}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

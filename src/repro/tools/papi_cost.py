@@ -1,0 +1,86 @@
+"""``repro-papi-cost``: PAPI's self-overhead, papi_cost style.
+
+Measures the per-call cost of PAPI_start/read/stop (in modeled
+instructions and syscalls) for EventSets spanning 1..N PMUs — the §V-5
+question ("we need to run extensive tests to see if there are any
+overhead regressions"), as a reusable tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.hw.machines import MACHINE_PRESETS
+from repro.papi import Papi
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+def measure_eventset(system: System, papi: Papi, events: list[str], iterations: int):
+    t = system.machine.spawn(
+        SimThread("cost-target", Program([ComputePhase(1e9, RATES)]), affinity={0})
+    )
+    es = papi.create_eventset()
+    papi.attach(es, t)
+    for name in events:
+        papi.add_event(es, name)
+    stats = system.perf.cost.stats
+    costs = {}
+    for op, fn in (
+        ("start+stop", lambda: (papi.start(es), papi.stop(es))),
+        ("read", None),
+    ):
+        if op == "read":
+            papi.start(es)
+            before = stats.snapshot()
+            for _ in range(iterations):
+                papi.read(es)
+            delta = stats.delta(before)
+            papi.stop(es)
+        else:
+            before = stats.snapshot()
+            for _ in range(iterations):
+                fn()
+            delta = stats.delta(before)
+        costs[op] = (
+            delta.total_calls / iterations,
+            delta.instructions_charged / iterations,
+        )
+    papi.destroy_eventset(es)
+    return costs
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(prog="repro-papi-cost", description=__doc__)
+    p.add_argument("--machine", default="raptor-lake-i7-13700",
+                   choices=sorted(MACHINE_PRESETS))
+    p.add_argument("--iterations", type=int, default=100)
+    args = p.parse_args(argv)
+
+    system = System(args.machine, dt_s=1e-3)
+    papi = Papi(system, mode="hybrid")
+    core_pmus = papi.pfm.default_pmus()
+    inst = "INST_RETIRED:ANY" if core_pmus[0].name.startswith(("adl", "skx")) else "INST_RETIRED"
+
+    configs = {}
+    configs["1 PMU"] = [f"{core_pmus[0].name}::{inst}"]
+    if len(core_pmus) > 1:
+        configs[f"{len(core_pmus)} PMUs"] = [
+            f"{t.name}::{inst}" for t in core_pmus
+        ]
+
+    print(f"PAPI operation cost on {args.machine} "
+          f"({args.iterations} iterations each)\n")
+    print(f"{'EventSet':12s} {'op':12s} {'syscalls/op':>12s} {'instr/op':>12s}")
+    for label, events in configs.items():
+        costs = measure_eventset(system, papi, events, args.iterations)
+        for op, (calls, instr) in costs.items():
+            print(f"{label:12s} {op:12s} {calls:12.1f} {instr:12.0f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""``repro-process-runs``: the process_runs.py artifact.
+
+Workflow T2 of artifact A2: read the raw-data directory written by
+``repro-mon-hpl`` and produce an averaged run (CSV) plus summary
+statistics ready for plotting or analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import statistics
+from pathlib import Path
+
+from repro.monitor import aggregate_traces
+from repro.monitor.sampler import SampleTrace
+
+
+def read_run_csv(path: Path) -> SampleTrace:
+    trace = SampleTrace(period_s=1.0)
+    with path.open() as fh:
+        reader = csv.DictReader(fh)
+        freq_cols = [c for c in reader.fieldnames or [] if c.startswith("freq_")]
+        for row in reader:
+            trace.times_s.append(float(row["t_s"]))
+            for col in freq_cols:
+                label = col[len("freq_"):-len("_mhz")]
+                trace.freq_mhz.setdefault(label, []).append(float(row[col]))
+            trace.temp_c.append(float(row["temp_c"]))
+            trace.package_w.append(float(row["package_w"]))
+            trace.energy_j.append(float(row["energy_j"]))
+            trace.wall_power_w.append(float(row["package_w"]))
+    if len(trace.times_s) >= 2:
+        trace.period_s = trace.times_s[1] - trace.times_s[0]
+    return trace
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(prog="repro-process-runs", description=__doc__)
+    p.add_argument("raw_dir", type=Path, help="directory written by repro-mon-hpl")
+    p.add_argument("--out", type=Path, default=None,
+                   help="averaged CSV path (default: <raw_dir>/averaged.csv)")
+    args = p.parse_args(argv)
+
+    summary_path = args.raw_dir / "summary.json"
+    if not summary_path.exists():
+        raise SystemExit(f"{summary_path} not found; run repro-mon-hpl first")
+    meta = json.loads(summary_path.read_text())
+    traces = [read_run_csv(args.raw_dir / run["csv"]) for run in meta["runs"]]
+    if not traces:
+        raise SystemExit("no runs recorded")
+    agg = aggregate_traces(traces)
+
+    out = args.out or (args.raw_dir / "averaged.csv")
+    labels = sorted(agg.freq_mhz)
+    with out.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["t_s", *(f"freq_{l}_mhz" for l in labels), "temp_c", "package_w"])
+        for i, t in enumerate(agg.times_s):
+            w.writerow(
+                [f"{t:.3f}",
+                 *(f"{agg.freq_mhz[l][i]:.0f}" for l in labels),
+                 f"{agg.temp_c[i]:.3f}",
+                 f"{agg.package_w[i]:.3f}"]
+            )
+
+    gflops = [run["gflops"] for run in meta["runs"]]
+    print(f"aggregated {len(traces)} runs -> {out}")
+    print(
+        f"Gflop/s: mean {statistics.mean(gflops):.2f}"
+        + (f" +- {statistics.stdev(gflops):.2f}" if len(gflops) > 1 else "")
+    )
+    for label in labels:
+        print(f"median freq {label}: {agg.median_freq_ghz(label):.2f} GHz")
+    print(f"peak power: {agg.peak_power_w():.1f} W, steady: {agg.steady_power_w():.1f} W")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""``repro-reproduce``: regenerate every paper artifact in one command.
+
+Runs all the experiments from DESIGN.md's index (Tables I–IV, Figures
+1–4, the §IV-F functional result, the §V-5 overhead study) and writes a
+markdown report of regenerated-vs-paper values together with the shape
+verdicts.  ``--quick`` shrinks the problem sizes for a fast smoke pass;
+``--full-scale`` uses the paper's exact parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import (
+    energy_efficiency,
+    fig1_frequencies,
+    fig2_power,
+    fig3_arm_throttle,
+    fig4_arm_scaling,
+    hybrid_eventset,
+    overhead,
+    table1_hw,
+    table2_hpl,
+    table3_counters,
+)
+from repro.experiments.common import orangepi_system, raptor_system
+from repro.hpl import HplConfig
+
+QUICK_RAPTOR = HplConfig(n=29952, nb=192)
+QUICK_OPI = HplConfig(n=9984, nb=128)
+
+
+def _block(title: str, body: str, verdicts: dict | None = None) -> str:
+    out = [f"## {title}", "", "```", body, "```", ""]
+    if verdicts is not None:
+        out.append("Shape claims: " + ", ".join(
+            f"{k}={'PASS' if v else 'FAIL'}" for k, v in verdicts.items()
+        ))
+        out.append("")
+    return "\n".join(out)
+
+
+def run_all(full_scale: bool = False, quick: bool = False, log=print) -> tuple[str, bool]:
+    """Returns (markdown report, all shape claims passed)."""
+    raptor_cfg = QUICK_RAPTOR if quick else None
+    opi_cfg = QUICK_OPI if quick else None
+    sections: list[str] = ["# Reproduction report", ""]
+    all_ok = True
+
+    def record(title, body, verdicts=None):
+        nonlocal all_ok
+        if verdicts is not None:
+            all_ok = all_ok and all(verdicts.values())
+        sections.append(_block(title, body, verdicts))
+
+    log("Table I / Table IV (hardware config)...")
+    record("Table I — Raptor Lake", table1_hw.render(table1_hw.run_hw_config(raptor_system())))
+    record("Table IV — OrangePi 800", table1_hw.render(table1_hw.run_hw_config(orangepi_system())))
+
+    log("Table II (six HPL cells)...")
+    t2 = table2_hpl.run_table2(full_scale=full_scale, config=raptor_cfg)
+    record("Table II — HPL Gflop/s", table2_hpl.render(t2), table2_hpl.shape_holds(t2))
+
+    log("Table III (counter measurements)...")
+    t3 = table3_counters.run_table3(full_scale=full_scale, config=raptor_cfg)
+    record("Table III — counters", table3_counters.render(t3), table3_counters.shape_holds(t3))
+
+    log("Figure 1 (frequencies)...")
+    f1 = fig1_frequencies.run_fig1(full_scale=full_scale, config=raptor_cfg)
+    record("Figure 1 — frequencies", fig1_frequencies.render(f1), fig1_frequencies.shape_holds(f1))
+
+    log("Figure 2 (power and temperature)...")
+    f2 = fig2_power.run_fig2(full_scale=full_scale, config=raptor_cfg)
+    record("Figure 2 — power/temperature", fig2_power.render(f2), fig2_power.shape_holds(f2))
+
+    log("Figure 3 (ARM throttling)...")
+    f3 = fig3_arm_throttle.run_fig3(full_scale=full_scale, config=opi_cfg)
+    record("Figure 3 — ARM throttling", fig3_arm_throttle.render(f3), fig3_arm_throttle.shape_holds(f3))
+
+    log("Figure 4 (ARM core scaling)...")
+    f4 = fig4_arm_scaling.run_fig4(full_scale=full_scale, config=opi_cfg)
+    record("Figure 4 — ARM scaling", fig4_arm_scaling.render(f4), fig4_arm_scaling.shape_holds(f4))
+
+    log("papi_hybrid_100m_one_eventset (both machines)...")
+    scenarios = hybrid_eventset.run_paper_scenarios("raptor-lake-i7-13700")
+    free = next(r for r in scenarios if (r.mode, r.pinned) == ("hybrid", None))
+    r1_ok = {
+        "counts_split": free.average(0) > 0 and free.average(1) > 0,
+        "sum_near_1m": 1e6 <= free.avg_total <= 1.05e6,
+    }
+    record("§IV-F — hybrid EventSet test", hybrid_eventset.render(scenarios), r1_ok)
+
+    log("§V-5 overhead ablation...")
+    ov = overhead.run_overhead()
+    record("§V-5 — overhead", overhead.render(ov), overhead.shape_holds(ov))
+
+    log("Energy efficiency extension...")
+    ee = energy_efficiency.run_energy_efficiency(full_scale=full_scale, config=raptor_cfg)
+    record("Extension — energy efficiency", energy_efficiency.render(ee),
+           energy_efficiency.shape_holds(ee))
+
+    sections.append(
+        f"**Overall: {'ALL SHAPE CLAIMS HOLD' if all_ok else 'SOME CLAIMS FAILED'}**"
+    )
+    return "\n".join(sections), all_ok
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(prog="repro-reproduce", description=__doc__)
+    p.add_argument("--out", type=Path, default=Path("reproduction_report.md"))
+    p.add_argument("--quick", action="store_true",
+                   help="reduced problem sizes (fast smoke pass)")
+    p.add_argument("--full-scale", action="store_true",
+                   help="the paper's exact problem sizes (slow)")
+    args = p.parse_args(argv)
+    report, ok = run_all(full_scale=args.full_scale, quick=args.quick)
+    args.out.write_text(report)
+    print(f"wrote {args.out}")
+    print("ALL SHAPE CLAIMS HOLD" if ok else "SOME SHAPE CLAIMS FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Synthetic workloads beyond HPL, and counter-guided core selection.
+
+The paper motivates heterogeneous-aware *tooling*; its related work
+(Stepanovic et al., Gupta et al.) uses exactly such tooling to drive
+core selection — "it is usually optimal to relegate jobs with a high LLC
+miss rate to the E-cores".  This package provides:
+
+* :mod:`repro.workloads.jobs` — parameterized job profiles (compute-
+  bound SIMD kernels, memory/LLC-bound scans, branchy integer work);
+* :mod:`repro.workloads.guided` — a core-selection study: profile each
+  job's LLC miss rate with a hybrid-PAPI EventSet, then place jobs on P
+  or E cores according to the measured counters, and compare makespan
+  against counter-blind placements.
+"""
+
+from repro.workloads.jobs import JOB_PROFILES, JobProfile, make_job_phases
+from repro.workloads.guided import (
+    GuidedSchedulingResult,
+    profile_job_missrates,
+    run_placement,
+    run_guided_study,
+)
+
+__all__ = [
+    "JOB_PROFILES",
+    "JobProfile",
+    "make_job_phases",
+    "GuidedSchedulingResult",
+    "profile_job_missrates",
+    "run_placement",
+    "run_guided_study",
+]

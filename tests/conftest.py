@@ -1,0 +1,55 @@
+"""Shared fixtures: simulated systems of every machine preset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.machines import (
+    dynamiq_three_tier,
+    homogeneous_xeon,
+    orangepi_800,
+    raptor_lake_i7_13700,
+)
+from repro.system import System
+
+
+@pytest.fixture
+def raptor() -> System:
+    """Raptor Lake with a fine tick for short workloads."""
+    return System("raptor-lake-i7-13700", dt_s=1e-4)
+
+
+@pytest.fixture
+def raptor_coarse() -> System:
+    """Raptor Lake with the default experiment tick."""
+    return System("raptor-lake-i7-13700", dt_s=0.02)
+
+
+@pytest.fixture
+def orangepi() -> System:
+    return System("orangepi-800", dt_s=1e-4)
+
+
+@pytest.fixture
+def orangepi_coarse() -> System:
+    return System("orangepi-800", dt_s=0.02)
+
+
+@pytest.fixture
+def xeon() -> System:
+    return System("xeon-homogeneous", dt_s=1e-4)
+
+
+@pytest.fixture
+def dynamiq() -> System:
+    return System("dynamiq-three-tier", dt_s=1e-4)
+
+
+@pytest.fixture
+def orangepi_acpi() -> System:
+    return System(orangepi_800(firmware="acpi"), dt_s=1e-4)
+
+
+@pytest.fixture(params=["raptor-lake-i7-13700", "orangepi-800", "xeon-homogeneous", "dynamiq-three-tier"])
+def any_system(request) -> System:
+    return System(request.param, dt_s=1e-4)

@@ -1,0 +1,108 @@
+"""Derived metrics, the papi_cost tool, and the Alder Lake preset."""
+
+import pytest
+
+from repro.analysis import breakdown_eventset, gflops, ipc, miss_rate
+from repro.papi import Papi
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+from repro.tools import papi_cost
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+class TestMetrics:
+    def test_ipc(self):
+        assert ipc(2e6, 1e6) == 2.0
+        assert ipc(1.0, 0.0) == 0.0
+
+    def test_miss_rate(self):
+        assert miss_rate(50, 100) == 0.5
+        assert miss_rate(0, 0) == 0.0
+        assert miss_rate(200, 100) == 1.0  # clamped
+        with pytest.raises(ValueError):
+            miss_rate(-1, 100)
+
+    def test_gflops(self):
+        assert gflops(2e9, 1.0) == 2.0
+        assert gflops(1e9, 0.0) == 0.0
+
+    def test_breakdown_splits_derived_preset(self):
+        system = System("raptor-lake-i7-13700", dt_s=1e-4, seed=6,
+                        migrate_jitter=0.1, rebalance_jitter=0.1)
+        papi = Papi(system)
+        t = system.machine.spawn(
+            SimThread("app", Program([ComputePhase(2e7, RATES)]))
+        )
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "PAPI_TOT_INS")
+        papi.start(es)
+        system.machine.run_until_done([t], max_s=10)
+        bd = breakdown_eventset(papi, es)
+        assert bd.total("PAPI_TOT_INS") == pytest.approx(2e7, rel=1e-6)
+        shares = bd.entries["PAPI_TOT_INS"]
+        assert set(shares) == {"adl_glc", "adl_grt"}
+        assert bd.share("PAPI_TOT_INS", "adl_glc") + bd.share(
+            "PAPI_TOT_INS", "adl_grt"
+        ) == pytest.approx(1.0)
+
+    def test_breakdown_requires_perf_eventset(self, raptor):
+        papi = Papi(raptor, mode="legacy")
+        es = papi.create_eventset()
+        papi.add_event(es, "rapl::RAPL_ENERGY_PKG")
+        with pytest.raises(TypeError):
+            breakdown_eventset(papi, es)
+
+
+class TestPapiCostTool:
+    def test_hybrid_costs_scale_with_pmus(self, capsys):
+        assert papi_cost.main(["--iterations", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "1 PMU" in out and "2 PMUs" in out
+        # Parse the read rows and compare syscalls/op.
+        rows = {}
+        for line in out.splitlines():
+            parts = line.split()
+            if len(parts) >= 4 and parts[-3] == "read":
+                # e.g. "2 PMUs   read   2.0   6800"
+                label = " ".join(parts[:-3])
+                rows[label] = float(parts[-2])
+        assert rows["2 PMUs"] == 2 * rows["1 PMU"]
+
+    def test_homogeneous_machine(self, capsys):
+        assert papi_cost.main(
+            ["--machine", "xeon-homogeneous", "--iterations", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 PMUs" not in out
+
+
+class TestAlderLakePreset:
+    def test_topology(self):
+        system = System("alder-lake-i5-12600k")
+        assert system.topology.n_cpus == 16  # 6*2 + 4
+        assert len(system.topology.cpus_of_type("P-core")) == 12
+        assert len(system.topology.cpus_of_type("E-core")) == 4
+
+    def test_hybrid_eventset_works(self):
+        system = System("alder-lake-i5-12600k", dt_s=1e-4)
+        papi = Papi(system)
+        e_cpu = system.topology.cpus_of_type("E-core")[0]
+        t = system.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={e_cpu})
+        )
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "PAPI_TOT_INS")
+        papi.start(es)
+        system.machine.run_until_done([t], max_s=5)
+        assert papi.stop(es)[0] == pytest.approx(1e6)
+
+    def test_detection(self):
+        from repro.papi import detect_core_types
+
+        report = detect_core_types(System("alder-lake-i5-12600k"))
+        assert report.heterogeneous
+        assert {len(v) for v in report.consensus.values()} == {12, 4}

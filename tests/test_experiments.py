@@ -1,0 +1,173 @@
+"""Integration tests: every experiment reproduces its paper shape.
+
+These run the actual experiment pipelines at reduced problem sizes (the
+same code paths the benchmarks use at full scale) and assert the
+qualitative claims recorded in DESIGN.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig1_frequencies,
+    fig2_power,
+    fig3_arm_throttle,
+    fig4_arm_scaling,
+    hybrid_eventset,
+    overhead,
+    table1_hw,
+    table2_hpl,
+    table3_counters,
+)
+from repro.experiments.common import orangepi_system, raptor_system
+from repro.hpl import HplConfig
+
+# Reduced sizes: large enough that runs pass well beyond the 28 s RAPL
+# PL1 window (the steady state every power claim depends on), small
+# enough that the whole module stays fast.
+SMALL_RAPTOR = HplConfig(n=29952, nb=192)
+SMALL_OPI = HplConfig(n=9984, nb=128)
+
+
+class TestTable1:
+    def test_render_contains_table1_facts(self):
+        result = table1_hw.run_hw_config(raptor_system())
+        text = table1_hw.render(result)
+        assert "i7-13700" in text
+        assert "8 (16 threads)" in text
+        assert "32GB DDR5" in text
+
+    def test_orangepi_table4(self):
+        result = table1_hw.run_hw_config(orangepi_system())
+        text = table1_hw.render(result)
+        assert "RK3399" in text
+        assert "4GB LPDDR4" in text
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return table2_hpl.run_table2(config=SMALL_RAPTOR)
+
+
+class TestTable2:
+    def test_shape(self, table2):
+        holds = table2_hpl.shape_holds(table2)
+        assert all(holds.values()), holds
+
+    def test_all_core_change_dominates(self, table2):
+        assert table2.change_pct("P and E") > 25.0
+
+    def test_render(self, table2):
+        text = table2_hpl.render(table2)
+        assert "Enabled cores" in text and "P and E" in text
+
+
+class TestTable3:
+    def test_shape(self):
+        result = table3_counters.run_table3(config=SMALL_RAPTOR)
+        holds = table3_counters.shape_holds(result)
+        assert all(holds.values()), holds
+        # Quantitative vicinity of the paper's cells.
+        assert result.miss_rate["openblas"]["P"] == pytest.approx(0.86, abs=0.05)
+        assert result.miss_rate["intel"]["P"] == pytest.approx(0.64, abs=0.05)
+        assert result.instr_share["openblas"]["P"] == pytest.approx(0.80, abs=0.10)
+        assert result.instr_share["intel"]["P"] == pytest.approx(0.68, abs=0.10)
+        assert "LLC missrate" in table3_counters.render(result)
+
+
+class TestFig1:
+    def test_shape(self):
+        result = fig1_frequencies.run_fig1(config=SMALL_RAPTOR)
+        holds = fig1_frequencies.shape_holds(result)
+        assert all(holds.values()), holds
+        assert "median P GHz" in fig1_frequencies.render(result)
+
+
+class TestFig2:
+    def test_shape(self):
+        result = fig2_power.run_fig2(config=SMALL_RAPTOR)
+        holds = fig2_power.shape_holds(result)
+        assert all(holds.values()), holds
+        assert result.pl1_w == 65.0 and result.pl2_w == 219.0
+        assert "peak W" in fig2_power.render(result)
+
+
+class TestFig3:
+    def test_shape(self):
+        result = fig3_arm_throttle.run_fig3(config=SMALL_OPI)
+        holds = fig3_arm_throttle.shape_holds(result)
+        assert all(holds.values()), holds
+        assert "big sustained MHz" in fig3_arm_throttle.render(result)
+
+
+class TestFig4:
+    def test_shape(self):
+        result = fig4_arm_scaling.run_fig4(config=SMALL_OPI)
+        holds = fig4_arm_scaling.shape_holds(result)
+        assert all(holds.values()), holds
+        assert "Gflop/s" in fig4_arm_scaling.render(result)
+
+
+class TestHybridEventset:
+    def test_unpinned_splits_and_sums(self):
+        r = hybrid_eventset.run_hybrid_test(mode="hybrid", reps=60)
+        p, e = r.average(0), r.average(1)
+        assert p > 0 and e > 0
+        # Sum is ~1M plus small PAPI overhead per repetition.
+        assert 1e6 <= r.avg_total <= 1.05e6
+        # The thread lives mostly on the P-cores.
+        assert p > e
+
+    def test_pinned_p_counts_everything(self):
+        r = hybrid_eventset.run_hybrid_test(mode="hybrid", pin="P-core", reps=20)
+        assert r.average(0) == pytest.approx(r.avg_total)
+        assert r.average(1) == 0
+
+    def test_pinned_e_counts_on_e_only(self):
+        r = hybrid_eventset.run_hybrid_test(mode="hybrid", pin="E-core", reps=20)
+        assert r.average(0) == 0
+        assert r.average(1) == pytest.approx(r.avg_total)
+
+    def test_legacy_pinned_foreign_gives_zero(self):
+        """'you might get 0, 1 million, or something in between'."""
+        r = hybrid_eventset.run_hybrid_test(mode="legacy", pin="E-core", reps=20)
+        assert r.avg_total == 0
+
+    def test_legacy_unpinned_in_between(self):
+        r = hybrid_eventset.run_hybrid_test(mode="legacy", reps=60)
+        assert 0 < r.avg_total < 1e6
+
+    def test_homogeneous_machine_expected_result(self):
+        r = hybrid_eventset.run_hybrid_test(
+            mode="legacy", machine="xeon-homogeneous", reps=20
+        )
+        assert 1e6 <= r.avg_total <= 1.05e6
+
+    def test_arm_biglittle_also_works(self):
+        r = hybrid_eventset.run_hybrid_test(
+            mode="hybrid", machine="orangepi-800", reps=20, pin="big"
+        )
+        assert r.average(0) == pytest.approx(r.avg_total)
+
+    def test_render(self):
+        rs = [hybrid_eventset.run_hybrid_test(mode="hybrid", pin="P-core", reps=5)]
+        assert "Average instructions" in hybrid_eventset.render(rs)
+
+
+class TestOverhead:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return overhead.run_overhead()
+
+    def test_shape(self, result):
+        holds = overhead.shape_holds(result)
+        assert all(holds.values()), holds
+
+    def test_syscalls_scale_with_groups(self, result):
+        for label, ops in result.costs.items():
+            groups = result.groups[label]
+            assert ops["read"].syscalls == groups
+            assert ops["start"].syscalls == 2 * groups  # reset + enable
+
+    def test_render(self, result):
+        text = overhead.render(result)
+        assert "rdpmc" in text and "groups" in text

@@ -1,0 +1,93 @@
+"""HPL scaling properties across core counts and block sizes."""
+
+import pytest
+
+from repro.hpl import HplConfig, run_hpl
+from repro.system import System
+
+CFG = HplConfig(n=9216, nb=192)
+
+
+def _run(variant, cpus, config=CFG):
+    system = System("raptor-lake-i7-13700", dt_s=0.01)
+    return run_hpl(system, config, variant=variant, cpus=cpus)
+
+
+def _pcores(n):
+    system = System("raptor-lake-i7-13700")
+    p = [c for c in system.topology.primary_threads()
+         if system.topology.core(c).ctype.name == "P-core"]
+    return p[:n]
+
+
+def _ecores(n):
+    system = System("raptor-lake-i7-13700")
+    e = [c for c in system.topology.primary_threads()
+         if system.topology.core(c).ctype.name == "E-core"]
+    return e[:n]
+
+
+class TestCoreScaling:
+    def test_intel_scales_with_pcores(self):
+        """More P-cores, shorter wall time (intel variant, dynamic)."""
+        times = [
+            _run("intel", _pcores(n)).wall_s for n in (2, 4, 8)
+        ]
+        assert times[0] > times[1] > times[2]
+
+    def test_intel_gains_from_adding_ecores(self):
+        base = _run("intel", _pcores(8))
+        more = _run("intel", _pcores(8) + _ecores(8))
+        assert more.wall_s < base.wall_s
+
+    def test_openblas_loses_from_adding_ecores(self):
+        """Table II's regression.  It only appears once the run lives in
+        the power-capped steady state (the PL1 budget is what makes the
+        E-core stragglers expensive), so this test uses a longer run."""
+        cfg = HplConfig(n=23040, nb=192)
+
+        def run(cpus):
+            system = System("raptor-lake-i7-13700", dt_s=0.02)
+            return run_hpl(system, cfg, variant="openblas", cpus=cpus)
+
+        base = run(_pcores(8))
+        more = run(_pcores(8) + _ecores(8))
+        assert more.wall_s > base.wall_s
+
+    def test_speedup_is_sublinear(self):
+        """4x the P-cores gives less than 4x throughput (power budget)."""
+        g2 = _run("intel", _pcores(2)).gflops
+        g8 = _run("intel", _pcores(8)).gflops
+        assert 1.5 < g8 / g2 < 4.0
+
+
+class TestBlockSizeEffect:
+    def test_larger_blocks_beat_tiny_blocks(self):
+        small = _run("openblas", _pcores(8), HplConfig(n=9216, nb=64))
+        large = _run("openblas", _pcores(8), HplConfig(n=9216, nb=192))
+        assert large.gflops > small.gflops * 1.1
+
+    def test_llc_traffic_scales_inversely_with_nb(self):
+        small = _run("openblas", _pcores(8), HplConfig(n=9216, nb=64))
+        large = _run("openblas", _pcores(8), HplConfig(n=9216, nb=192))
+        assert small.llc_references["cpu_core"] > 2 * large.llc_references["cpu_core"]
+
+
+class TestErrorStrings:
+    def test_papi_error_includes_code_name(self):
+        from repro.papi import Papi, PapiError
+
+        papi = Papi(System("raptor-lake-i7-13700"))
+        with pytest.raises(PapiError) as e:
+            papi.start(123)
+        assert "PAPI_ENOEVST" in str(e.value)
+
+    def test_kernel_error_includes_errno_name(self, raptor):
+        from repro.kernel.errno import KernelError
+        from repro.kernel.perf import PerfEventAttr
+
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(
+                PerfEventAttr(type=999, config=0), pid=-1, cpu=0
+            )
+        assert "[ENOENT]" in str(e.value)

@@ -1,0 +1,77 @@
+"""Unit tests for CPUID / MIDR identification (§IV-B mechanisms)."""
+
+import pytest
+
+from repro.hw.cpuid import ArmMidr, CpuidEmulator, CPUID_LEAF_FMS, CPUID_LEAF_HYBRID
+from repro.hw.machines import (
+    INTEL_CORE_TYPE_ATOM,
+    INTEL_CORE_TYPE_CORE,
+    MIDR_PART_CORTEX_A53,
+    MIDR_PART_CORTEX_A72,
+    homogeneous_xeon,
+    orangepi_800,
+    raptor_lake_i7_13700,
+)
+
+
+@pytest.fixture
+def raptor_cpuid():
+    return CpuidEmulator(raptor_lake_i7_13700())
+
+
+def test_hybrid_flag_set_on_raptor(raptor_cpuid):
+    assert raptor_cpuid.is_hybrid()
+
+
+def test_hybrid_flag_clear_on_xeon():
+    assert not CpuidEmulator(homogeneous_xeon()).is_hybrid()
+
+
+def test_leaf_1a_distinguishes_core_types(raptor_cpuid):
+    spec = raptor_lake_i7_13700()
+    p_cpu = spec.topology.cpus_of_type("P-core")[0]
+    e_cpu = spec.topology.cpus_of_type("E-core")[0]
+    assert raptor_cpuid.core_type(p_cpu) == INTEL_CORE_TYPE_CORE
+    assert raptor_cpuid.core_type(e_cpu) == INTEL_CORE_TYPE_ATOM
+
+
+def test_leaf_1_identical_across_core_types(raptor_cpuid):
+    """The /proc/cpuinfo pitfall, at the cpuid level."""
+    spec = raptor_lake_i7_13700()
+    p_cpu = spec.topology.cpus_of_type("P-core")[0]
+    e_cpu = spec.topology.cpus_of_type("E-core")[0]
+    assert raptor_cpuid.cpuid(p_cpu, CPUID_LEAF_FMS) == raptor_cpuid.cpuid(
+        e_cpu, CPUID_LEAF_FMS
+    )
+
+
+def test_cpuid_not_available_on_arm():
+    emu = CpuidEmulator(orangepi_800())
+    assert not emu.is_x86()
+    with pytest.raises(NotImplementedError):
+        emu.cpuid(0, CPUID_LEAF_HYBRID)
+
+
+def test_midr_distinguishes_arm_cores():
+    emu = CpuidEmulator(orangepi_800())
+    assert emu.midr(0).part == MIDR_PART_CORTEX_A53   # cpu0 is LITTLE
+    assert emu.midr(4).part == MIDR_PART_CORTEX_A72   # cpu4 is big
+
+
+def test_midr_not_available_on_x86():
+    emu = CpuidEmulator(raptor_lake_i7_13700())
+    with pytest.raises(NotImplementedError):
+        emu.midr(0)
+
+
+def test_midr_roundtrip():
+    m = ArmMidr(implementer=0x41, part=0xD08, variant=2, revision=3)
+    assert ArmMidr.from_value(m.value) == m
+
+
+def test_vendor_leaf(raptor_cpuid):
+    r = raptor_cpuid.cpuid(0, 0)
+    # "Genu" "ineI" "ntel" packed into ebx/edx/ecx.
+    assert r.ebx == 0x756E6547
+    assert r.edx == 0x49656E69
+    assert r.ecx == 0x6C65746E

@@ -1,0 +1,80 @@
+"""Unit tests for CPU topology construction and queries."""
+
+import pytest
+
+from repro.hw.machines import (
+    dynamiq_three_tier,
+    homogeneous_xeon,
+    orangepi_800,
+    raptor_lake_i7_13700,
+)
+
+
+@pytest.fixture
+def raptor_topo():
+    return raptor_lake_i7_13700().topology
+
+
+def test_raptor_layout_matches_table1(raptor_topo):
+    """Table I: 8 P-cores (16 threads) + 8 E-cores = 24 logical CPUs."""
+    assert raptor_topo.n_cpus == 24
+    assert raptor_topo.n_physical_cores == 16
+    assert len(raptor_topo.cpus_of_type("P-core")) == 16
+    assert len(raptor_topo.cpus_of_type("E-core")) == 8
+
+
+def test_raptor_smt_siblings(raptor_topo):
+    # P-core threads are adjacent pairs (cpu0/cpu1 share a core).
+    assert raptor_topo.smt_siblings(0) == [1]
+    assert raptor_topo.smt_siblings(1) == [0]
+    # E-cores have no siblings.
+    e_cpu = raptor_topo.cpus_of_type("E-core")[0]
+    assert raptor_topo.smt_siblings(e_cpu) == []
+
+
+def test_primary_threads_one_per_physical_core(raptor_topo):
+    primary = raptor_topo.primary_threads()
+    assert len(primary) == 16
+    phys = {raptor_topo.core(c).phys_core for c in primary}
+    assert len(phys) == 16
+
+
+def test_orangepi_layout_matches_table4():
+    """Table IV: 2 A72 big + 4 A53 LITTLE; RK3399 numbers LITTLE first."""
+    topo = orangepi_800().topology
+    assert topo.n_cpus == 6
+    assert topo.cpus_of_type("LITTLE") == [0, 1, 2, 3]
+    assert topo.cpus_of_type("big") == [4, 5]
+
+
+def test_heterogeneity_flags():
+    assert raptor_lake_i7_13700().topology.is_heterogeneous
+    assert orangepi_800().topology.is_heterogeneous
+    assert dynamiq_three_tier().topology.is_heterogeneous
+    assert not homogeneous_xeon().topology.is_heterogeneous
+
+
+def test_three_tier_has_three_core_types():
+    topo = dynamiq_three_tier().topology
+    assert len(topo.core_types) == 3
+
+
+def test_capacity_scaling():
+    """The biggest core type normalizes to 1024, like Linux cpu_capacity."""
+    topo = orangepi_800().topology
+    big = topo.cpus_of_type("big")[0]
+    little = topo.cpus_of_type("LITTLE")[0]
+    assert topo.capacity_of(big) == 1024
+    assert 0 < topo.capacity_of(little) < 1024
+
+
+def test_cpus_of_pmu(raptor_topo):
+    assert raptor_topo.cpus_of_pmu("cpu_core") == raptor_topo.cpus_of_type("P-core")
+    assert raptor_topo.cpus_of_pmu("cpu_atom") == raptor_topo.cpus_of_type("E-core")
+
+
+def test_core_lookup_and_iteration(raptor_topo):
+    assert raptor_topo.core(0).cpu_id == 0
+    assert len(list(raptor_topo)) == len(raptor_topo) == 24
+    with pytest.raises(KeyError):
+        raptor_topo.core(99)

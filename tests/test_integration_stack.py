@@ -1,0 +1,155 @@
+"""Full-stack integration: PAPI measuring real workloads end to end."""
+
+import pytest
+
+from repro.hpl import HplConfig
+from repro.hpl.model import hpl_steps, hpl_flops
+from repro.hpl.runner import HplCoordinator, HplThreadSource
+from repro.hpl.variants import VARIANTS
+from repro.monitor import PerfRecord
+from repro.papi import Papi
+from repro.sim.task import ControlOp, Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+class TestHplUnderPapi:
+    """HPL instrumented with per-thread PAPI EventSets — the paper's
+    target use case: calipered measurement inside a real HPC code."""
+
+    def test_papi_counts_hpl_flops(self):
+        system = System("raptor-lake-i7-13700", dt_s=0.005)
+        papi = Papi(system, mode="hybrid")
+        config = HplConfig(n=2304, nb=192)
+        cpus = system.topology.primary_threads()
+        ctypes = [system.topology.core(c).ctype for c in cpus]
+        coord = HplCoordinator(hpl_steps(config), VARIANTS["intel"], ctypes)
+
+        threads = []
+        esids = []
+        for slot, cpu in enumerate(cpus):
+            src = HplThreadSource(coord, slot, ctypes[slot], nb=config.nb)
+            t = system.machine.spawn(
+                SimThread(f"hpl-{slot}", src, affinity={cpu})
+            )
+            es = papi.create_eventset()
+            papi.attach(es, t)
+            papi.add_event(es, "PAPI_FP_OPS")
+            papi.start(es)
+            threads.append(t)
+            esids.append(es)
+
+        assert system.machine.run_until_done(threads, max_s=600)
+        total_flops = sum(papi.stop(es)[0] for es in esids)
+        assert total_flops == pytest.approx(hpl_flops(config.n), rel=0.02)
+
+    def test_perf_record_profile_of_hpl(self):
+        """Sampled profile shows the all-core HPL work split by core type."""
+        system = System("raptor-lake-i7-13700", dt_s=0.005)
+        config = HplConfig(n=4608, nb=192)
+        cpus = system.topology.primary_threads()
+        ctypes = [system.topology.core(c).ctype for c in cpus]
+        coord = HplCoordinator(hpl_steps(config), VARIANTS["openblas"], ctypes)
+        threads = [
+            system.machine.spawn(
+                SimThread(
+                    f"hpl-{i}",
+                    HplThreadSource(coord, i, ctypes[i], nb=config.nb),
+                    affinity={cpu},
+                )
+            )
+            for i, cpu in enumerate(cpus)
+        ]
+        rec = PerfRecord(system, period=10_000_000)
+        rec.attach(threads)
+        assert system.machine.run_until_done(threads, max_s=600)
+        report = rec.report()
+        rec.close()
+        # Both core types show up, with the P-cores dominating (Table III).
+        assert report.share("cpu_core") > report.share("cpu_atom") > 0.0
+
+
+class TestCrossMachineMatrix:
+    """The §V-4 test matrix: hybrid EventSets on every machine preset."""
+
+    @pytest.mark.parametrize(
+        "machine,n_core_pmus",
+        [
+            ("raptor-lake-i7-13700", 2),
+            ("orangepi-800", 2),
+            ("dynamiq-three-tier", 3),
+            ("xeon-homogeneous", 1),
+        ],
+    )
+    def test_tot_ins_preset_everywhere(self, machine, n_core_pmus):
+        system = System(machine, dt_s=1e-4)
+        papi = Papi(system, mode="hybrid")
+        t = system.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]))
+        )
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "PAPI_TOT_INS")
+        entry = papi.eventset(es).entries[0]
+        assert len(entry.slot_indices) == n_core_pmus
+        papi.start(es)
+        system.machine.run_until_done([t], max_s=5)
+        assert papi.stop(es)[0] == pytest.approx(1e6)
+
+    @pytest.mark.parametrize(
+        "machine", ["raptor-lake-i7-13700", "orangepi-800", "dynamiq-three-tier"]
+    )
+    def test_per_core_type_pinning_matrix(self, machine):
+        """For each core type: pin there, and check that only that PMU's
+        slot of the derived preset counts."""
+        system = System(machine, dt_s=1e-4)
+        papi = Papi(system, mode="hybrid")
+        for ct in system.topology.core_types:
+            cpu = system.topology.cpus_of_type(ct.name)[0]
+            t = system.machine.spawn(
+                SimThread(f"pin-{ct.name}", Program([ComputePhase(1e5, RATES)]),
+                          affinity={cpu})
+            )
+            es = papi.create_eventset()
+            papi.attach(es, t)
+            papi.add_event(es, "PAPI_TOT_INS")
+            papi.start(es)
+            system.machine.run_until_done([t], max_s=5)
+            assert papi.stop(es)[0] == pytest.approx(1e5)
+            assert set(t.counters) == {ct.pmu_name}
+            papi.destroy_eventset(es)
+
+
+class TestMeasurementOfMeasurement:
+    def test_papi_overhead_visible_in_counts(self):
+        """PAPI's own overhead instructions are themselves counted — the
+        'minor overhead inherent in using PAPI' from §IV-F."""
+        system = System("raptor-lake-i7-13700", dt_s=1e-4)
+        papi = Papi(system, mode="hybrid")
+        p_cpu = system.topology.cpus_of_type("P-core")[0]
+        readings = []
+        holder = {}
+
+        def setup(thread):
+            es = papi.create_eventset()
+            papi.attach(es, thread)
+            papi.add_event(es, "adl_glc::INST_RETIRED:ANY", caller=thread)
+            papi.start(es, caller=thread)
+            holder["es"] = es
+
+        def snap(thread):
+            readings.append(papi.read(holder["es"], caller=thread)[0])
+
+        items = [ControlOp(setup)]
+        for _ in range(5):
+            items += [ComputePhase(1e6, RATES), ControlOp(snap)]
+        t = system.machine.spawn(SimThread("app", Program(items), affinity={p_cpu}))
+        system.machine.run_until_done([t], max_s=5)
+        # Deltas between successive reads exceed the 1e6 of pure work by
+        # a small positive overhead (the read syscall of the previous
+        # snapshot plus library code).
+        deltas = [b - a for a, b in zip(readings, readings[1:])]
+        for d in deltas:
+            assert 1e6 < d < 1.02e6

@@ -1,0 +1,106 @@
+"""Software clock events and counter contention (NMI-watchdog effect)."""
+
+import pytest
+
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.perf import PerfEventAttr
+from repro.kernel.perf.attr import PerfType, SwConfig
+from repro.kernel.perf.subsystem import PerfIoctl
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+class TestClockEvents:
+    def test_task_clock_reports_runtime_ns(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e7, RATES)]), affinity={p_cpu})
+        )
+        fd = raptor.perf.perf_event_open(
+            PerfEventAttr(type=PerfType.SOFTWARE, config=SwConfig.TASK_CLOCK),
+            pid=t.tid, cpu=-1,
+        )
+        raptor.perf.ioctl(fd, PerfIoctl.ENABLE)
+        raptor.machine.run_until_done([t], max_s=5)
+        ns = raptor.perf.read(fd).value
+        assert ns == pytest.approx(t.total_runtime_s * 1e9, rel=1e-6)
+        assert ns > 0
+
+    def test_cpu_clock_resets_with_baseline(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread(
+                "app",
+                Program([ComputePhase(1e6, RATES), ComputePhase(1e6, RATES)]),
+                affinity={p_cpu},
+            )
+        )
+        fd = raptor.perf.perf_event_open(
+            PerfEventAttr(type=PerfType.SOFTWARE, config=SwConfig.CPU_CLOCK),
+            pid=t.tid, cpu=-1,
+        )
+        raptor.perf.ioctl(fd, PerfIoctl.ENABLE)
+        raptor.machine.run_until(lambda: t.counters_total()[1] >= 1e6, max_s=5)
+        raptor.perf.ioctl(fd, PerfIoctl.RESET)
+        raptor.machine.run_until_done([t], max_s=5)
+        # Only the second phase's runtime since the reset.
+        assert raptor.perf.read(fd).value < t.total_runtime_s * 1e9 * 0.75
+
+
+class TestCounterContention:
+    def test_reservation_shrinks_group_capacity(self, raptor):
+        """With the NMI watchdog holding counters, a group that used to
+        fit no longer opens — a failure users hit on real machines."""
+        glc = raptor.perf.registry.by_name["cpu_core"]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]))
+        )
+        budget = glc.n_counters + glc.n_fixed
+        raptor.perf.reserve_counters("cpu_core", budget - 2)
+
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(type=glc.type, config=0x00C0), pid=t.tid, cpu=-1
+        )
+        raptor.perf.perf_event_open(
+            PerfEventAttr(type=glc.type, config=0x003C),
+            pid=t.tid, cpu=-1, group_fd=leader,
+        )
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(
+                PerfEventAttr(type=glc.type, config=0x00C4),
+                pid=t.tid, cpu=-1, group_fd=leader,
+            )
+        assert e.value.kernel_errno == Errno.EINVAL
+
+    def test_reservation_forces_multiplexing(self, raptor):
+        """Standalone events that fit an idle PMU get multiplexed once
+        the watchdog steals counters."""
+        glc = raptor.perf.registry.by_name["cpu_core"]
+        raptor.perf.reserve_counters("cpu_core", glc.n_counters + glc.n_fixed - 1)
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(5e7, RATES)]), affinity={p_cpu})
+        )
+        fds = []
+        for _ in range(2):
+            fd = raptor.perf.perf_event_open(
+                PerfEventAttr(type=glc.type, config=0x00C0), pid=t.tid, cpu=-1
+            )
+            raptor.perf.ioctl(fd, PerfIoctl.ENABLE)
+            fds.append(fd)
+        raptor.machine.run_until_done([t], max_s=5)
+        readings = [raptor.perf.read(fd) for fd in fds]
+        # Only one counter available: the two events time-share it.
+        assert all(rv.time_running_ns < rv.time_enabled_ns for rv in readings)
+        total_scaled = sum(rv.scaled_value() for rv in readings)
+        assert total_scaled == pytest.approx(2 * 5e7, rel=0.3)
+
+    def test_reservation_bounds_checked(self, raptor):
+        with pytest.raises(ValueError):
+            raptor.perf.reserve_counters("cpu_core", 99)
+        with pytest.raises(ValueError):
+            raptor.perf.reserve_counters("cpu_core", -1)
+        with pytest.raises(KeyError):
+            raptor.perf.reserve_counters("no_such_pmu", 1)

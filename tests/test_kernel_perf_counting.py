@@ -1,0 +1,311 @@
+"""Counting semantics: the hybrid rule, times, groups, mux, software,
+uncore and RAPL events, rdpmc."""
+
+import pytest
+
+from repro.kernel.perf import PerfEventAttr, RdpmcReader
+from repro.kernel.perf.attr import PerfType, ReadFormat, SwConfig
+from repro.kernel.perf.pmu import RAPL_CONFIG_PKG, RAPL_PERF_UNIT_J
+from repro.kernel.perf.subsystem import PerfIoctl
+from repro.sim.task import ControlOp, Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0, llc_refs_per_instr=0.01, llc_miss_rate=0.5))
+
+
+def _open(system, pmu_name, config, tid, **kw):
+    ptype = system.perf.registry.by_name[pmu_name].type
+    return system.perf.perf_event_open(
+        PerfEventAttr(type=ptype, config=config, **kw), pid=tid, cpu=-1
+    )
+
+
+def _enable(system, fd):
+    system.perf.ioctl(fd, PerfIoctl.ENABLE)
+
+
+class TestHybridCounting:
+    def test_event_counts_only_on_matching_core_type(self, raptor):
+        """The central mechanism: each PMU's event sees only its cores."""
+        e_cpu = raptor.topology.cpus_of_type("E-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={e_cpu})
+        )
+        fd_p = _open(raptor, "cpu_core", 0x00C0, t.tid)
+        fd_e = _open(raptor, "cpu_atom", 0x00C0, t.tid)
+        _enable(raptor, fd_p)
+        _enable(raptor, fd_e)
+        raptor.machine.run_until_done([t], max_s=5)
+        assert raptor.perf.read(fd_p).value == 0
+        assert raptor.perf.read(fd_e).value == pytest.approx(1e6)
+
+    def test_split_counts_sum_to_total(self):
+        """With migrations, per-PMU counts partition the total exactly."""
+        system = System("raptor-lake-i7-13700", dt_s=1e-4, seed=2,
+                        migrate_jitter=0.1, rebalance_jitter=0.1)
+        t = system.machine.spawn(SimThread("app", Program([ComputePhase(2e7, RATES)])))
+        fd_p = _open(system, "cpu_core", 0x00C0, t.tid)
+        fd_e = _open(system, "cpu_atom", 0x00C0, t.tid)
+        _enable(system, fd_p)
+        _enable(system, fd_e)
+        system.machine.run_until_done([t], max_s=10)
+        p, e = system.perf.read(fd_p).value, system.perf.read(fd_e).value
+        assert p > 0 and e > 0
+        assert p + e == pytest.approx(2e7, rel=1e-6)
+
+    def test_enabled_vs_running_times(self, raptor):
+        """On a foreign core the event is enabled but never running."""
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu})
+        )
+        fd_e = _open(raptor, "cpu_atom", 0x00C0, t.tid)
+        _enable(raptor, fd_e)
+        raptor.machine.run_until_done([t], max_s=5)
+        rv = raptor.perf.read(fd_e)
+        assert rv.time_enabled_ns > 0
+        assert rv.time_running_ns == 0
+        assert rv.value == 0
+
+    def test_disabled_event_counts_nothing(self, raptor):
+        t = raptor.machine.spawn(SimThread("app", Program([ComputePhase(1e6, RATES)])))
+        fd = _open(raptor, "cpu_core", 0x00C0, t.tid)  # disabled by default
+        raptor.machine.run_until_done([t], max_s=5)
+        rv = raptor.perf.read(fd)
+        assert rv.value == 0
+        assert rv.time_enabled_ns == 0
+
+    def test_ioctl_disable_enable(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread(
+                "app",
+                Program(
+                    [
+                        ComputePhase(1e6, RATES),
+                        ControlOp(lambda th: raptor.perf.ioctl(fd_holder[0], PerfIoctl.DISABLE)),
+                        ComputePhase(1e6, RATES),
+                    ]
+                ),
+                affinity={p_cpu},
+            )
+        )
+        fd = _open(raptor, "cpu_core", 0x00C0, t.tid)
+        fd_holder = [fd]
+        _enable(raptor, fd)
+        raptor.machine.run_until_done([t], max_s=5)
+        # Only the first megainstruction is counted (plus syscall overhead).
+        assert raptor.perf.read(fd).value == pytest.approx(1e6, rel=0.05)
+
+    def test_reset_zeroes_count_not_times(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu})
+        )
+        fd = _open(raptor, "cpu_core", 0x00C0, t.tid)
+        _enable(raptor, fd)
+        raptor.machine.run_until_done([t], max_s=5)
+        before = raptor.perf.read(fd)
+        raptor.perf.ioctl(fd, PerfIoctl.RESET)
+        after = raptor.perf.read(fd)
+        assert before.value > 0
+        assert after.value == 0
+        assert after.time_enabled_ns == before.time_enabled_ns
+
+
+class TestGroupRead:
+    def test_group_read_returns_members_in_order(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu})
+        )
+        ptype = raptor.perf.registry.by_name["cpu_core"].type
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(
+                type=ptype,
+                config=0x00C0,
+                read_format=ReadFormat.GROUP
+                | ReadFormat.TOTAL_TIME_ENABLED
+                | ReadFormat.TOTAL_TIME_RUNNING,
+            ),
+            pid=t.tid,
+            cpu=-1,
+        )
+        raptor.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x003C),
+            pid=t.tid, cpu=-1, group_fd=leader,
+        )
+        raptor.perf.ioctl(leader, PerfIoctl.ENABLE, flag_group=True)
+        raptor.machine.run_until_done([t], max_s=5)
+        values = raptor.perf.read(leader)
+        assert isinstance(values, list) and len(values) == 2
+        assert values[0].value == pytest.approx(1e6)        # instructions
+        assert values[1].value == pytest.approx(5e5)        # cycles at IPC 2
+
+    def test_group_enable_disables_together(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu})
+        )
+        ptype = raptor.perf.registry.by_name["cpu_core"].type
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x00C0), pid=t.tid, cpu=-1
+        )
+        sib = raptor.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x003C), pid=t.tid, cpu=-1, group_fd=leader
+        )
+        raptor.perf.ioctl(leader, PerfIoctl.ENABLE, flag_group=True)
+        raptor.machine.run_until_done([t], max_s=5)
+        assert raptor.perf.read(sib).value > 0
+
+
+class TestMultiplexing:
+    def test_more_groups_than_counters_rotate(self, raptor):
+        """With many standalone events, running < enabled and the scaled
+        estimate approaches the true count."""
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(5e7, RATES)]), affinity={p_cpu})
+        )
+        glc = raptor.perf.registry.by_name["cpu_core"]
+        n_events = glc.n_counters + glc.n_fixed + 4
+        fds = []
+        # Many INSTRUCTIONS events, each its own group leader.
+        for _ in range(n_events):
+            fd = _open(raptor, "cpu_core", 0x00C0, t.tid)
+            _enable(raptor, fd)
+            fds.append(fd)
+        raptor.machine.run_until_done([t], max_s=10)
+        readings = [raptor.perf.read(fd) for fd in fds]
+        assert any(rv.time_running_ns < rv.time_enabled_ns for rv in readings)
+        for rv in readings:
+            assert rv.value <= 5e7 * 1.01
+            if rv.time_running_ns > 0:
+                assert rv.scaled_value() == pytest.approx(5e7, rel=0.25)
+
+    def test_no_mux_when_groups_fit(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu})
+        )
+        fds = [_open(raptor, "cpu_core", c, t.tid) for c in (0x00C0, 0x003C)]
+        for fd in fds:
+            _enable(raptor, fd)
+        raptor.machine.run_until_done([t], max_s=5)
+        for fd in fds:
+            rv = raptor.perf.read(fd)
+            assert rv.time_running_ns == rv.time_enabled_ns
+
+    def test_pinned_events_always_scheduled(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(5e7, RATES)]), affinity={p_cpu})
+        )
+        glc = raptor.perf.registry.by_name["cpu_core"]
+        pinned_fd = _open(raptor, "cpu_core", 0x00C0, t.tid, pinned=True)
+        _enable(raptor, pinned_fd)
+        for _ in range(glc.n_counters + glc.n_fixed + 4):
+            fd = _open(raptor, "cpu_core", 0x003C, t.tid)
+            _enable(raptor, fd)
+        raptor.machine.run_until_done([t], max_s=10)
+        rv = raptor.perf.read(pinned_fd)
+        assert rv.time_running_ns == rv.time_enabled_ns
+        assert rv.value == pytest.approx(5e7, rel=1e-6)
+
+
+class TestSoftwareEvents:
+    def test_context_switches_and_migrations(self):
+        system = System("raptor-lake-i7-13700", dt_s=1e-4, seed=3,
+                        migrate_jitter=0.1, rebalance_jitter=0.1)
+        t = system.machine.spawn(SimThread("app", Program([ComputePhase(2e7, RATES)])))
+        fd_cs = system.perf.perf_event_open(
+            PerfEventAttr(type=PerfType.SOFTWARE, config=SwConfig.CONTEXT_SWITCHES),
+            pid=t.tid, cpu=-1,
+        )
+        fd_mig = system.perf.perf_event_open(
+            PerfEventAttr(type=PerfType.SOFTWARE, config=SwConfig.CPU_MIGRATIONS),
+            pid=t.tid, cpu=-1,
+        )
+        system.perf.ioctl(fd_cs, PerfIoctl.ENABLE)
+        system.perf.ioctl(fd_mig, PerfIoctl.ENABLE)
+        system.machine.run_until_done([t], max_s=10)
+        assert system.perf.read(fd_mig).value == t.nr_migrations > 0
+        assert system.perf.read(fd_cs).value > 0
+
+
+class TestUncoreAndRapl:
+    def test_uncore_counts_all_cores(self, raptor):
+        """Uncore LLC events see traffic from both core types."""
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        e_cpu = raptor.topology.cpus_of_type("E-core")[0]
+        tp = raptor.machine.spawn(
+            SimThread("p", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu}))
+        te = raptor.machine.spawn(
+            SimThread("e", Program([ComputePhase(1e6, RATES)]), affinity={e_cpu}))
+        utype = raptor.perf.registry.by_name["uncore_llc"].type
+        fd = raptor.perf.perf_event_open(
+            PerfEventAttr(type=utype, config=0x01), pid=-1, cpu=0
+        )
+        raptor.perf.ioctl(fd, PerfIoctl.ENABLE)
+        raptor.machine.run_until_done([tp, te], max_s=5)
+        # 2e6 instructions x 0.01 refs/instr from both threads together.
+        assert raptor.perf.read(fd).value == pytest.approx(2e4, rel=0.01)
+
+    def test_rapl_event_reports_energy(self, raptor):
+        ptype = raptor.perf.registry.by_name["power"].type
+        fd = raptor.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=RAPL_CONFIG_PKG), pid=-1, cpu=0
+        )
+        raptor.perf.ioctl(fd, PerfIoctl.ENABLE)
+        t = raptor.machine.spawn(SimThread("w", Program([ComputePhase(5e6, RATES)])))
+        raptor.machine.run_until_done([t], max_s=5)
+        joules = raptor.perf.read(fd).value * RAPL_PERF_UNIT_J
+        assert joules > 0
+        # Sanity: matches the ground-truth domain.
+        assert joules == pytest.approx(raptor.machine.rapl.package.energy_j, rel=0.05)
+
+
+class TestRdpmc:
+    def test_rdpmc_matching_and_foreign(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        e_cpu = raptor.topology.cpus_of_type("E-core")[0]
+        results = {}
+
+        def read_here(key):
+            def fn(thread):
+                results[key] = RdpmcReader(raptor.perf, fd_holder[0]).read(thread)
+            return fn
+
+        t = raptor.machine.spawn(
+            SimThread(
+                "app",
+                Program(
+                    [
+                        ComputePhase(1e6, RATES),
+                        ControlOp(read_here("on_p")),
+                        ControlOp(lambda th: setattr(th, "affinity", {e_cpu})),
+                        ComputePhase(1e6, RATES),
+                        ControlOp(read_here("on_e")),
+                    ]
+                ),
+                affinity={p_cpu},
+            )
+        )
+        fd = _open(raptor, "cpu_core", 0x00C0, t.tid, disabled=False)
+        fd_holder = [fd]
+        raptor.machine.run_until_done([t], max_s=5)
+        assert results["on_p"].valid
+        assert results["on_p"].value > 0
+        assert not results["on_e"].valid
+
+    def test_rdpmc_wrong_thread(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu}))
+        other = raptor.machine.spawn(
+            SimThread("other", Program([ComputePhase(1e5, RATES)]), affinity={p_cpu}))
+        fd = _open(raptor, "cpu_core", 0x00C0, t.tid, disabled=False)
+        raptor.machine.run_until_done([t, other], max_s=5)
+        r = RdpmcReader(raptor.perf, fd).read(other)
+        assert not r.valid

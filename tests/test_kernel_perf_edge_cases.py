@@ -1,0 +1,113 @@
+"""Kernel perf edge cases: dead threads, closed leaders, timing APIs."""
+
+import pytest
+
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.perf import PerfEventAttr
+from repro.kernel.perf.subsystem import PerfIoctl
+from repro.papi import Papi, PapiError
+from repro.papi.consts import PapiErrorCode
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+def _open_enabled(system, pmu, tid, config=0x00C0):
+    ptype = system.perf.registry.by_name[pmu].type
+    fd = system.perf.perf_event_open(
+        PerfEventAttr(type=ptype, config=config), pid=tid, cpu=-1
+    )
+    system.perf.ioctl(fd, PerfIoctl.ENABLE)
+    return fd
+
+
+class TestDeadThreads:
+    def test_counts_freeze_after_thread_exit(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu})
+        )
+        fd = _open_enabled(raptor, "cpu_core", t.tid)
+        raptor.machine.run_until_done([t], max_s=5)
+        first = raptor.perf.read(fd)
+        raptor.machine.run_for(0.01)  # machine keeps ticking, thread is gone
+        second = raptor.perf.read(fd)
+        assert second.value == first.value
+        assert second.time_enabled_ns == first.time_enabled_ns
+
+    def test_open_on_finished_thread_allowed(self, raptor):
+        """The thread still exists in the table; the event just never runs."""
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e5, RATES)]))
+        )
+        raptor.machine.run_until_done([t], max_s=5)
+        fd = _open_enabled(raptor, "cpu_core", t.tid)
+        raptor.machine.run_for(0.005)
+        assert raptor.perf.read(fd).value == 0
+
+
+class TestGroupTeardown:
+    def test_closing_sibling_keeps_leader_counting(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread(
+                "app",
+                Program([ComputePhase(1e6, RATES), ComputePhase(1e6, RATES)]),
+                affinity={p_cpu},
+            )
+        )
+        ptype = raptor.perf.registry.by_name["cpu_core"].type
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x00C0), pid=t.tid, cpu=-1
+        )
+        sib = raptor.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x003C), pid=t.tid, cpu=-1,
+            group_fd=leader,
+        )
+        raptor.perf.ioctl(leader, PerfIoctl.ENABLE, flag_group=True)
+        raptor.machine.run_until(lambda: t.counters_total()[1] >= 1e6, max_s=5)
+        raptor.perf.close(sib)
+        raptor.machine.run_until_done([t], max_s=5)
+        assert raptor.perf.read(leader).value == pytest.approx(2e6)
+
+    def test_ioctl_on_closed_fd(self, raptor):
+        t = raptor.machine.spawn(SimThread("app", Program([ComputePhase(1e5, RATES)])))
+        fd = _open_enabled(raptor, "cpu_core", t.tid)
+        raptor.perf.close(fd)
+        with pytest.raises(KernelError) as e:
+            raptor.perf.ioctl(fd, PerfIoctl.RESET)
+        assert e.value.kernel_errno == Errno.EBADF
+
+
+class TestPapiUtilities:
+    def test_real_and_virt_time(self, raptor):
+        papi = Papi(raptor)
+        cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t1 = raptor.machine.spawn(
+            SimThread("a", Program([ComputePhase(1e6, RATES)]), affinity={cpu})
+        )
+        t2 = raptor.machine.spawn(
+            SimThread("b", Program([ComputePhase(1e6, RATES)]), affinity={cpu})
+        )
+        raptor.machine.run_until_done([t1, t2], max_s=5)
+        real = papi.get_real_usec()
+        virt1 = papi.get_virt_usec(t1)
+        # Two threads shared one CPU: each ran about half the wall time.
+        assert 0 < virt1 < real
+        assert papi.get_real_cyc() == pytest.approx(
+            real * raptor.machine.tsc_ghz * 1e3, rel=0.01
+        )
+
+    def test_component_info(self, raptor):
+        papi = Papi(raptor)
+        info = papi.get_component_info(0)
+        assert info["name"] == "perf_event"
+        assert info["mode"] == "hybrid"
+        assert info["num_native_events"] > 20
+        uncore = papi.get_component_info(1)
+        assert uncore["name"] == "perf_event_uncore"
+        assert uncore["num_native_events"] == 2
+        with pytest.raises(PapiError) as e:
+            papi.get_component_info(99)
+        assert e.value.code == PapiErrorCode.ENOCMP

@@ -1,0 +1,247 @@
+"""perf_event_open validation rules, mirroring Linux hybrid semantics."""
+
+import pytest
+
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.perf import PerfEventAttr, PerfType
+from repro.kernel.perf.attr import HwConfig, PERF_PMU_TYPE_SHIFT, SwConfig
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+@pytest.fixture
+def raptor_thread(raptor):
+    return raptor.machine.spawn(SimThread("app", Program([ComputePhase(1e6, RATES)])))
+
+
+def _glc(raptor):
+    return raptor.perf.registry.by_name["cpu_core"]
+
+
+def _grt(raptor):
+    return raptor.perf.registry.by_name["cpu_atom"]
+
+
+class TestPmuRegistry:
+    def test_one_pmu_per_core_type(self, raptor):
+        names = set(raptor.perf.registry.by_name)
+        assert {"cpu_core", "cpu_atom", "software", "uncore_llc", "power"} <= names
+
+    def test_three_cpu_pmus_on_dynamiq(self, dynamiq):
+        cpu_pmus = dynamiq.perf.registry.cpu_pmus()
+        assert len(cpu_pmus) == 3
+
+    def test_no_rapl_pmu_on_arm(self, orangepi):
+        assert "power" not in orangepi.perf.registry.by_name
+
+    def test_default_cpu_pmu_is_boot_cpu(self, raptor, orangepi):
+        # Raptor Lake: cpu0 is a P-core.
+        assert raptor.perf.registry.default_cpu_pmu().name == "cpu_core"
+        # RK3399: cpu0 is a LITTLE core.
+        assert orangepi.perf.registry.default_cpu_pmu().name == "armv8_cortex_a53"
+
+    def test_topdown_decoded_only_by_pcore_pmu(self, raptor):
+        assert _glc(raptor).decodes(0x0400)
+        assert not _grt(raptor).decodes(0x0400)
+
+
+class TestOpenValidation:
+    def test_open_thread_event(self, raptor, raptor_thread):
+        attr = PerfEventAttr(type=_glc(raptor).type, config=0x00C0)
+        fd = raptor.perf.perf_event_open(attr, pid=raptor_thread.tid, cpu=-1)
+        assert fd >= 3
+
+    def test_unknown_pmu_type_enoent(self, raptor, raptor_thread):
+        attr = PerfEventAttr(type=999, config=0x00C0)
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(attr, pid=raptor_thread.tid, cpu=-1)
+        assert e.value.kernel_errno == Errno.ENOENT
+
+    def test_bad_config_einval(self, raptor, raptor_thread):
+        attr = PerfEventAttr(type=_glc(raptor).type, config=0xDEAD)
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(attr, pid=raptor_thread.tid, cpu=-1)
+        assert e.value.kernel_errno == Errno.EINVAL
+
+    def test_topdown_on_ecore_pmu_rejected(self, raptor, raptor_thread):
+        """The paper's example event that simply does not exist on E-cores."""
+        attr = PerfEventAttr(type=_grt(raptor).type, config=0x0400)
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(attr, pid=raptor_thread.tid, cpu=-1)
+        assert e.value.kernel_errno == Errno.EINVAL
+
+    def test_no_such_thread_esrch(self, raptor):
+        attr = PerfEventAttr(type=_glc(raptor).type, config=0x00C0)
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(attr, pid=4242, cpu=-1)
+        assert e.value.kernel_errno == Errno.ESRCH
+
+    def test_pid_minus1_needs_cpu(self, raptor):
+        attr = PerfEventAttr(type=_glc(raptor).type, config=0x00C0)
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(attr, pid=-1, cpu=-1)
+        assert e.value.kernel_errno == Errno.EINVAL
+
+    def test_cpu_wide_on_foreign_core_type_rejected(self, raptor):
+        """A cpu_core event bound to an E-core CPU fails."""
+        e_cpu = raptor.topology.cpus_of_type("E-core")[0]
+        attr = PerfEventAttr(type=_glc(raptor).type, config=0x00C0)
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(attr, pid=-1, cpu=e_cpu)
+        assert e.value.kernel_errno == Errno.EINVAL
+
+    def test_cpu_wide_on_matching_core_ok(self, raptor):
+        e_cpu = raptor.topology.cpus_of_type("E-core")[0]
+        attr = PerfEventAttr(type=_grt(raptor).type, config=0x00C0)
+        assert raptor.perf.perf_event_open(attr, pid=-1, cpu=e_cpu) >= 3
+
+
+class TestGenericHardwareEvents:
+    def test_plain_hardware_defaults_to_boot_pmu(self, raptor, raptor_thread):
+        attr = PerfEventAttr(type=PerfType.HARDWARE, config=HwConfig.INSTRUCTIONS)
+        fd = raptor.perf.perf_event_open(attr, pid=raptor_thread.tid, cpu=-1)
+        assert raptor.perf._event(fd).pmu.name == "cpu_core"
+
+    def test_extended_encoding_selects_pmu(self, raptor, raptor_thread):
+        """Hybrid kernels take the PMU in config's high bits."""
+        grt_type = _grt(raptor).type
+        attr = PerfEventAttr(
+            type=PerfType.HARDWARE,
+            config=(grt_type << PERF_PMU_TYPE_SHIFT) | HwConfig.INSTRUCTIONS,
+        )
+        fd = raptor.perf.perf_event_open(attr, pid=raptor_thread.tid, cpu=-1)
+        assert raptor.perf._event(fd).pmu.name == "cpu_atom"
+
+    def test_extended_encoding_bad_pmu(self, raptor, raptor_thread):
+        attr = PerfEventAttr(
+            type=PerfType.HARDWARE,
+            config=(77 << PERF_PMU_TYPE_SHIFT) | HwConfig.INSTRUCTIONS,
+        )
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(attr, pid=raptor_thread.tid, cpu=-1)
+        assert e.value.kernel_errno == Errno.ENOENT
+
+    def test_unknown_generic_id(self, raptor, raptor_thread):
+        attr = PerfEventAttr(type=PerfType.HARDWARE, config=0x55)
+        with pytest.raises(KernelError):
+            raptor.perf.perf_event_open(attr, pid=raptor_thread.tid, cpu=-1)
+
+
+class TestGroups:
+    def test_same_pmu_grouping_ok(self, raptor, raptor_thread):
+        glc = _glc(raptor).type
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(type=glc, config=0x00C0), pid=raptor_thread.tid, cpu=-1
+        )
+        sibling = raptor.perf.perf_event_open(
+            PerfEventAttr(type=glc, config=0x003C),
+            pid=raptor_thread.tid,
+            cpu=-1,
+            group_fd=leader,
+        )
+        assert sibling >= 3
+
+    def test_cross_pmu_grouping_einval(self, raptor, raptor_thread):
+        """The kernel rule that forces PAPI into one group per PMU."""
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(type=_glc(raptor).type, config=0x00C0),
+            pid=raptor_thread.tid,
+            cpu=-1,
+        )
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(
+                PerfEventAttr(type=_grt(raptor).type, config=0x00C0),
+                pid=raptor_thread.tid,
+                cpu=-1,
+                group_fd=leader,
+            )
+        assert e.value.kernel_errno == Errno.EINVAL
+        assert "cannot span PMUs" in str(e.value)
+
+    def test_software_event_may_join_hw_group(self, raptor, raptor_thread):
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(type=_glc(raptor).type, config=0x00C0),
+            pid=raptor_thread.tid,
+            cpu=-1,
+        )
+        fd = raptor.perf.perf_event_open(
+            PerfEventAttr(type=PerfType.SOFTWARE, config=SwConfig.CONTEXT_SWITCHES),
+            pid=raptor_thread.tid,
+            cpu=-1,
+            group_fd=leader,
+        )
+        assert fd >= 3
+
+    def test_bad_group_fd(self, raptor, raptor_thread):
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(
+                PerfEventAttr(type=_glc(raptor).type, config=0x00C0),
+                pid=raptor_thread.tid,
+                cpu=-1,
+                group_fd=555,
+            )
+        assert e.value.kernel_errno == Errno.EBADF
+
+    def test_group_must_share_target(self, raptor, raptor_thread):
+        other = raptor.machine.spawn(SimThread("other", Program([ComputePhase(1e5, RATES)])))
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(type=_glc(raptor).type, config=0x00C0),
+            pid=raptor_thread.tid,
+            cpu=-1,
+        )
+        with pytest.raises(KernelError):
+            raptor.perf.perf_event_open(
+                PerfEventAttr(type=_glc(raptor).type, config=0x003C),
+                pid=other.tid,
+                cpu=-1,
+                group_fd=leader,
+            )
+
+    def test_group_capacity_limit(self, raptor, raptor_thread):
+        """A group larger than the PMU's counters is rejected."""
+        glc = _glc(raptor)
+        # Duplicate configs are fine: each open consumes one counter.
+        configs = [0x00C0, 0x003C, 0x013C, 0x4F2E, 0x412E, 0x00C4, 0x00C5,
+                   0x01C7, 0x01A3, 0x0400, 0x1F24, 0x3F24, 0x00C0, 0x003C]
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(type=glc.type, config=configs[0]),
+            pid=raptor_thread.tid,
+            cpu=-1,
+        )
+        opened = 1
+        with pytest.raises(KernelError) as e:
+            for cfg in configs[1:]:
+                raptor.perf.perf_event_open(
+                    PerfEventAttr(type=glc.type, config=cfg),
+                    pid=raptor_thread.tid,
+                    cpu=-1,
+                    group_fd=leader,
+                )
+                opened += 1
+        assert e.value.kernel_errno == Errno.EINVAL
+        assert opened == glc.n_counters + glc.n_fixed
+
+
+class TestFdLifecycle:
+    def test_close_then_read_ebadf(self, raptor, raptor_thread):
+        fd = raptor.perf.perf_event_open(
+            PerfEventAttr(type=_glc(raptor).type, config=0x00C0),
+            pid=raptor_thread.tid,
+            cpu=-1,
+        )
+        raptor.perf.close(fd)
+        with pytest.raises(KernelError) as e:
+            raptor.perf.read(fd)
+        assert e.value.kernel_errno == Errno.EBADF
+
+    def test_double_close(self, raptor, raptor_thread):
+        fd = raptor.perf.perf_event_open(
+            PerfEventAttr(type=_glc(raptor).type, config=0x00C0),
+            pid=raptor_thread.tid,
+            cpu=-1,
+        )
+        raptor.perf.close(fd)
+        with pytest.raises(KernelError):
+            raptor.perf.close(fd)

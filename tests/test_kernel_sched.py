@@ -1,0 +1,145 @@
+"""Unit tests for affinity masks and the scheduler."""
+
+import pytest
+
+from repro.hw.machines import raptor_lake_i7_13700
+from repro.kernel.sched import (
+    CpuMask,
+    Scheduler,
+    format_cpu_list,
+    parse_cpu_list,
+    taskset,
+)
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+class TestCpuList:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", {0}),
+            ("0,2,4", {0, 2, 4}),
+            ("0-3", {0, 1, 2, 3}),
+            ("0,2,4,6,8,10,12,14,16-24", {0, 2, 4, 6, 8, 10, 12, 14} | set(range(16, 25))),
+            ("", set()),
+            (" 1 , 3 - 5 ", {1, 3, 4, 5}),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_cpu_list(text) == expected
+
+    def test_parse_rejects_backwards_range(self):
+        with pytest.raises(ValueError):
+            parse_cpu_list("5-2")
+
+    @pytest.mark.parametrize(
+        "cpus,expected",
+        [
+            ([0, 1, 2, 3], "0-3"),
+            ([0, 2, 3, 4, 8], "0,2-4,8"),
+            ([5], "5"),
+            ([], ""),
+        ],
+    )
+    def test_format(self, cpus, expected):
+        assert format_cpu_list(cpus) == expected
+
+    def test_roundtrip(self):
+        cpus = {0, 1, 2, 5, 7, 8, 9, 23}
+        assert parse_cpu_list(format_cpu_list(cpus)) == cpus
+
+    def test_mask_validates_range(self):
+        with pytest.raises(ValueError):
+            CpuMask("0-30", n_cpus=24)
+        with pytest.raises(ValueError):
+            CpuMask([], n_cpus=24)
+
+    def test_taskset(self):
+        t = SimThread("x", Program([]))
+        taskset(t, "4-5", n_cpus=6)
+        assert t.affinity == {4, 5}
+
+
+def _threads(n, affinity=None):
+    out = []
+    for i in range(n):
+        t = SimThread(f"t{i}", Program([ComputePhase(1e6, RATES)]), affinity=affinity)
+        t.tid = 100 + i
+        out.append(t)
+    return out
+
+
+class TestScheduler:
+    def setup_method(self):
+        self.topo = raptor_lake_i7_13700().topology
+
+    def test_single_thread_lands_on_pcore(self):
+        sched = Scheduler(self.topo)
+        (t,) = _threads(1)
+        placed = sched.schedule([t])
+        cpu = next(iter(placed))
+        assert self.topo.core(cpu).ctype.name == "P-core"
+        assert self.topo.core(cpu).smt_thread == 0
+
+    def test_sticky_placement(self):
+        sched = Scheduler(self.topo)
+        (t,) = _threads(1)
+        first = next(iter(sched.schedule([t])))
+        second = next(iter(sched.schedule([t])))
+        assert first == second
+
+    def test_work_conserving_spread(self):
+        """16 threads spread over 16 distinct CPUs (no stacking)."""
+        sched = Scheduler(self.topo)
+        ts = _threads(16)
+        placed = sched.schedule(ts)
+        assert len(placed) == 16
+        assert all(len(v) == 1 for v in placed.values())
+
+    def test_oversubscribed_shares(self):
+        sched = Scheduler(self.topo)
+        ts = _threads(3, affinity={0})
+        placed = sched.schedule(ts)
+        entries = placed[0]
+        assert len(entries) == 3
+        assert sum(e.share for e in entries) == pytest.approx(1.0)
+
+    def test_affinity_never_violated(self):
+        sched = Scheduler(self.topo, seed=5, migrate_jitter=0.5, rebalance_jitter=0.3)
+        ts = _threads(4, affinity={2, 3})
+        for _ in range(200):
+            placed = sched.schedule(ts)
+            for cpu, entries in placed.items():
+                if entries:
+                    assert cpu in {2, 3}
+
+    def test_idle_cpu_pulls_waiters(self):
+        sched = Scheduler(self.topo)
+        a, b = _threads(2)
+        # Force both onto one CPU initially via affinity, then free them.
+        a.affinity = b.affinity = {0}
+        sched.schedule([a, b])
+        a.affinity = b.affinity = None
+        placed = sched.schedule([a, b])
+        cpus = [c for c, es in placed.items() if es]
+        assert len(cpus) == 2
+
+    def test_migration_accounting(self):
+        sched = Scheduler(self.topo, seed=1, migrate_jitter=0.5)
+        (t,) = _threads(1)
+        for _ in range(100):
+            sched.schedule([t])
+        assert t.nr_migrations > 0
+        assert sched.total_migrations >= t.nr_migrations
+
+    def test_weight_proportional_share(self):
+        sched = Scheduler(self.topo)
+        a, b = _threads(2, affinity={0})
+        a.weight = 3.0
+        placed = sched.schedule([a, b])
+        shares = {e.thread.name: e.share for e in placed[0]}
+        assert shares["t0"] == pytest.approx(0.75)
+        assert shares["t1"] == pytest.approx(0.25)

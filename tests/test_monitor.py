@@ -1,0 +1,138 @@
+"""Unit tests for the monitoring tools (sampler, perf stat, aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.hpl import HplConfig, run_hpl
+from repro.monitor import (
+    PerfStat,
+    Sampler,
+    aggregate_traces,
+    monitored_run,
+    perf_stat_threads,
+)
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0, llc_refs_per_instr=0.01, llc_miss_rate=0.4))
+
+
+class TestSampler:
+    def test_samples_at_period(self):
+        system = System("raptor-lake-i7-13700", dt_s=0.01)
+        sampler = Sampler(system, period_s=0.1)
+        sampler.start()
+        system.machine.run_for(1.05)
+        trace = sampler.stop()
+        assert 10 <= len(trace.times_s) <= 12
+        dt = np.diff(trace.times_s)
+        assert np.allclose(dt, 0.1, atol=0.02)
+
+    def test_trace_contents(self):
+        system = System("raptor-lake-i7-13700", dt_s=0.01)
+        t = system.machine.spawn_program("w", [ComputePhase(5e9, RATES)])
+        sampler = Sampler(system, period_s=0.05)
+        sampler.start()
+        system.machine.run_for(0.5)
+        trace = sampler.stop()
+        assert set(trace.freq_mhz) == {"P-core", "E-core"}
+        assert all(p > 0 for p in trace.package_w)
+        assert trace.energy_j[-1] > trace.energy_j[0]
+        arrays = trace.as_arrays()
+        assert "freq_P-core_mhz" in arrays
+
+    def test_monitored_run_settles_first(self):
+        system = System("raptor-lake-i7-13700", dt_s=0.01)
+        system.machine.thermal.temp_c = 55.0
+
+        def body():
+            t = system.machine.spawn_program("w", [ComputePhase(1e8, RATES)])
+            system.machine.run_until_done([t], max_s=5)
+            return t
+
+        _, trace = monitored_run(system, body, period_s=0.01, settle_temp_c=35.0)
+        assert trace.temp_c[0] <= 36.0
+
+    def test_summary_helpers(self):
+        system = System("raptor-lake-i7-13700", dt_s=0.01)
+        sampler = Sampler(system, period_s=0.05)
+        sampler.start()
+        system.machine.run_for(0.3)
+        trace = sampler.stop()
+        assert trace.peak_power_w() >= trace.steady_power_w() * 0.5
+        assert trace.median_freq_ghz("P-core") > 0
+        with pytest.raises(KeyError):
+            trace.median_freq_ghz("nope")
+
+
+class TestPerfStat:
+    def test_per_thread_hybrid_events(self):
+        system = System("raptor-lake-i7-13700", dt_s=1e-4, seed=5,
+                        migrate_jitter=0.1, rebalance_jitter=0.1)
+        t = system.machine.spawn(SimThread("w", Program([ComputePhase(2e7, RATES)])))
+        result = perf_stat_threads(
+            system,
+            [t],
+            ["INST_RETIRED"],
+            lambda: system.machine.run_until_done([t], max_s=10),
+        )
+        by_pmu = result.by_pmu("INST_RETIRED")
+        assert set(by_pmu) == {"adl_glc", "adl_grt"}
+        assert sum(by_pmu.values()) == pytest.approx(2e7, rel=0.01)
+        assert "INST_RETIRED" in result.render()
+
+    def test_system_wide_llc_missrate(self):
+        """The Table III measurement path: system-wide per-PMU counts."""
+        system = System("raptor-lake-i7-13700", dt_s=1e-4)
+        p_cpu = system.topology.cpus_of_type("P-core")[0]
+        tool = PerfStat(system)
+        tool.open_system_wide(["LONGEST_LAT_CACHE:REFERENCE", "LONGEST_LAT_CACHE:MISS"])
+        tool.start()
+        t = system.machine.spawn(
+            SimThread("w", Program([ComputePhase(1e7, RATES)]), affinity={p_cpu})
+        )
+        system.machine.run_until_done([t], max_s=10)
+        result = tool.stop()
+        tool.close()
+        refs = result.by_pmu("LONGEST_LAT_CACHE:REFERENCE")
+        misses = result.by_pmu("LONGEST_LAT_CACHE:MISS")
+        assert refs["adl_glc"] == pytest.approx(1e5, rel=0.01)
+        assert misses["adl_glc"] / refs["adl_glc"] == pytest.approx(0.4, rel=0.01)
+        assert refs["adl_grt"] == 0
+
+
+class TestAggregation:
+    def _trace(self, length, level):
+        from repro.monitor.sampler import SampleTrace
+
+        tr = SampleTrace(period_s=1.0)
+        tr.times_s = list(np.arange(length, dtype=float))
+        tr.freq_mhz["P-core"] = [level] * length
+        tr.temp_c = [40.0 + level / 1000] * length
+        tr.package_w = [level / 50] * length
+        tr.energy_j = list(np.cumsum(tr.package_w))
+        tr.wall_power_w = tr.package_w
+        return tr
+
+    def test_average_on_shortest_grid(self):
+        traces = [self._trace(10, 3000), self._trace(12, 1000)]
+        agg = aggregate_traces(traces)
+        assert agg.n_runs == 2
+        assert len(agg.times_s) == 10
+        assert np.allclose(agg.freq_mhz["P-core"], 2000)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_traces([])
+
+    def test_hpl_with_monitoring_end_to_end(self):
+        system = System("raptor-lake-i7-13700", dt_s=0.01)
+        result, trace = monitored_run(
+            system,
+            lambda: run_hpl(system, HplConfig(n=2304, nb=192), variant="intel"),
+            period_s=0.5,
+            settle_temp_c=None,
+        )
+        assert result.gflops > 0
+        assert len(trace.times_s) >= 1

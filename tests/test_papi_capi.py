@@ -1,0 +1,129 @@
+"""The C-flavoured API: a PAPI test program ported nearly line-for-line."""
+
+import pytest
+
+from repro.papi.capi import CApi, PAPI_NULL, PAPI_VER_CURRENT
+from repro.papi.consts import PAPI_OK, PapiErrorCode
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+@pytest.fixture
+def api(raptor):
+    return CApi(raptor)
+
+
+def _spawn(system, cpu=None):
+    affinity = {cpu} if cpu is not None else None
+    return system.machine.spawn(
+        SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity=affinity)
+    )
+
+
+class TestInitialization:
+    def test_version_handshake(self, api):
+        assert api.PAPI_library_init(PAPI_VER_CURRENT) == PAPI_VER_CURRENT
+        assert api.PAPI_is_initialized()
+
+    def test_wrong_version_rejected(self, api):
+        assert api.PAPI_library_init(0x05000000) == PapiErrorCode.EINVAL
+
+    def test_use_before_init(self, api):
+        es = [PAPI_NULL]
+        assert api.PAPI_create_eventset(es) == PapiErrorCode.ENOINIT
+
+    def test_shutdown(self, api):
+        api.PAPI_library_init(PAPI_VER_CURRENT)
+        api.PAPI_shutdown()
+        assert not api.PAPI_is_initialized()
+
+
+class TestPortedHybridTest:
+    def test_papi_hybrid_c_style(self, raptor, api):
+        """The §IV-F test written the way a C PAPI program would be."""
+        assert api.PAPI_library_init(PAPI_VER_CURRENT) == PAPI_VER_CURRENT
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = _spawn(raptor, cpu=p_cpu)
+
+        eventset = [PAPI_NULL]
+        assert api.PAPI_create_eventset(eventset) == PAPI_OK
+        assert eventset[0] != PAPI_NULL
+        assert api.PAPI_attach(eventset[0], t.tid) == PAPI_OK
+        assert api.PAPI_add_named_event(
+            eventset[0], "adl_glc::INST_RETIRED:ANY"
+        ) == PAPI_OK
+        assert api.PAPI_add_named_event(
+            eventset[0], "adl_grt::INST_RETIRED:ANY"
+        ) == PAPI_OK
+        assert api.PAPI_num_events(eventset[0]) == 2
+
+        assert api.PAPI_start(eventset[0]) == PAPI_OK
+        raptor.machine.run_until_done([t], max_s=5)
+        values = [0, 0]
+        assert api.PAPI_stop(eventset[0], values) == PAPI_OK
+        assert values[0] == pytest.approx(1e6)
+        assert values[1] == 0
+
+        assert api.PAPI_destroy_eventset(eventset) == PAPI_OK
+        assert eventset[0] == PAPI_NULL
+
+    def test_error_codes_not_exceptions(self, raptor, api):
+        api.PAPI_library_init(PAPI_VER_CURRENT)
+        assert api.PAPI_start(42) == PapiErrorCode.ENOEVST
+        es = [PAPI_NULL]
+        api.PAPI_create_eventset(es)
+        assert api.PAPI_add_named_event(es[0], "NOPE::X") == PapiErrorCode.ENOEVNT
+        assert api.PAPI_start(es[0]) == PapiErrorCode.EINVAL
+
+    def test_accum_and_read(self, raptor, api):
+        api.PAPI_library_init(PAPI_VER_CURRENT)
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = _spawn(raptor, cpu=p_cpu)
+        es = [PAPI_NULL]
+        api.PAPI_create_eventset(es)
+        api.PAPI_attach(es[0], t.tid)
+        api.PAPI_add_named_event(es[0], "adl_glc::INST_RETIRED:ANY")
+        api.PAPI_start(es[0])
+        raptor.machine.run_until_done([t], max_s=5)
+        buf = [0]
+        assert api.PAPI_accum(es[0], buf) == PAPI_OK
+        assert buf[0] == pytest.approx(1e6)
+        out = [0]
+        assert api.PAPI_read(es[0], out) == PAPI_OK
+        assert out[0] == 0  # accum reset the counts
+
+    def test_short_output_buffer(self, raptor, api):
+        api.PAPI_library_init(PAPI_VER_CURRENT)
+        t = _spawn(raptor)
+        es = [PAPI_NULL]
+        api.PAPI_create_eventset(es)
+        api.PAPI_attach(es[0], t.tid)
+        api.PAPI_add_named_event(es[0], "adl_glc::INST_RETIRED:ANY")
+        api.PAPI_add_named_event(es[0], "adl_grt::INST_RETIRED:ANY")
+        api.PAPI_start(es[0])
+        assert api.PAPI_read(es[0], [0]) == PapiErrorCode.EINVAL
+
+    def test_attach_bad_tid(self, raptor, api):
+        api.PAPI_library_init(PAPI_VER_CURRENT)
+        es = [PAPI_NULL]
+        api.PAPI_create_eventset(es)
+        assert api.PAPI_attach(es[0], 999999) == PapiErrorCode.EINVAL
+
+
+class TestMisc:
+    def test_strerror(self):
+        assert CApi.PAPI_strerror(PAPI_OK) == "No error"
+        assert "not running" in CApi.PAPI_strerror(int(PapiErrorCode.ENOTRUN))
+        assert CApi.PAPI_strerror(-9999) == "Unknown error code"
+
+    def test_query_and_misc(self, raptor, api):
+        api.PAPI_library_init(PAPI_VER_CURRENT)
+        assert api.PAPI_query_named_event("PAPI_TOT_INS") == PAPI_OK
+        assert (
+            api.PAPI_query_named_event("PAPI_NOPE") == PapiErrorCode.ENOEVNT
+        )
+        assert api.PAPI_num_components() >= 2
+        assert api.PAPI_get_real_usec() >= 0

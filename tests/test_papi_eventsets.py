@@ -1,0 +1,271 @@
+"""PAPI EventSet lifecycle and the legacy/hybrid behaviour matrix."""
+
+import pytest
+
+from repro.papi import Papi, PapiError
+from repro.papi.consts import PapiErrorCode
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+
+RATES = constant_rates(PhaseRates(ipc=2.0, llc_refs_per_instr=0.01, llc_miss_rate=0.5))
+
+
+def _thread(system, instructions=1e6, cpu=None):
+    affinity = {cpu} if cpu is not None else None
+    return system.machine.spawn(
+        SimThread("app", Program([ComputePhase(instructions, RATES)]), affinity=affinity)
+    )
+
+
+class TestLifecycle:
+    def test_basic_count(self, raptor):
+        papi = Papi(raptor)
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = _thread(raptor, cpu=p_cpu)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        papi.start(es)
+        raptor.machine.run_until_done([t], max_s=5)
+        values = papi.stop(es)
+        assert values[0] == pytest.approx(1e6)
+
+    def test_unknown_eventset(self, raptor):
+        papi = Papi(raptor)
+        with pytest.raises(PapiError) as e:
+            papi.start(99)
+        assert e.value.code == PapiErrorCode.ENOEVST
+
+    def test_unknown_event_name(self, raptor):
+        papi = Papi(raptor)
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        with pytest.raises(PapiError) as e:
+            papi.add_event(es, "adl_glc::NOT_AN_EVENT")
+        assert e.value.code == PapiErrorCode.ENOEVNT
+
+    def test_start_empty_eventset(self, raptor):
+        papi = Papi(raptor)
+        es = papi.create_eventset()
+        with pytest.raises(PapiError) as e:
+            papi.start(es)
+        assert e.value.code == PapiErrorCode.EINVAL
+
+    def test_stop_without_start(self, raptor):
+        papi = Papi(raptor)
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        with pytest.raises(PapiError) as e:
+            papi.stop(es)
+        assert e.value.code == PapiErrorCode.ENOTRUN
+
+    def test_double_start(self, raptor):
+        papi = Papi(raptor)
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        papi.start(es)
+        with pytest.raises(PapiError) as e:
+            papi.start(es)
+        assert e.value.code == PapiErrorCode.EISRUN
+
+    def test_add_while_running_rejected(self, raptor):
+        papi = Papi(raptor)
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        papi.start(es)
+        with pytest.raises(PapiError):
+            papi.add_event(es, "adl_glc::CPU_CLK_UNHALTED:THREAD")
+
+    def test_add_before_attach_rejected(self, raptor):
+        papi = Papi(raptor)
+        es = papi.create_eventset()
+        with pytest.raises(PapiError) as e:
+            papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        assert e.value.code == PapiErrorCode.EINVAL
+
+    def test_reset_and_read(self, raptor):
+        papi = Papi(raptor)
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = _thread(raptor, cpu=p_cpu)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        papi.start(es)
+        raptor.machine.run_until_done([t], max_s=5)
+        assert papi.read(es)[0] > 0
+        papi.reset(es)
+        assert papi.read(es)[0] == 0
+
+    def test_accum(self, raptor):
+        papi = Papi(raptor)
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = _thread(raptor, cpu=p_cpu)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        papi.start(es)
+        raptor.machine.run_until_done([t], max_s=5)
+        totals = papi.accum(es, [0.0])
+        assert totals[0] == pytest.approx(1e6)
+        assert papi.read(es)[0] == 0  # accum resets
+
+    def test_accum_length_checked(self, raptor):
+        papi = Papi(raptor)
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        papi.start(es)
+        with pytest.raises(PapiError):
+            papi.accum(es, [0.0, 0.0])
+
+    def test_cleanup_and_destroy(self, raptor):
+        papi = Papi(raptor)
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        papi.cleanup_eventset(es)
+        assert papi.eventset(es).num_events == 0
+        papi.destroy_eventset(es)
+        with pytest.raises(PapiError):
+            papi.eventset(es)
+
+    def test_one_active_eventset_per_component(self, raptor):
+        """The constraint that defeats the two-EventSet workaround (§IV-E):
+        one thread cannot run a big-PMU and a little-PMU EventSet at once."""
+        papi = Papi(raptor)
+        t = _thread(raptor)
+        es1, es2 = papi.create_eventset(), papi.create_eventset()
+        papi.attach(es1, t)
+        papi.attach(es2, t)
+        papi.add_event(es1, "adl_glc::INST_RETIRED:ANY")
+        papi.add_event(es2, "adl_grt::INST_RETIRED:ANY")
+        papi.start(es1)
+        with pytest.raises(PapiError) as e:
+            papi.start(es2)
+        assert e.value.code == PapiErrorCode.EISRUN
+        papi.stop(es1)
+        papi.start(es2)  # fine once the first stopped
+        papi.stop(es2)
+
+    def test_different_threads_may_measure_concurrently(self, raptor):
+        """The per-component limit is per thread context: two threads can
+        each run their own EventSet at the same time (PAPI_thread_init
+        semantics), which multithreaded codes like HPL rely on."""
+        papi = Papi(raptor)
+        p_cpus = raptor.topology.cpus_of_type("P-core")
+        t1 = _thread(raptor, cpu=p_cpus[0])
+        t2 = _thread(raptor, cpu=p_cpus[2])
+        esids = []
+        for t in (t1, t2):
+            es = papi.create_eventset()
+            papi.attach(es, t)
+            papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+            papi.start(es)
+            esids.append(es)
+        raptor.machine.run_until_done([t1, t2], max_s=5)
+        for es in esids:
+            assert papi.stop(es)[0] == pytest.approx(1e6)
+
+    def test_reattach_with_events_rejected(self, raptor):
+        papi = Papi(raptor)
+        t1, t2 = _thread(raptor), _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t1)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        with pytest.raises(PapiError):
+            papi.attach(es, t2)
+
+
+class TestLegacyVsHybrid:
+    def test_legacy_rejects_cross_pmu(self, raptor):
+        papi = Papi(raptor, mode="legacy")
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        with pytest.raises(PapiError) as e:
+            papi.add_event(es, "adl_grt::INST_RETIRED:ANY")
+        assert e.value.code == PapiErrorCode.ECNFLCT
+
+    def test_hybrid_accepts_cross_pmu(self, raptor):
+        papi = Papi(raptor, mode="hybrid")
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        papi.add_event(es, "adl_grt::INST_RETIRED:ANY")
+        assert papi.num_groups(es) == 2
+
+    def test_legacy_unqualified_fails_on_hybrid_machine(self, raptor):
+        """§IV-D: multiple default PMUs break unpatched PAPI."""
+        papi = Papi(raptor, mode="legacy")
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        with pytest.raises(PapiError) as e:
+            papi.add_event(es, "INST_RETIRED:ANY")
+        assert e.value.code == PapiErrorCode.EMISC
+
+    def test_hybrid_unqualified_prefers_pcore(self, raptor):
+        """The patched default-PMU choice is the P-core (hard-coded
+        preference for the big core type)."""
+        papi = Papi(raptor, mode="hybrid")
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = _thread(raptor, cpu=p_cpu)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "INST_RETIRED:ANY")
+        papi.start(es)
+        raptor.machine.run_until_done([t], max_s=5)
+        assert papi.stop(es)[0] == pytest.approx(1e6)
+        assert papi.num_groups(es) == 1
+
+    def test_legacy_works_on_homogeneous_machine(self, xeon):
+        """'On a traditional machine you get the expected result.'"""
+        papi = Papi(xeon, mode="legacy")
+        t = _thread(xeon)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "INST_RETIRED:ANY")
+        papi.add_event(es, "PAPI_TOT_CYC")
+        papi.start(es)
+        xeon.machine.run_until_done([t], max_s=5)
+        values = papi.stop(es)
+        assert values[0] == pytest.approx(1e6)
+        assert values[1] > 0
+
+    def test_hybrid_on_arm_biglittle(self, orangepi):
+        papi = Papi(orangepi, mode="hybrid")
+        big_cpu = orangepi.topology.cpus_of_type("big")[0]
+        t = _thread(orangepi, cpu=big_cpu)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "arm_a72::INST_RETIRED")
+        papi.add_event(es, "arm_a53::INST_RETIRED")
+        papi.start(es)
+        orangepi.machine.run_until_done([t], max_s=5)
+        values = papi.stop(es)
+        assert values[0] == pytest.approx(1e6)
+        assert values[1] == 0
+
+    def test_hybrid_three_pmu_eventset(self, dynamiq):
+        papi = Papi(dynamiq, mode="hybrid")
+        t = _thread(dynamiq)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        for pmu in ("arm_x1", "arm_a76", "arm_a55"):
+            papi.add_event(es, f"{pmu}::INST_RETIRED")
+        assert papi.num_groups(es) == 3
+        papi.start(es)
+        dynamiq.machine.run_until_done([t], max_s=5)
+        values = papi.stop(es)
+        assert sum(values) == pytest.approx(1e6, rel=0.05)

@@ -1,0 +1,101 @@
+"""The high-level region API: the calipering PAPI offers over perf."""
+
+import pytest
+
+from repro.papi import Papi, PapiError
+from repro.papi.highlevel import HighLevelApi
+from repro.sim.task import ControlOp, Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+def test_region_measures_only_its_span(raptor):
+    """Calipering: counts cover the wrapped chunk, not the whole program —
+    exactly what the paper says perf cannot do."""
+    papi = Papi(raptor)
+    p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+    hl_holder = {}
+
+    items = [
+        ComputePhase(3e6, RATES, label="unmeasured-prefix"),
+        ControlOp(lambda th: hl_holder["hl"].region_begin("kernel")),
+        ComputePhase(1e6, RATES, label="measured"),
+        ControlOp(lambda th: hl_holder["hl"].region_end("kernel")),
+        ComputePhase(2e6, RATES, label="unmeasured-suffix"),
+    ]
+    t = raptor.machine.spawn(SimThread("app", Program(items), affinity={p_cpu}))
+    hl_holder["hl"] = HighLevelApi(papi, t)
+    raptor.machine.run_until_done([t], max_s=5)
+    stats = hl_holder["hl"].regions["kernel"]
+    assert stats.invocations == 1
+    # Instructions inside the region only (plus small PAPI overhead).
+    assert stats.as_dict()["PAPI_TOT_INS"] == pytest.approx(1e6, rel=0.02)
+
+
+def test_region_accumulates_over_invocations(raptor):
+    papi = Papi(raptor)
+    p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+    hl_holder = {}
+    items = []
+    for _ in range(5):
+        items += [
+            ControlOp(lambda th: hl_holder["hl"].region_begin("loop")),
+            ComputePhase(1e5, RATES),
+            ControlOp(lambda th: hl_holder["hl"].region_end("loop")),
+        ]
+    t = raptor.machine.spawn(SimThread("app", Program(items), affinity={p_cpu}))
+    hl_holder["hl"] = HighLevelApi(papi, t)
+    raptor.machine.run_until_done([t], max_s=5)
+    stats = hl_holder["hl"].regions["loop"]
+    assert stats.invocations == 5
+    # Per-invocation PAPI call overhead lands inside each region, so the
+    # total exceeds the pure work by a small margin.
+    total = stats.as_dict()["PAPI_TOT_INS"]
+    assert 5e5 <= total <= 5e5 * 1.15
+
+
+def test_mismatched_region_end(raptor):
+    papi = Papi(raptor)
+    t = raptor.machine.spawn(SimThread("app", Program([ComputePhase(1e5, RATES)])))
+    hl = HighLevelApi(papi, t)
+    with pytest.raises(PapiError):
+        hl.region_end("never-opened")
+
+
+def test_nested_region_rejected(raptor):
+    papi = Papi(raptor)
+    seen = {}
+    hl_holder = {}
+
+    def begin_twice(th):
+        hl_holder["hl"].region_begin("outer")
+        try:
+            hl_holder["hl"].region_begin("inner")
+        except PapiError as exc:
+            seen["error"] = exc
+        hl_holder["hl"].region_end("outer")
+
+    t = raptor.machine.spawn(
+        SimThread("app", Program([ControlOp(begin_twice), ComputePhase(1e5, RATES)]))
+    )
+    hl_holder["hl"] = HighLevelApi(papi, t)
+    raptor.machine.run_until_done([t], max_s=5)
+    assert "error" in seen
+
+
+def test_custom_events_and_shutdown(raptor):
+    papi = Papi(raptor)
+    p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+    hl_holder = {}
+    items = [
+        ControlOp(lambda th: hl_holder["hl"].region_begin("r")),
+        ComputePhase(1e6, RATES),
+        ControlOp(lambda th: hl_holder["hl"].region_end("r")),
+    ]
+    t = raptor.machine.spawn(SimThread("app", Program(items), affinity={p_cpu}))
+    hl_holder["hl"] = HighLevelApi(papi, t, events=("PAPI_TOT_INS", "PAPI_L3_TCM"))
+    raptor.machine.run_until_done([t], max_s=5)
+    d = hl_holder["hl"].regions["r"].as_dict()
+    assert set(d) == {"PAPI_TOT_INS", "PAPI_L3_TCM"}
+    hl_holder["hl"].shutdown()

@@ -1,0 +1,153 @@
+"""Hardware info (§V-1) and the sysdetect strategies (§IV-B)."""
+
+import pytest
+
+from repro.papi import Papi, detect_core_types
+from repro.papi.hwinfo import get_hardware_info
+from repro.papi.sysdetect import (
+    strategy_cpu_capacity,
+    strategy_cpu_types_sysfs,
+    strategy_cpuid,
+    strategy_cpuinfo,
+    strategy_max_freq,
+    strategy_pmu_scan,
+)
+from repro.system import System
+
+
+class TestHwInfo:
+    def test_raptor_matches_table1(self, raptor):
+        info = get_hardware_info(raptor)
+        assert info.totalcpus == 24
+        assert info.cores == 16
+        assert info.threads == 2
+        assert info.heterogeneous
+        by_name = {c.name: c for c in info.core_classes}
+        assert by_name["P-core"].n_physical_cores == 8
+        assert by_name["P-core"].n_logical_cpus == 16
+        assert by_name["P-core"].max_mhz == 5100
+        assert by_name["E-core"].n_physical_cores == 8
+        assert by_name["E-core"].max_mhz == 4100
+        assert info.memory_gib == 32
+
+    def test_orangepi_matches_table4(self, orangepi):
+        info = get_hardware_info(orangepi)
+        assert info.totalcpus == 6
+        by_name = {c.name: c for c in info.core_classes}
+        assert by_name["big"].n_physical_cores == 2
+        assert by_name["big"].max_mhz == 1800
+        assert by_name["LITTLE"].n_physical_cores == 4
+        assert by_name["LITTLE"].max_mhz == 1400
+
+    def test_homogeneous(self, xeon):
+        info = get_hardware_info(xeon)
+        assert not info.heterogeneous
+        assert len(info.core_classes) == 1
+
+    def test_class_of_cpu(self, raptor):
+        info = get_hardware_info(raptor)
+        assert info.class_of_cpu(0).name == "P-core"
+        assert info.class_of_cpu(23).name == "E-core"
+        with pytest.raises(KeyError):
+            info.class_of_cpu(99)
+
+    def test_via_papi_facade(self, raptor):
+        assert Papi(raptor).get_hardware_info().heterogeneous
+
+
+class TestStrategies:
+    def test_cpu_capacity_arm_only(self, raptor, orangepi):
+        assert not strategy_cpu_capacity(raptor).applicable
+        r = strategy_cpu_capacity(orangepi)
+        assert r.applicable and r.n_classes == 2
+
+    def test_cpuinfo_pitfall_on_intel(self, raptor, orangepi):
+        """/proc/cpuinfo cannot distinguish Intel hybrid core types."""
+        r_intel = strategy_cpuinfo(raptor)
+        assert r_intel.applicable and r_intel.n_classes == 1
+        r_arm = strategy_cpuinfo(orangepi)
+        assert r_arm.n_classes == 2
+
+    def test_cpuid_x86_only(self, raptor, orangepi):
+        r = strategy_cpuid(raptor)
+        assert r.applicable
+        assert sorted(r.classes) == ["atom", "core"]
+        assert len(r.classes["atom"]) == 8
+        assert not strategy_cpuid(orangepi).applicable
+
+    def test_pmu_scan_everywhere(self, any_system):
+        r = strategy_pmu_scan(any_system)
+        assert r.applicable
+        assert r.n_classes == len(any_system.topology.core_types)
+
+    def test_max_freq_heuristic(self, raptor):
+        r = strategy_max_freq(raptor)
+        assert r.applicable and r.n_classes == 2
+
+    def test_max_freq_heuristic_can_fail(self):
+        """Two core types with identical max freq + L2 are conflated —
+        'this cannot always be guaranteed to work'."""
+        from repro.hw.coretype import CoreType, PowerCoefficients
+        from repro.hw.machines import MachineSpec
+        from repro.hw.topology import CpuTopology
+
+        def twin(name, pmu, pfm, midr):
+            return CoreType(
+                name=name, microarch=pfm, vendor="arm", pmu_name=pmu,
+                pfm_pmu=pfm, smt=1, capacity=1024 if name == "big" else 500,
+                min_freq_mhz=500, base_freq_mhz=1000, max_freq_mhz=2000,
+                ipc=2.0, flops_per_cycle=4.0, branch_misp_rate=0.01,
+                llc_miss_penalty_cycles=150, l1d_kib=32, l2_kib=512,
+                power=PowerCoefficients(0.5, 0.9, 0.1, 0.1), midr_part=midr,
+            )
+
+        spec = MachineSpec(
+            name="twin-freq",
+            topology=CpuTopology.build(
+                [(twin("little", "pmu_a", "arm_a53", 0xD03), 2),
+                 (twin("big", "pmu_b", "arm_a72", 0xD08), 2)]
+            ),
+            memory_gib=2, uncore_base_w=0.5, dram_w_per_util=0.2,
+        )
+        system = System(spec, dt_s=1e-3)
+        r = strategy_max_freq(system)
+        assert r.applicable and r.n_classes == 1  # wrongly conflated
+        # But the PMU scan still gets it right.
+        assert strategy_pmu_scan(system).n_classes == 2
+
+    def test_proposed_interface_off_by_default(self, raptor):
+        assert not strategy_cpu_types_sysfs(raptor).applicable
+
+    def test_proposed_interface_when_exposed(self):
+        system = System("raptor-lake-i7-13700", dt_s=1e-3, expose_cpu_types=True)
+        r = strategy_cpu_types_sysfs(system)
+        assert r.applicable and r.n_classes == 2
+
+
+class TestConsensus:
+    def test_consensus_partitions_cpus(self, any_system):
+        report = detect_core_types(any_system)
+        all_cpus = {c.cpu_id for c in any_system.topology.cores}
+        covered = set()
+        for cpus in report.consensus.values():
+            assert not covered & set(cpus)
+            covered |= set(cpus)
+        assert covered == all_cpus
+
+    def test_heterogeneity_detected_correctly(self, any_system):
+        report = detect_core_types(any_system)
+        assert report.heterogeneous == any_system.topology.is_heterogeneous
+
+    def test_consensus_uses_kernel_pmu_names(self, raptor):
+        report = detect_core_types(raptor)
+        assert sorted(report.consensus) == ["cpu_atom", "cpu_core"]
+
+    def test_three_tier_consensus(self, dynamiq):
+        report = detect_core_types(dynamiq)
+        assert len(report.consensus) == 3
+
+    def test_by_strategy_lookup(self, raptor):
+        report = detect_core_types(raptor)
+        assert report.by_strategy("cpuid_leaf_1a").applicable
+        with pytest.raises(KeyError):
+            report.by_strategy("nope")

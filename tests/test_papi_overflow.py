@@ -1,0 +1,102 @@
+"""PAPI_overflow: sampling callbacks on (hybrid) EventSets."""
+
+import pytest
+
+from repro.papi import Papi, PapiError
+from repro.papi.consts import PapiErrorCode
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+def _setup(system, names, cpu=None, instructions=2e6):
+    papi = Papi(system)
+    affinity = {cpu} if cpu is not None else None
+    t = system.machine.spawn(
+        SimThread("app", Program([ComputePhase(instructions, RATES)]), affinity=affinity)
+    )
+    es = papi.create_eventset()
+    papi.attach(es, t)
+    for name in names:
+        papi.add_event(es, name)
+    return papi, es, t
+
+
+def test_handler_fires_per_threshold(raptor):
+    p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+    papi, es, t = _setup(raptor, ["adl_glc::INST_RETIRED:ANY"], cpu=p_cpu)
+    hits = []
+    papi.overflow(es, "adl_glc::INST_RETIRED:ANY", 100_000, lambda e, s: hits.append(s))
+    papi.start(es)
+    raptor.machine.run_until_done([t], max_s=5)
+    papi.stop(es)
+    assert len(hits) == 20  # 2e6 / 1e5
+    assert all(s.cpu == p_cpu for s in hits)
+
+
+def test_derived_preset_overflows_on_both_core_types():
+    """On a hybrid machine a preset's overflow follows the thread across
+    core types — the measurement capability the paper's patch provides."""
+    system = System("raptor-lake-i7-13700", dt_s=1e-4, seed=12,
+                    migrate_jitter=0.1, rebalance_jitter=0.1)
+    papi, es, t = _setup(system, ["PAPI_TOT_INS"], instructions=2e7)
+    hits = []
+    papi.overflow(es, "PAPI_TOT_INS", 100_000, lambda e, s: hits.append(s))
+    papi.start(es)
+    system.machine.run_until_done([t], max_s=10)
+    values = papi.stop(es)
+    pmus = {s.pmu for s in hits}
+    assert pmus == {"cpu_core", "cpu_atom"}
+    # Roughly one overflow per threshold across the whole run.
+    assert len(hits) == pytest.approx(values[0] / 100_000, abs=3)
+
+
+def test_counts_still_correct_with_overflow(raptor):
+    p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+    papi, es, t = _setup(
+        raptor,
+        ["adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD"],
+        cpu=p_cpu,
+    )
+    papi.overflow(es, "adl_glc::INST_RETIRED:ANY", 50_000, lambda e, s: None)
+    papi.start(es)
+    raptor.machine.run_until_done([t], max_s=5)
+    instr, cycles = papi.stop(es)
+    assert instr == pytest.approx(2e6)
+    assert cycles == pytest.approx(1e6)
+
+
+def test_overflow_requires_member_event(raptor):
+    papi, es, t = _setup(raptor, ["adl_glc::INST_RETIRED:ANY"])
+    with pytest.raises(PapiError) as e:
+        papi.overflow(es, "PAPI_TOT_CYC", 1000, lambda *_: None)
+    assert e.value.code == PapiErrorCode.ENOEVNT
+
+
+def test_overflow_rejected_while_running(raptor):
+    papi, es, t = _setup(raptor, ["adl_glc::INST_RETIRED:ANY"])
+    papi.start(es)
+    with pytest.raises(PapiError) as e:
+        papi.overflow(es, "adl_glc::INST_RETIRED:ANY", 1000, lambda *_: None)
+    assert e.value.code == PapiErrorCode.EISRUN
+
+
+def test_threshold_zero_disables(raptor):
+    p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+    papi, es, t = _setup(raptor, ["adl_glc::INST_RETIRED:ANY"], cpu=p_cpu)
+    hits = []
+    papi.overflow(es, "adl_glc::INST_RETIRED:ANY", 10_000, lambda e, s: hits.append(s))
+    papi.overflow(es, "adl_glc::INST_RETIRED:ANY", 0, lambda e, s: hits.append(s))
+    papi.start(es)
+    raptor.machine.run_until_done([t], max_s=5)
+    papi.stop(es)
+    assert hits == []
+
+
+def test_rapl_event_cannot_overflow(raptor):
+    papi, es, t = _setup(raptor, ["rapl::RAPL_ENERGY_PKG"])
+    with pytest.raises(PapiError) as e:
+        papi.overflow(es, "rapl::RAPL_ENERGY_PKG", 1000, lambda *_: None)
+    assert e.value.code == PapiErrorCode.ECMP

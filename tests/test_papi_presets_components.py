@@ -1,0 +1,252 @@
+"""PAPI presets (incl. derived multi-PMU), components, multiplexing."""
+
+import pytest
+
+from repro.papi import Papi, PapiError
+from repro.papi.consts import PRESETS, PapiErrorCode
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(
+    PhaseRates(
+        ipc=2.0,
+        flops_per_instr=4.0,
+        llc_refs_per_instr=0.01,
+        llc_miss_rate=0.5,
+        branches_per_instr=0.1,
+        branch_miss_rate=0.05,
+    )
+)
+
+
+def _thread(system, instructions=1e6, cpu=None):
+    affinity = {cpu} if cpu is not None else None
+    return system.machine.spawn(
+        SimThread("app", Program([ComputePhase(instructions, RATES)]), affinity=affinity)
+    )
+
+
+class TestPresets:
+    def test_tot_ins_is_derived_add_on_hybrid(self, raptor):
+        """§V-2: PAPI_TOT_INS transparently sums both core types."""
+        papi = Papi(raptor)
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "PAPI_TOT_INS")
+        entry = papi.eventset(es).entries[0]
+        assert entry.derived == "DERIVED_ADD"
+        assert len(entry.slot_indices) == 2
+
+    def test_tot_ins_counts_across_migrations(self):
+        system = System("raptor-lake-i7-13700", dt_s=1e-4, seed=4,
+                        migrate_jitter=0.1, rebalance_jitter=0.1)
+        papi = Papi(system)
+        t = _thread(system, instructions=2e7)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "PAPI_TOT_INS")
+        papi.start(es)
+        system.machine.run_until_done([t], max_s=10)
+        values = papi.stop(es)
+        assert values[0] == pytest.approx(2e7, rel=1e-6)
+        assert set(t.counters) == {"cpu_core", "cpu_atom"}
+
+    def test_not_derived_on_homogeneous(self, xeon):
+        papi = Papi(xeon)
+        t = _thread(xeon)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "PAPI_TOT_INS")
+        assert papi.eventset(es).entries[0].derived == "NOT_DERIVED"
+
+    def test_unknown_preset(self, raptor):
+        papi = Papi(raptor)
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        with pytest.raises(PapiError) as e:
+            papi.add_event(es, "PAPI_BOGUS")
+        assert e.value.code == PapiErrorCode.ENOTPRESET
+
+    def test_all_presets_resolve_on_all_machines(self, any_system):
+        papi = Papi(any_system)
+        for preset in PRESETS:
+            assert papi.query_event(preset), preset
+
+    def test_preset_values_consistent(self, raptor):
+        """PAPI_BR_MSP <= PAPI_BR_INS, PAPI_L3_TCM <= PAPI_L3_TCA."""
+        papi = Papi(raptor)
+        t = _thread(raptor, instructions=5e6)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        for p in ("PAPI_BR_INS", "PAPI_BR_MSP", "PAPI_L3_TCA", "PAPI_L3_TCM"):
+            papi.add_event(es, p)
+        papi.start(es)
+        raptor.machine.run_until_done([t], max_s=5)
+        br, msp, tca, tcm = papi.stop(es)
+        assert 0 < msp < br
+        assert 0 < tcm < tca
+
+    def test_mixed_preset_and_native(self, raptor):
+        papi = Papi(raptor)
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = _thread(raptor, cpu=p_cpu)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "PAPI_TOT_INS")
+        papi.add_event(es, "adl_glc::TOPDOWN:SLOTS")
+        papi.start(es)
+        raptor.machine.run_until_done([t], max_s=5)
+        tot, slots = papi.stop(es)
+        assert tot == pytest.approx(1e6)
+        assert slots > 0
+
+    def test_legacy_preset_fails_on_hybrid(self, raptor):
+        papi = Papi(raptor, mode="legacy")
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        with pytest.raises(PapiError) as e:
+            papi.add_event(es, "PAPI_TOT_INS")
+        assert e.value.code == PapiErrorCode.EMISC
+
+    def test_query_event(self, raptor):
+        papi = Papi(raptor)
+        assert papi.query_event("PAPI_TOT_INS")
+        assert papi.query_event("adl_glc::TOPDOWN:SLOTS")
+        assert not papi.query_event("adl_grt::TOPDOWN:SLOTS")
+        assert not papi.query_event("PAPI_NOPE")
+        assert not papi.query_event("GARBAGE::")
+
+
+class TestUncoreAndRaplComponents:
+    def test_legacy_uncore_must_use_uncore_component(self, raptor):
+        papi = Papi(raptor, mode="legacy")
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "uncore_llc::LLC_MISSES")
+        assert papi.eventset(es).component is papi.perf_event_uncore
+
+    def test_legacy_cannot_mix_cpu_and_uncore(self, raptor):
+        """§IV-E: 'nor can you have things like CPU and RAPL power events
+        in the same EventSet' (legacy)."""
+        papi = Papi(raptor, mode="legacy")
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        with pytest.raises(PapiError) as e:
+            papi.add_event(es, "uncore_llc::LLC_MISSES")
+        assert e.value.code == PapiErrorCode.ECNFLCT
+        with pytest.raises(PapiError):
+            papi.add_event(es, "rapl::RAPL_ENERGY_PKG")
+
+    def test_hybrid_combined_eventset_with_uncore_and_rapl(self, raptor):
+        """§V-3 implemented: uncore and RAPL in a combined EventSet."""
+        papi = Papi(raptor, mode="hybrid")
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = _thread(raptor, instructions=5e6, cpu=p_cpu)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        papi.add_event(es, "adl_grt::INST_RETIRED:ANY")
+        papi.add_event(es, "uncore_llc::LLC_MISSES")
+        papi.add_event(es, "rapl::RAPL_ENERGY_PKG")
+        papi.start(es)
+        raptor.machine.run_until_done([t], max_s=5)
+        ins_p, ins_e, llc, energy = papi.stop(es)
+        assert ins_p == pytest.approx(5e6, rel=0.01)
+        assert ins_e == 0
+        assert llc > 0
+        assert energy > 0  # 2^-32 J units
+
+    def test_rapl_component_reports_nanojoules(self, raptor):
+        papi = Papi(raptor, mode="legacy")
+        es = papi.create_eventset()
+        papi.add_event(es, "rapl::RAPL_ENERGY_PKG")
+        papi.start(es)
+        t = _thread(raptor, instructions=5e6)
+        raptor.machine.run_until_done([t], max_s=5)
+        (nj,) = papi.stop(es)
+        assert nj == pytest.approx(raptor.machine.rapl.package.energy_j * 1e9, rel=0.05)
+
+    def test_rapl_absent_on_arm(self, orangepi):
+        papi = Papi(orangepi, mode="legacy")
+        es = papi.create_eventset()
+        with pytest.raises(PapiError):
+            papi.add_event(es, "rapl::RAPL_ENERGY_PKG")
+
+    def test_uncore_component_counts(self, raptor):
+        papi = Papi(raptor, mode="legacy")
+        es = papi.create_eventset()
+        papi.add_event(es, "uncore_llc::LLC_LOOKUPS")
+        papi.start(es)
+        t = _thread(raptor, instructions=2e6)
+        raptor.machine.run_until_done([t], max_s=5)
+        (refs,) = papi.stop(es)
+        assert refs == pytest.approx(2e6 * 0.01, rel=0.02)
+
+
+class TestMultiplexedEventSets:
+    def test_multiplexing_survives_hybrid_mode(self, raptor):
+        """§IV-E's worry: the multi-group redesign must not break PAPI
+        multiplexing (each event its own leader, scaled estimates)."""
+        papi = Papi(raptor, mode="hybrid")
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        # Long enough to cover many 4 ms multiplex rotation periods.
+        t = _thread(raptor, instructions=5e8, cpu=p_cpu)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.set_multiplex(es)
+        glc = raptor.perf.registry.by_name["cpu_core"]
+        n = glc.n_counters + glc.n_fixed + 3
+        for _ in range(n):
+            papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        papi.start(es)
+        raptor.machine.run_until_done([t], max_s=10)
+        values = papi.stop(es)
+        assert len(values) == n
+        for v in values:
+            assert v == pytest.approx(5e8, rel=0.3)
+
+    def test_set_multiplex_before_adds_only(self, raptor):
+        papi = Papi(raptor)
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+        with pytest.raises(PapiError):
+            papi.set_multiplex(es)
+
+
+class TestBackwardsCompatRouting:
+    """§V-3: hardcoded uncore-component workflows keep working in hybrid
+    mode via the explicit component override."""
+
+    def test_hardcoded_uncore_component_still_works_in_hybrid(self, raptor):
+        papi = Papi(raptor, mode="hybrid")
+        es = papi.create_eventset()
+        papi.add_event(es, "uncore_llc::LLC_MISSES", component="perf_event_uncore")
+        assert papi.eventset(es).component is papi.perf_event_uncore
+        papi.start(es)
+        t = _thread(raptor, instructions=2e6)
+        raptor.machine.run_until_done([t], max_s=5)
+        (misses,) = papi.stop(es)
+        assert misses > 0
+
+    def test_override_validates_support(self, raptor):
+        papi = Papi(raptor, mode="hybrid")
+        t = _thread(raptor)
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        with pytest.raises(PapiError):
+            papi.add_event(
+                es, "adl_glc::INST_RETIRED:ANY", component="perf_event_uncore"
+            )
+        with pytest.raises(PapiError):
+            papi.add_event(es, "uncore_llc::LLC_MISSES", component="bogus")
+        with pytest.raises(PapiError):
+            papi.add_event(es, "PAPI_TOT_INS", component="perf_event")

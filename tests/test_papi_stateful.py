@@ -1,0 +1,161 @@
+"""Rule-based stateful test of the PAPI EventSet lifecycle.
+
+Hypothesis drives random sequences of create/attach/add/start/read/
+stop/reset/cleanup/destroy against one PAPI instance and checks that the
+library either performs the operation or raises a *well-formed*
+PapiError — never crashes, never corrupts the EventSet table, and obeys
+the state-machine invariants (counting only between start and stop,
+values never negative, one running EventSet per component per thread).
+"""
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.papi import Papi, PapiError
+from repro.papi.consts import PapiState
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, SpinPhase, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+EVENT_CHOICES = [
+    "adl_glc::INST_RETIRED:ANY",
+    "adl_grt::INST_RETIRED:ANY",
+    "adl_glc::CPU_CLK_UNHALTED:THREAD",
+    "PAPI_TOT_INS",
+    "PAPI_L3_TCM",
+    "uncore_llc::LLC_MISSES",
+    "rapl::RAPL_ENERGY_PKG",
+]
+
+
+class PapiLifecycle(RuleBasedStateMachine):
+    eventsets = Bundle("eventsets")
+
+    @initialize()
+    def boot(self):
+        self.system = System("raptor-lake-i7-13700", dt_s=1e-4)
+        self.papi = Papi(self.system, mode="hybrid")
+        # One long-lived measurable thread, kept runnable with spin work.
+        self.thread = self.system.machine.spawn(
+            SimThread("target", Program([SpinPhase(until=lambda: False)]))
+        )
+        self.destroyed: set[int] = set()
+
+    def _ok(self, fn, *args, **kw):
+        """Run an operation; only PapiError is an acceptable failure."""
+        try:
+            return fn(*args, **kw)
+        except PapiError:
+            return None
+
+    @rule(target=eventsets)
+    def create(self):
+        return self.papi.create_eventset()
+
+    @rule(es=eventsets)
+    def attach(self, es):
+        if es in self.destroyed:
+            return
+        self._ok(self.papi.attach, es, self.thread)
+
+    @rule(es=eventsets, name=st.sampled_from(EVENT_CHOICES))
+    def add_event(self, es, name):
+        if es in self.destroyed:
+            return
+        self._ok(self.papi.add_event, es, name)
+
+    @rule(es=eventsets)
+    def start(self, es):
+        if es in self.destroyed:
+            return
+        self._ok(self.papi.start, es)
+
+    @rule(es=eventsets)
+    def read(self, es):
+        if es in self.destroyed:
+            return
+        values = self._ok(self.papi.read, es)
+        if values is not None:
+            assert all(v >= 0 for v in values)
+            assert len(values) == self.papi.eventset(es).num_events
+
+    @rule(es=eventsets)
+    def stop(self, es):
+        if es in self.destroyed:
+            return
+        values = self._ok(self.papi.stop, es)
+        if values is not None:
+            assert all(v >= 0 for v in values)
+
+    @rule(es=eventsets)
+    def reset(self, es):
+        if es in self.destroyed:
+            return
+        self._ok(self.papi.reset, es)
+
+    @rule(es=eventsets)
+    def cleanup(self, es):
+        if es in self.destroyed:
+            return
+        self._ok(self.papi.cleanup_eventset, es)
+
+    @rule(es=eventsets)
+    def destroy(self, es):
+        if es in self.destroyed:
+            return
+        if self._ok(self.papi.destroy_eventset, es) is not None or True:
+            try:
+                self.papi.eventset(es)
+            except PapiError:
+                self.destroyed.add(es)
+
+    @rule(ticks=st.integers(min_value=1, max_value=50))
+    def run_machine(self, ticks):
+        self.system.machine.run_ticks(ticks)
+
+    @invariant()
+    def running_sets_are_consistent(self):
+        if not hasattr(self, "papi"):
+            return
+        for es in self.papi._eventsets.values():
+            if es.state is PapiState.RUNNING:
+                assert es.entries, "a running EventSet must have events"
+                assert es.component is not None
+        # At most one running EventSet per component per thread context.
+        for comp in self.papi.components:
+            seen = {}
+            for es in self.papi._eventsets.values():
+                if es.state is PapiState.RUNNING and es.component is comp:
+                    key = es.attached.tid if es.attached else None
+                    assert key not in seen, (
+                        f"two running EventSets ({seen[key]}, {es.esid}) in "
+                        f"one context of {comp.name}"
+                    )
+                    seen[key] = es.esid
+
+    @invariant()
+    def fd_table_clean(self):
+        if not hasattr(self, "system"):
+            return
+        # Every tracked kernel event is open exactly once in the fd table.
+        fds = self.system.perf._fds
+        assert len(set(map(id, fds.values()))) == len(fds)
+
+
+PapiLifecycle.TestCase.settings = settings(
+    max_examples=30,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+TestPapiLifecycle = PapiLifecycle.TestCase

@@ -1,0 +1,130 @@
+"""Sampling (perf record) support in the kernel perf layer."""
+
+import pytest
+
+from repro.kernel.perf import PerfEventAttr
+from repro.kernel.perf.event import SAMPLE_BUFFER_CAP
+from repro.kernel.perf.subsystem import PerfIoctl
+from repro.monitor import PerfRecord
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+def _sampling_fd(system, pmu_name, tid, period):
+    ptype = system.perf.registry.by_name[pmu_name].type
+    fd = system.perf.perf_event_open(
+        PerfEventAttr(type=ptype, config=0x00C0, sample_period=period),
+        pid=tid,
+        cpu=-1,
+    )
+    system.perf.ioctl(fd, PerfIoctl.ENABLE)
+    return fd
+
+
+class TestKernelSampling:
+    def test_sample_count_matches_period(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e7, RATES)]), affinity={p_cpu})
+        )
+        fd = _sampling_fd(raptor, "cpu_core", t.tid, period=100_000)
+        raptor.machine.run_until_done([t], max_s=5)
+        samples = raptor.perf._event(fd).read_samples()
+        assert len(samples) == 100  # 1e7 / 1e5
+        assert all(s.tid == t.tid for s in samples)
+        assert all(s.pmu == "cpu_core" for s in samples)
+        # Timestamps are monotone non-decreasing.
+        times = [s.time_s for s in samples]
+        assert times == sorted(times)
+
+    def test_samples_tag_the_cpu(self, raptor):
+        e_cpu = raptor.topology.cpus_of_type("E-core")[2]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={e_cpu})
+        )
+        fd = _sampling_fd(raptor, "cpu_atom", t.tid, period=50_000)
+        raptor.machine.run_until_done([t], max_s=5)
+        samples = raptor.perf._event(fd).read_samples()
+        assert samples
+        assert {s.cpu for s in samples} == {e_cpu}
+
+    def test_no_samples_on_foreign_core(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu})
+        )
+        fd = _sampling_fd(raptor, "cpu_atom", t.tid, period=10_000)
+        raptor.machine.run_until_done([t], max_s=5)
+        assert raptor.perf._event(fd).read_samples() == []
+
+    def test_read_samples_drains(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu})
+        )
+        fd = _sampling_fd(raptor, "cpu_core", t.tid, period=10_000)
+        raptor.machine.run_until_done([t], max_s=5)
+        ev = raptor.perf._event(fd)
+        assert len(ev.read_samples()) == 100
+        assert ev.read_samples() == []
+
+    def test_buffer_overflow_drops(self, raptor):
+        """A tiny period overruns the ring buffer; drops are counted."""
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e9, RATES)]), affinity={p_cpu})
+        )
+        fd = _sampling_fd(raptor, "cpu_core", t.tid, period=1_000)
+        raptor.machine.run_until_done([t], max_s=10)
+        ev = raptor.perf._event(fd)
+        assert len(ev.samples) == SAMPLE_BUFFER_CAP
+        assert ev.lost_samples == 1e9 / 1e3 - SAMPLE_BUFFER_CAP
+
+    def test_counting_event_takes_no_samples(self, raptor):
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]), affinity={p_cpu})
+        )
+        ptype = raptor.perf.registry.by_name["cpu_core"].type
+        fd = raptor.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x00C0), pid=t.tid, cpu=-1
+        )
+        raptor.perf.ioctl(fd, PerfIoctl.ENABLE)
+        raptor.machine.run_until_done([t], max_s=5)
+        assert raptor.perf._event(fd).read_samples() == []
+
+
+class TestPerfRecord:
+    def test_hybrid_profile_shares(self):
+        """perf-record style profiling shows where a migrating thread ran."""
+        system = System("raptor-lake-i7-13700", dt_s=1e-4, seed=9,
+                        migrate_jitter=0.1, rebalance_jitter=0.1)
+        t = system.machine.spawn(SimThread("app", Program([ComputePhase(5e7, RATES)])))
+        rec = PerfRecord(system, period=50_000)
+        rec.attach([t])
+        system.machine.run_until_done([t], max_s=10)
+        report = rec.report()
+        rec.close()
+        by_pmu = report.by_pmu()
+        assert set(by_pmu) == {"cpu_core", "cpu_atom"}
+        # Sample shares approximate the instruction split.
+        total_instr = t.counters_total()[1]
+        p_share_truth = t.counters["cpu_core"][1] / total_instr
+        assert report.share("cpu_core") == pytest.approx(p_share_truth, abs=0.05)
+        assert "samples" in report.render()
+
+    def test_pinned_profile_single_pmu(self, raptor):
+        e_cpu = raptor.topology.cpus_of_type("E-core")[0]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(2e6, RATES)]), affinity={e_cpu})
+        )
+        rec = PerfRecord(raptor, period=20_000)
+        rec.attach([t])
+        raptor.machine.run_until_done([t], max_s=5)
+        report = rec.report()
+        rec.close()
+        assert report.by_pmu() == {"cpu_atom": 100}
+        assert report.by_cpu() == {e_cpu: 100}

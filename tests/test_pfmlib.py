@@ -1,0 +1,156 @@
+"""Unit tests for the libpfm4 reproduction."""
+
+import pytest
+
+from repro.hw.eventcodes import CODES_BY_PFM_PMU
+from repro.pfmlib import Pfmlib, PfmError, parse_event_string
+from repro.pfmlib.events import PfmEvent
+from repro.pfmlib.tables import ALL_TABLES
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text,pmu,event,attrs",
+        [
+            ("INST_RETIRED", None, "INST_RETIRED", ()),
+            ("inst_retired:any", None, "INST_RETIRED", ("ANY",)),
+            ("adl_glc::INST_RETIRED:ANY", "adl_glc", "INST_RETIRED", ("ANY",)),
+            ("ADL_GRT::CPU_CLK_UNHALTED:REF_TSC", "adl_grt", "CPU_CLK_UNHALTED", ("REF_TSC",)),
+            (" arm_a72::INST_RETIRED ", "arm_a72", "INST_RETIRED", ()),
+        ],
+    )
+    def test_valid(self, text, pmu, event, attrs):
+        p = parse_event_string(text)
+        assert (p.pmu, p.event, p.attrs) == (pmu, event, attrs)
+
+    @pytest.mark.parametrize(
+        "text", ["", "::EVENT", "pmu::", "EV::extra::x", "EV:", ":ATTR", "9bad::EV"]
+    )
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_event_string(text)
+
+    def test_canonical_roundtrip(self):
+        p = parse_event_string("adl_glc::INST_RETIRED:ANY")
+        assert parse_event_string(p.canonical()) == p
+
+
+class TestEventTables:
+    def test_event_umask_defaults(self):
+        e = PfmEvent("X", "desc", {"A": 1, "B": 2})
+        assert e.default_umask == "A"
+        assert e.code() == 1
+        assert e.code("B") == 2
+        with pytest.raises(KeyError):
+            e.code("C")
+
+    def test_event_needs_umasks(self):
+        with pytest.raises(ValueError):
+            PfmEvent("X", "desc", {})
+
+    def test_tables_agree_with_kernel_codes(self):
+        """libpfm4 tables and kernel decode tables transcribe the same
+        vendor manuals — every pfm code must be kernel-decodable."""
+        for pfm_name, codes in CODES_BY_PFM_PMU.items():
+            table = ALL_TABLES[pfm_name]
+            for event in table.events.values():
+                for umask, code in event.umasks.items():
+                    assert code in codes, (
+                        f"{pfm_name}::{event.name}:{umask} code {code:#x} "
+                        "unknown to the kernel"
+                    )
+
+    def test_topdown_only_in_glc(self):
+        assert "TOPDOWN" in ALL_TABLES["adl_glc"].events
+        assert "TOPDOWN" not in ALL_TABLES["adl_grt"].events
+
+
+class TestDetection:
+    def test_raptor_hybrid_detection(self, raptor):
+        pfm = Pfmlib(raptor)
+        names = [t.name for t in pfm.active]
+        assert "adl_glc" in names and "adl_grt" in names
+        assert [t.name for t in pfm.default_pmus()] == ["adl_glc", "adl_grt"]
+
+    def test_homogeneous_single_default(self, xeon):
+        pfm = Pfmlib(xeon)
+        assert [t.name for t in pfm.default_pmus()] == ["skx"]
+
+    def test_arm_upstream_bug_boot_pmu_only(self, orangepi):
+        """Without the paper's patch only the boot CPU's PMU appears."""
+        pfm = Pfmlib(orangepi, arm_multi_pmu_patch=False)
+        assert [t.name for t in pfm.default_pmus()] == ["arm_a53"]
+
+    def test_arm_patched_detects_both(self, orangepi):
+        pfm = Pfmlib(orangepi)
+        assert [t.name for t in pfm.default_pmus()] == ["arm_a53", "arm_a72"]
+
+    def test_arm_a72_table_needs_its_patch(self, orangepi):
+        pfm = Pfmlib(orangepi, arm_a72_patch=False)
+        assert [t.name for t in pfm.default_pmus()] == ["arm_a53"]
+
+    def test_three_types_detected(self, dynamiq):
+        pfm = Pfmlib(dynamiq)
+        assert len(pfm.default_pmus()) == 3
+
+    def test_rapl_table_only_with_rapl(self, raptor, orangepi):
+        assert any(t.name == "rapl" for t in Pfmlib(raptor).active)
+        assert not any(t.name == "rapl" for t in Pfmlib(orangepi).active)
+
+    def test_inactive_pmu_lookup(self, raptor):
+        pfm = Pfmlib(raptor)
+        with pytest.raises(PfmError, match="not active"):
+            pfm.pmu_by_name("arm_a53")
+        with pytest.raises(PfmError, match="unknown"):
+            pfm.pmu_by_name("nonexistent")
+
+
+class TestLookupAndEncoding:
+    def test_qualified_lookup(self, raptor):
+        pfm = Pfmlib(raptor)
+        info = pfm.find_event("adl_grt::INST_RETIRED:ANY")
+        assert info.pmu.name == "adl_grt"
+        assert info.config == 0x00C0
+
+    def test_unqualified_matches_all_core_pmus(self, raptor):
+        pfm = Pfmlib(raptor)
+        matches = pfm.find_all_matches("INST_RETIRED:ANY")
+        assert [m.pmu.name for m in matches] == ["adl_glc", "adl_grt"]
+
+    def test_unqualified_first_match_order(self, raptor):
+        pfm = Pfmlib(raptor)
+        assert pfm.find_event("INST_RETIRED").pmu.name == "adl_glc"
+
+    def test_topdown_resolves_only_on_glc(self, raptor):
+        pfm = Pfmlib(raptor)
+        matches = pfm.find_all_matches("TOPDOWN:SLOTS")
+        assert [m.pmu.name for m in matches] == ["adl_glc"]
+
+    def test_unknown_event(self, raptor):
+        pfm = Pfmlib(raptor)
+        with pytest.raises(PfmError):
+            pfm.find_event("NO_SUCH_EVENT")
+        with pytest.raises(PfmError):
+            pfm.find_event("adl_glc::INST_RETIRED:BOGUS_MASK")
+
+    def test_encoding_produces_kernel_attr(self, raptor):
+        pfm = Pfmlib(raptor)
+        attr, info = pfm.get_os_event_encoding("adl_grt::INST_RETIRED:ANY")
+        assert attr.type == raptor.perf.registry.by_name["cpu_atom"].type
+        assert attr.config == 0x00C0
+
+    def test_encoding_on_acpi_firmware(self, orangepi_acpi):
+        """PMU names differ under ACPI; encoding still resolves."""
+        pfm = Pfmlib(orangepi_acpi)
+        attr, info = pfm.get_os_event_encoding("arm_a72::INST_RETIRED")
+        big_cpus = orangepi_acpi.topology.cpus_of_type("big")
+        pmu = orangepi_acpi.perf.registry.by_type[attr.type]
+        assert pmu.cpus == big_cpus
+
+    def test_list_events(self, raptor):
+        pfm = Pfmlib(raptor)
+        events = list(pfm.list_events())
+        assert "adl_glc::TOPDOWN:SLOTS" in events
+        assert "adl_grt::INST_RETIRED:ANY" in events
+        glc_only = list(pfm.list_events("adl_glc"))
+        assert all(e.startswith("adl_glc::") for e in glc_only)

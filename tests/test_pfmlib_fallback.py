@@ -1,0 +1,84 @@
+"""pfmlib kernel-type resolution fallbacks and cross-machine behaviour."""
+
+import pytest
+
+from repro.hw.machines import orangepi_800
+from repro.monitor import PerfStat
+from repro.pfmlib import Pfmlib, PfmError
+from repro.pfmlib.library import EventInfo
+from repro.pfmlib.tables import ALL_TABLES
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+class TestKernelTypeFallback:
+    def test_canonical_name_resolved_by_cpus_scan(self, orangepi_acpi):
+        """If software believes the PMU's canonical name but firmware
+        renamed it, the perf-style /sys/devices/*/cpus scan still finds
+        the right type number."""
+        pfm = Pfmlib(orangepi_acpi)
+        table = ALL_TABLES["arm_a72"]
+        # Deliberately use the canonical (devicetree) name, absent here.
+        info = EventInfo(
+            pmu=table,
+            linux_name="armv8_cortex_a72",
+            event=table.event("INST_RETIRED"),
+            umask="ANY",
+        )
+        assert not orangepi_acpi.sysfs.exists("/sys/devices/armv8_cortex_a72")
+        ptype = pfm.kernel_pmu_type(info)
+        pmu = orangepi_acpi.perf.registry.by_type[ptype]
+        assert pmu.cpus == orangepi_acpi.topology.cpus_of_type("big")
+
+    def test_unresolvable_pmu_errors(self, raptor):
+        pfm = Pfmlib(raptor)
+        table = ALL_TABLES["arm_a72"]
+        info = EventInfo(
+            pmu=table,
+            linux_name="armv8_cortex_a72",
+            event=table.event("INST_RETIRED"),
+            umask="ANY",
+        )
+        with pytest.raises(PfmError, match="cannot resolve"):
+            pfm.kernel_pmu_type(info)
+
+
+class TestThreePmuPerfStat:
+    def test_perf_stat_covers_three_core_types(self, dynamiq):
+        """perf opens one event per PMU — three on a DynamIQ part."""
+        mid_cpu = dynamiq.topology.cpus_of_type("big")[0]
+        t = dynamiq.machine.spawn(
+            SimThread("w", Program([ComputePhase(1e6, RATES)]), affinity={mid_cpu})
+        )
+        tool = PerfStat(dynamiq)
+        tool.open_for_threads(["INST_RETIRED"], [t])
+        tool.start()
+        dynamiq.machine.run_until_done([t], max_s=5)
+        result = tool.stop()
+        tool.close()
+        by_pmu = result.by_pmu("INST_RETIRED")
+        assert set(by_pmu) == {"arm_x1", "arm_a76", "arm_a55"}
+        assert by_pmu["arm_a76"] == pytest.approx(1e6)
+        assert by_pmu["arm_x1"] == by_pmu["arm_a55"] == 0
+
+
+class TestFirmwareMatrix:
+    @pytest.mark.parametrize("firmware", ["devicetree", "acpi"])
+    def test_full_stack_works_under_either_firmware(self, firmware):
+        from repro.papi import Papi
+
+        system = System(orangepi_800(firmware=firmware), dt_s=1e-4)
+        papi = Papi(system)
+        big_cpu = system.topology.cpus_of_type("big")[0]
+        t = system.machine.spawn(
+            SimThread("w", Program([ComputePhase(1e6, RATES)]), affinity={big_cpu})
+        )
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "PAPI_TOT_INS")
+        papi.start(es)
+        system.machine.run_until_done([t], max_s=5)
+        assert papi.stop(es)[0] == pytest.approx(1e6)

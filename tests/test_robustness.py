@@ -1,0 +1,128 @@
+"""Robustness: mode equivalence, seed sweeps, closed-loop invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.hybrid_eventset import run_hybrid_test
+from repro.papi import Papi
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+RATES = constant_rates(PhaseRates(ipc=2.0, llc_refs_per_instr=0.01, llc_miss_rate=0.5))
+
+
+class TestModeEquivalence:
+    """The hybrid redesign must not change behaviour on traditional
+    machines — the backwards-compatibility worry running through §IV/§V."""
+
+    def test_legacy_and_hybrid_identical_on_homogeneous(self):
+        results = {}
+        for mode in ("legacy", "hybrid"):
+            system = System("xeon-homogeneous", dt_s=1e-4, seed=11)
+            papi = Papi(system, mode=mode)
+            t = system.machine.spawn(
+                SimThread("app", Program([ComputePhase(3e6, RATES)]), affinity={0})
+            )
+            es = papi.create_eventset()
+            papi.attach(es, t)
+            for name in ("PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_L3_TCM",
+                         "INST_RETIRED:ANY"):
+                papi.add_event(es, name)
+            papi.start(es)
+            system.machine.run_until_done([t], max_s=5)
+            results[mode] = papi.stop(es)
+        assert results["legacy"] == results["hybrid"]
+
+    def test_single_group_on_homogeneous_in_both_modes(self, xeon):
+        for mode in ("legacy", "hybrid"):
+            papi = Papi(xeon, mode=mode)
+            t = xeon.machine.spawn(
+                SimThread(f"t-{mode}", Program([ComputePhase(1e5, RATES)]))
+            )
+            es = papi.create_eventset()
+            papi.attach(es, t)
+            papi.add_event(es, "PAPI_TOT_INS")
+            papi.add_event(es, "PAPI_TOT_CYC")
+            assert papi.num_groups(es) == 1, mode
+
+    def test_pinned_hybrid_matches_legacy_on_raptor(self, raptor):
+        """Pinned to a P-core, the hybrid EventSet's P slot must agree
+        exactly with what legacy PAPI would have measured."""
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        values = {}
+        for mode in ("legacy", "hybrid"):
+            papi = Papi(raptor, mode=mode)
+            t = raptor.machine.spawn(
+                SimThread(f"app-{mode}", Program([ComputePhase(2e6, RATES)]),
+                          affinity={p_cpu})
+            )
+            es = papi.create_eventset()
+            papi.attach(es, t)
+            papi.add_event(es, "adl_glc::INST_RETIRED:ANY")
+            if mode == "hybrid":
+                papi.add_event(es, "adl_grt::INST_RETIRED:ANY")
+            papi.start(es)
+            raptor.machine.run_until_done([t], max_s=5)
+            values[mode] = papi.stop(es)
+        assert values["hybrid"][0] == values["legacy"][0]
+        assert values["hybrid"][1] == 0
+
+
+class TestSeedSweep:
+    def test_hybrid_split_statistics(self):
+        """Across seeds the free-running §IV-F test always conserves the
+        instruction count, and E-core residency stays in a plausible
+        band (the paper saw ~17%)."""
+        e_shares = []
+        for seed in range(8):
+            r = run_hybrid_test(mode="hybrid", reps=40, seed=seed)
+            assert r.avg_total == pytest.approx(1.0108e6, rel=1e-3)
+            e_shares.append(r.average(1) / r.avg_total)
+        mean_share = sum(e_shares) / len(e_shares)
+        assert 0.02 < mean_share < 0.40
+        assert any(s > 0 for s in e_shares)
+
+
+class TestClosedLoopInvariants:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        n_threads=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    def test_rapl_defends_pl1_in_steady_state(self, n_threads, seed):
+        """Whatever the load, once past the PL1 window the average
+        package power stays near or below the 65 W limit."""
+        system = System("raptor-lake-i7-13700", dt_s=0.05, seed=seed)
+        for i in range(n_threads):
+            system.machine.spawn(
+                SimThread(f"w{i}", Program([ComputePhase(1e14, RATES)]))
+            )
+        system.machine.run_for(40.0)   # past the 28 s PL1 window
+        powers = []
+        def hook(m):
+            powers.append(m.last_power.package_w)
+        system.machine.tick_hooks.append(hook)
+        system.machine.run_for(20.0)
+        avg = sum(powers) / len(powers)
+        assert avg <= 65.0 * 1.10
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=20))
+    def test_orangepi_defends_trip_temperature(self, seed):
+        system = System("orangepi-800", dt_s=0.05, seed=seed)
+        for i in range(6):
+            system.machine.spawn(
+                SimThread(f"w{i}", Program([ComputePhase(1e13, RATES)]),
+                          affinity={i})
+            )
+        system.machine.run_for(60.0)
+        temps = []
+        system.machine.tick_hooks.append(
+            lambda m: temps.append(m.thermal.temp_c)
+        )
+        system.machine.run_for(30.0)
+        assert max(temps) < system.spec.thermal_trip_c + 4.0

@@ -1,0 +1,99 @@
+"""Unit tests for the IPA-style thermal power allocator."""
+
+import pytest
+
+from repro.hw.dvfs import DvfsGovernor
+from repro.hw.machines import orangepi_800, raptor_lake_i7_13700
+from repro.hw.thermal import ThermalModel
+
+
+def _setup(spec):
+    return ThermalModel(spec), DvfsGovernor(spec.topology)
+
+
+class TestBudgetAllocation:
+    def test_cold_package_unconstrained(self):
+        spec = orangepi_800()
+        tm, gov = _setup(spec)
+        tm.apply_throttling(gov, [1.0] * len(spec.topology.clusters), 0.5, 0.01)
+        for i, cl in enumerate(spec.topology.clusters):
+            assert gov.ceiling_mhz(i) == cl.ctype.max_freq_mhz
+
+    def test_at_trip_floors_big_cluster_first(self):
+        spec = orangepi_800()
+        tm, gov = _setup(spec)
+        tm.temp_c = spec.thermal_trip_c  # exactly at the trip point
+        # LITTLE cluster idx 0 (4 active), big idx 1 (2 active).
+        tm.apply_throttling(gov, [4.0, 2.0], 0.7, 0.01)
+        little_ct = spec.topology.clusters[0].ctype
+        big_ct = spec.topology.clusters[1].ctype
+        # Big cluster pinned at its floor, LITTLE keeps something real.
+        assert gov.ceiling_mhz(1) == pytest.approx(big_ct.min_freq_mhz, rel=0.01)
+        assert gov.ceiling_mhz(0) > little_ct.min_freq_mhz * 1.2
+
+    def test_hot_overshoot_floors_everything(self):
+        """Past the trip the surplus goes negative: every active cluster
+        sits at its floor until the package cools."""
+        spec = orangepi_800()
+        tm, gov = _setup(spec)
+        tm.temp_c = spec.thermal_trip_c + 4.0
+        tm.apply_throttling(gov, [4.0, 2.0], 0.7, 0.01)
+        for i, cl in enumerate(spec.topology.clusters):
+            assert gov.ceiling_mhz(i) == pytest.approx(
+                cl.ctype.min_freq_mhz, rel=0.01
+            )
+
+    def test_idle_cluster_not_limited(self):
+        spec = orangepi_800()
+        tm, gov = _setup(spec)
+        tm.temp_c = spec.thermal_trip_c + 5.0
+        tm.apply_throttling(gov, [0.0, 2.0], 0.7, 0.01)
+        # Idle LITTLE cluster keeps its max ceiling.
+        assert gov.ceiling_mhz(0) == spec.topology.clusters[0].ctype.max_freq_mhz
+        assert gov.ceiling_mhz(1) < spec.topology.clusters[1].ctype.max_freq_mhz
+
+    def test_raptor_never_binds_below_rapl(self):
+        """On the desktop the 65 W RAPL cap binds long before thermals:
+        at its steady temperature the thermal budget exceeds PL1."""
+        spec = raptor_lake_i7_13700()
+        tm, gov = _setup(spec)
+        steady_c = spec.ambient_c + 65.0 * spec.thermal_r_c_per_w
+        tm.temp_c = steady_c
+        margin = spec.thermal_trip_c - steady_c
+        budget = tm.sustainable_power_w * (
+            1 + tm.BUDGET_GAIN_FRACTION_PER_C * margin
+        )
+        assert budget > 150.0
+
+    def test_throttle_event_counted(self):
+        spec = orangepi_800()
+        tm, gov = _setup(spec)
+        tm.temp_c = spec.thermal_trip_c + 1.0
+        before = tm.throttle_events
+        tm.apply_throttling(gov, [4.0, 2.0], 0.7, 0.01)
+        assert tm.throttle_events == before + 1
+
+
+class TestClosedLoopStability:
+    def test_temperature_converges_near_trip(self):
+        """Constant high demand: temperature settles at (not far past)
+        the trip point, without oscillation."""
+        spec = orangepi_800()
+        tm, gov = _setup(spec)
+        temps = []
+        for _ in range(30000):
+            # Both clusters fully active; power follows ceilings.
+            activity = [4.0, 2.0]
+            power = 0.0
+            for i, cl in enumerate(spec.topology.clusters):
+                f = gov.ceiling_mhz(i) / 1000.0
+                power += cl.ctype.power.core_power(f, 1.0) * activity[i]
+            power += 0.7
+            tm.step(power, 0.01)
+            tm.apply_throttling(gov, activity, 0.7, 0.01)
+            temps.append(tm.temp_c)
+        tail = temps[-5000:]
+        assert max(tail) < spec.thermal_trip_c + 3.0
+        assert min(tail) > spec.thermal_trip_c - 6.0
+        # No oscillation: the tail's swing stays small.
+        assert max(tail) - min(tail) < 2.0

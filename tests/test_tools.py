@@ -1,0 +1,129 @@
+"""CLI tool tests (artifact-script analogs)."""
+
+import json
+
+import pytest
+
+from repro.tools import hwinfo, mon_hpl, papi_avail, perf_stat, process_runs
+
+
+class TestMonHpl:
+    def test_settled_temps_parser(self):
+        assert mon_hpl.parse_settled_temps("thermal_zone9:35000") == (9, 35.0)
+        with pytest.raises(Exception):
+            mon_hpl.parse_settled_temps("zone9:35000")
+        with pytest.raises(Exception):
+            mon_hpl.parse_settled_temps("thermal_zone9")
+
+    def test_paper_invocation_roundtrip(self, tmp_path, capsys):
+        """The artifact's T1 -> T2 workflow with the paper's parameters
+        (reduced N): mon_hpl writes raw data, process_runs aggregates."""
+        out = tmp_path / "raw"
+        rc = mon_hpl.main(
+            [
+                "--machine", "raptor-lake-i7-13700",
+                "-n_runs", "2",
+                "-cores", "0,2,4,6,8,10,12,14,16-23",
+                "-settled_temps", "thermal_zone9:35000",
+                "--variant", "intel",
+                "--n", "9216", "--nb", "192",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        meta = json.loads((out / "summary.json").read_text())
+        assert len(meta["runs"]) == 2
+        assert all(r["gflops"] > 0 for r in meta["runs"])
+        assert (out / "run_000.csv").exists()
+
+        rc = process_runs.main([str(out)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "aggregated 2 runs" in captured
+        assert "median freq" in captured
+        assert (out / "averaged.csv").exists()
+        header = (out / "averaged.csv").read_text().splitlines()[0]
+        assert "freq_P-core_mhz" in header
+
+    def test_wrong_thermal_zone_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            mon_hpl.main(
+                [
+                    "-n_runs", "1",
+                    "-settled_temps", "thermal_zone0:35000",
+                    "--n", "1152",
+                    "--out", str(tmp_path / "raw"),
+                ]
+            )
+
+    def test_process_runs_needs_summary(self, tmp_path):
+        with pytest.raises(SystemExit):
+            process_runs.main([str(tmp_path)])
+
+
+class TestHwinfo:
+    def test_basic(self, capsys):
+        assert hwinfo.main(["--machine", "raptor-lake-i7-13700"]) == 0
+        out = capsys.readouterr().out
+        assert "i7-13700" in out
+        assert "class P-core" in out and "class E-core" in out
+
+    def test_detect_survey(self, capsys):
+        assert hwinfo.main(["--machine", "orangepi-800", "--detect"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu_capacity" in out
+        assert "consensus: 2 core type(s)" in out
+
+    def test_acpi_firmware(self, capsys):
+        assert hwinfo.main(["--machine", "orangepi-800", "--firmware", "acpi"]) == 0
+        out = capsys.readouterr().out
+        assert "apmu0" in out
+
+
+class TestPapiAvail:
+    def test_hybrid_lists_derived_presets(self, capsys):
+        assert papi_avail.main(["--machine", "raptor-lake-i7-13700"]) == 0
+        out = capsys.readouterr().out
+        assert "PAPI_TOT_INS" in out
+        assert "DERIVED_ADD" in out
+
+    def test_legacy_marks_unavailable(self, capsys):
+        assert papi_avail.main(
+            ["--machine", "raptor-lake-i7-13700", "--mode", "legacy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "multiple default PMUs" in out
+
+    def test_native_listing(self, capsys):
+        assert papi_avail.main(["--native", "--pmu", "adl_glc"]) == 0
+        out = capsys.readouterr().out
+        assert "adl_glc::TOPDOWN:SLOTS" in out
+
+
+class TestPerfStat:
+    def test_loop_workload(self, capsys):
+        rc = perf_stat.main(
+            ["--workload", "loop", "--instructions", "1e7", "--jitter", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "INST_RETIRED: total 10000000" in out
+
+    def test_pinned_to_ecores(self, capsys):
+        rc = perf_stat.main(
+            ["--workload", "loop", "--instructions", "1e6",
+             "--cores", "16-23", "--jitter", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "adl_grt: 1000000 (100.0%)" in out
+
+    def test_hpl_workload(self, capsys):
+        rc = perf_stat.main(
+            ["--workload", "hpl", "--n", "2304", "--nb", "192",
+             "-e", "INST_RETIRED,LONGEST_LAT_CACHE:MISS"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LONGEST_LAT_CACHE:MISS" in out
+        assert "adl_glc" in out and "adl_grt" in out

@@ -1,0 +1,91 @@
+"""Job profiles and the counter-guided scheduling study."""
+
+import pytest
+
+from repro.hw.machines import _gracemont, _raptor_cove
+from repro.workloads import JOB_PROFILES, make_job_phases
+from repro.workloads.guided import (
+    default_job_batch,
+    profile_job_missrates,
+    render,
+    run_guided_study,
+    run_placement,
+)
+
+
+class TestJobProfiles:
+    def test_compute_jobs_favour_pcores(self):
+        p, e = _raptor_cove(), _gracemont()
+        dgemm = JOB_PROFILES["dgemm-kernel"]
+        chase = JOB_PROFILES["pointer-chase"]
+        # Compute-bound work gains much more from a P-core than
+        # memory-bound work does.
+        assert dgemm.speed_ratio_big_over_little(p, e) > 2.0
+        assert chase.speed_ratio_big_over_little(p, e) < 1.6
+
+    def test_rates_positive_everywhere(self):
+        for ct in (_raptor_cove(), _gracemont()):
+            for profile in JOB_PROFILES.values():
+                r = profile.rates(ct)
+                assert r.ipc > 0
+                assert 0 <= r.llc_miss_rate <= 1
+
+    def test_memory_jobs_stall(self):
+        p = _raptor_cove()
+        assert (
+            JOB_PROFILES["pointer-chase"].rates(p).ipc
+            < JOB_PROFILES["integer-hot-loop"].rates(p).ipc / 3
+        )
+
+    def test_make_phases(self):
+        phases = make_job_phases(JOB_PROFILES["streaming-scan"], 1e6)
+        assert len(phases) == 1
+        assert phases[0].remaining == 1e6
+
+
+class TestProfiling:
+    def test_measured_missrates_match_profiles(self):
+        jobs = default_job_batch("raptor-lake-i7-13700", per_profile=1)
+        profile_job_missrates("raptor-lake-i7-13700", jobs)
+        for job in jobs:
+            assert job.measured_miss_rate == pytest.approx(
+                job.profile.llc_miss_rate, rel=0.05
+            )
+
+    def test_batch_oversubscribes(self):
+        jobs = default_job_batch("raptor-lake-i7-13700", per_profile=8)
+        assert len(jobs) == 8 * len(JOB_PROFILES) == 32
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_guided_study(per_profile=6, target_seconds=0.1)
+
+    def test_guided_beats_blind_policies(self, study):
+        guided = study.outcomes["guided"].makespan_s
+        assert guided < study.outcomes["naive"].makespan_s
+        assert guided < study.outcomes["inverted"].makespan_s
+        assert study.speedup("inverted") > 1.15
+
+    def test_guided_uses_least_energy(self, study):
+        energies = {p: o.energy_j for p, o in study.outcomes.items()}
+        assert energies["guided"] == min(energies.values())
+
+    def test_guided_sends_memory_jobs_to_ecores(self, study):
+        assignments = study.outcomes["guided"].assignments
+        for job in study.jobs:
+            target = assignments[job.name]
+            if job.profile.name in ("pointer-chase", "streaming-scan"):
+                assert target == "E-core", job.name
+            if job.profile.name == "dgemm-kernel":
+                assert target == "P-core", job.name
+
+    def test_render(self, study):
+        text = render(study)
+        assert "makespan" in text and "guided" in text
+
+    def test_unknown_policy(self):
+        jobs = default_job_batch("raptor-lake-i7-13700", per_profile=1)
+        with pytest.raises(ValueError):
+            run_placement("raptor-lake-i7-13700", jobs, "random")
