@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Simulator performance tracker.
+
+Times the three substrate microbenchmarks (engine tick throughput,
+perf-account hook overhead, small-HPL simulation rate) on both engine
+paths and writes ``BENCH_simulator.json`` at the repo root so future
+PRs can track the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+
+The "before" numbers come from running the same workloads with
+``fastpath=False`` (the original single-tick engine); "after" uses the
+macro-tick fast path.  Mean wall times in seconds, plus the speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.hpl import HplConfig, run_hpl  # noqa: E402
+from repro.kernel.perf import PerfEventAttr  # noqa: E402
+from repro.kernel.perf.subsystem import PerfIoctl  # noqa: E402
+from repro.sim.task import Program, SimThread  # noqa: E402
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates  # noqa: E402
+from repro.system import System  # noqa: E402
+
+RATES = constant_rates(
+    PhaseRates(ipc=2.0, llc_refs_per_instr=0.01, llc_miss_rate=0.5)
+)
+MACHINE = "raptor-lake-i7-13700"
+
+
+def _loaded_system(fastpath: bool, with_events: bool) -> System:
+    system = System(MACHINE, dt_s=0.001, fastpath=fastpath)
+    threads = [
+        system.machine.spawn(
+            SimThread(f"w{cpu}", Program([ComputePhase(1e12, RATES)]), affinity={cpu})
+        )
+        for cpu in system.topology.primary_threads()
+    ]
+    if with_events:
+        for t in threads:
+            for pmu in ("cpu_core", "cpu_atom"):
+                ptype = system.perf.registry.by_name[pmu].type
+                fd = system.perf.perf_event_open(
+                    PerfEventAttr(type=ptype, config=0x00C0), pid=t.tid, cpu=-1
+                )
+                system.perf.ioctl(fd, PerfIoctl.ENABLE)
+    system.machine.run_ticks(5)  # warm placement
+    return system
+
+
+def bench_tick(fastpath: bool, with_events: bool, rounds: int) -> float:
+    """Mean cost of one fully loaded ``run_ticks`` tick, in seconds."""
+    system = _loaded_system(fastpath, with_events)
+    batch = 50
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        system.machine.run_ticks(batch)
+        times.append((time.perf_counter() - t0) / batch)
+    return statistics.mean(times)
+
+
+def bench_hpl(fastpath: bool, rounds: int) -> float:
+    """Mean wall time of one small full HPL run (16 threads), in seconds."""
+    times = []
+    for _ in range(rounds):
+        system = System(MACHINE, dt_s=0.01, fastpath=fastpath)
+        t0 = time.perf_counter()
+        result = run_hpl(
+            system,
+            HplConfig(n=4608, nb=192),
+            variant="intel",
+            cpus=system.topology.primary_threads(),
+        )
+        times.append(time.perf_counter() - t0)
+        assert result.gflops > 0
+    return statistics.mean(times)
+
+
+BENCHES = {
+    "engine_tick_throughput": lambda fp, r: bench_tick(fp, False, r),
+    "perf_account_hook_overhead": lambda fp, r: bench_tick(fp, True, r),
+    "hpl_simulation_rate": lambda fp, r: bench_hpl(fp, r),
+}
+
+#: pytest-benchmark means measured on the pre-fast-path engine (commit
+#: 77ce6b6), for trajectory tracking.  ``fastpath=False`` today is *not*
+#: the seed engine: the vectorized accounting kernel is shared by both
+#: paths, so the slow path also got faster.
+SEED_BASELINE_S = {
+    "engine_tick_throughput": 391e-6,
+    "perf_account_hook_overhead": 508e-6,
+    "hpl_simulation_rate": 123.3e-3,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_simulator.json",
+    )
+    parser.add_argument("--rounds", type=int, default=5)
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be >= 1")
+
+    results = {}
+    for name, fn in BENCHES.items():
+        before = fn(False, args.rounds)
+        after = fn(True, args.rounds)
+        results[name] = {
+            "seed_s": SEED_BASELINE_S[name],
+            "before_s": before,
+            "after_s": after,
+            "speedup": before / after,
+            "speedup_vs_seed": SEED_BASELINE_S[name] / after,
+        }
+        print(
+            f"{name:32s} before {before * 1e3:9.3f} ms   "
+            f"after {after * 1e3:9.3f} ms   {before / after:5.2f}x"
+        )
+
+    payload = {
+        "machine": MACHINE,
+        "unit": "seconds (mean wall time)",
+        "before": "Machine(fastpath=False) — original single-tick engine",
+        "after": "Machine(fastpath=True) — macro-tick fast path",
+        "rounds": args.rounds,
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

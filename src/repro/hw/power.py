@@ -50,6 +50,20 @@ class PowerModel:
     def __init__(self, spec: MachineSpec):
         self.spec = spec
         self.topology = spec.topology
+        # SMT siblings share a physical core's power budget; account
+        # physical cores once.  The grouping is static, so precompute
+        # (cluster, core type, sibling cpu ids) per physical core.
+        seen_phys: dict[int, list[int]] = {}
+        for core in self.topology.cores:
+            seen_phys.setdefault(core.phys_core, []).append(core.cpu_id)
+        self._phys_groups = [
+            (
+                self.topology.core(cpu_ids[0]).cluster,
+                self.topology.core(cpu_ids[0]).ctype,
+                cpu_ids,
+            )
+            for cpu_ids in seen_phys.values()
+        ]
 
     def sample(
         self,
@@ -59,29 +73,32 @@ class PowerModel:
         topo = self.topology
         if len(states) != topo.n_cpus:
             raise ValueError("one CorePowerState per logical CPU required")
-        per_cluster = [0.0] * len(topo.clusters)
-        # SMT siblings share a physical core's power budget; account
-        # physical cores once, using the max activity among siblings plus
-        # a small bump for the second thread.
-        seen_phys: dict[int, list[int]] = {}
-        for core in topo.cores:
-            seen_phys.setdefault(core.phys_core, []).append(core.cpu_id)
-        for phys, cpu_ids in seen_phys.items():
-            core = topo.core(cpu_ids[0])
-            ct = core.ctype
-            freq_ghz = cluster_freq_mhz[core.cluster] / 1000.0
+        busy = [s.busy_frac for s in states]
+        spin = [s.spin_frac for s in states]
+        return self.sample_activity(busy, spin, cluster_freq_mhz)
+
+    def sample_activity(
+        self,
+        busy,
+        spin,
+        cluster_freq_mhz: list[float],
+    ) -> PowerSample:
+        """Sample from per-CPU busy/spin fraction sequences (indexable by
+        cpu id — lists or numpy arrays)."""
+        per_cluster = [0.0] * len(self.topology.clusters)
+        for cluster, ct, cpu_ids in self._phys_groups:
+            freq_ghz = cluster_freq_mhz[cluster] / 1000.0
             activities = [
-                states[cid].busy_frac + SPIN_POWER_FRACTION * states[cid].spin_frac
+                float(busy[cid]) + SPIN_POWER_FRACTION * float(spin[cid])
                 for cid in cpu_ids
             ]
             primary = max(activities)
             # A busy SMT sibling adds ~20% on top of the shared core power.
             extra = 0.2 * (sum(activities) - primary) if len(activities) > 1 else 0.0
             eff_activity = min(1.2, primary + extra)
-            per_cluster[core.cluster] += ct.power.core_power(freq_ghz, eff_activity)
-        avg_util = sum(s.busy_frac + s.spin_frac for s in states) / max(
-            1, len(states)
-        )
+            per_cluster[cluster] += ct.power.core_power(freq_ghz, eff_activity)
+        n = len(self.topology.cores)
+        avg_util = sum(float(busy[i]) + float(spin[i]) for i in range(n)) / max(1, n)
         uncore = self.spec.uncore_base_w
         dram = self.spec.dram_w_per_util * avg_util
         return PowerSample(

@@ -146,6 +146,7 @@ class KernelPerfEvent:
         counting_allowed: bool,
         now_s: float = 0.0,
         cpu: int = -1,
+        rec=None,
     ) -> None:
         """Credit one execution slice of the target thread.
 
@@ -155,14 +156,23 @@ class KernelPerfEvent:
         if not self.enabled or self.closed:
             return
         self.time_enabled_s += time_s
+        if rec is not None:
+            rec.scalar(self, "time_enabled_s", time_s)
         if self.pmu.kind is PmuKind.CPU and self.pmu.type != core_pmu_type:
             return  # wrong core type: enabled but not running
         if not counting_allowed:
             return
         self.time_running_s += time_s
+        if rec is not None:
+            rec.scalar(self, "time_running_s", time_s)
         if self.pmu.kind is PmuKind.CPU and self.arch_event is not None:
-            self.count += float(values[self.arch_event])
+            inc = float(values[self.arch_event])
+            self.count += inc
+            if rec is not None:
+                rec.scalar(self, "count", inc)
             if self._next_overflow is not None:
+                if rec is not None:
+                    rec.unsteady = True  # sample emission is per-tick state
                 self._record_overflows(now_s, cpu)
 
     def _record_overflows(self, now_s: float, cpu: int) -> None:
@@ -188,25 +198,34 @@ class KernelPerfEvent:
         self.samples = []
         return out
 
-    def accrue_cpuwide(self, values: np.ndarray) -> None:
+    def accrue_cpuwide(self, values: np.ndarray, rec=None) -> None:
         """CPU-wide hardware events: count whatever ran on their CPU.
 
         Their enabled/running clocks follow wall time (accrued per tick),
         since a CPU-wide event keeps "running" through idle.
         """
         if self.enabled and not self.closed and self.arch_event is not None:
-            self.count += float(values[self.arch_event])
+            inc = float(values[self.arch_event])
+            self.count += inc
+            if rec is not None:
+                rec.scalar(self, "count", inc)
 
-    def accrue_uncore(self, values: np.ndarray) -> None:
+    def accrue_uncore(self, values: np.ndarray, rec=None) -> None:
         """Uncore events count package traffic from every core."""
         if self.enabled and not self.closed and self.arch_event is not None:
-            self.count += float(values[self.arch_event])
+            inc = float(values[self.arch_event])
+            self.count += inc
+            if rec is not None:
+                rec.scalar(self, "count", inc)
 
-    def accrue_wall_time(self, dt_s: float) -> None:
+    def accrue_wall_time(self, dt_s: float, rec=None) -> None:
         """CPU-wide (uncore/RAPL) events: times advance with wall time."""
         if self.enabled and not self.closed:
             self.time_enabled_s += dt_s
             self.time_running_s += dt_s
+            if rec is not None:
+                rec.scalar(self, "time_enabled_s", dt_s)
+                rec.scalar(self, "time_running_s", dt_s)
 
     def read_value(self) -> PerfReadValue:
         return PerfReadValue(

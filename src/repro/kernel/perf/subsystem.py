@@ -59,6 +59,38 @@ class PerfFd:
     event: KernelPerfEvent
 
 
+class _DispatchEntry:
+    """Cached per-(thread, core PMU type) multiplexing decision.
+
+    ``static_active`` is the full active-leader set when no rotation is
+    needed (everything fits the counter budget) — the common case, making
+    dispatch a dict lookup.  Otherwise ``base_active`` holds the always-on
+    leaders (software/foreign-PMU groups plus granted pinned groups),
+    ``rotating`` the round-robin queue, and the last computed rotation
+    slot is memoized.  Entries are invalidated wholesale by bumping the
+    subsystem's ``_dispatch_gen`` on open/close/ioctl/reserve.
+    """
+
+    __slots__ = (
+        "gen",
+        "static_active",
+        "base_active",
+        "rotating",
+        "budget",
+        "last_slot",
+        "last_active",
+    )
+
+    def __init__(self, gen: int):
+        self.gen = gen
+        self.static_active: Optional[set] = None
+        self.base_active: Optional[set] = None
+        self.rotating: Optional[list] = None
+        self.budget = 0
+        self.last_slot = -1
+        self.last_active: Optional[set] = None
+
+
 class PerfSubsystem:
     """The kernel perf_event layer of one machine."""
 
@@ -81,8 +113,16 @@ class PerfSubsystem:
         # classic case: the NMI watchdog pins one fixed counter); shrinks
         # the budget groups and the multiplexer can use.
         self._reserved: dict[int, int] = {}
+        # Indexed dispatch: (tid, core_pmu_type) -> _DispatchEntry, valid
+        # while its generation matches (bumped by any state-changing call).
+        self._dispatch: dict[tuple[int, int], _DispatchEntry] = {}
+        self._dispatch_gen = 0
         machine.account_hooks.append(self._account)
         machine.tick_hooks.append(self._on_tick)
+        # Both hooks record their per-tick effects through the tick
+        # recorder, so the macro-tick engine may batch over them.
+        machine.mark_hook_fastpath_safe(self._account)
+        machine.mark_hook_fastpath_safe(self._on_tick)
 
     def reserve_counters(self, pmu_name: str, n: int) -> None:
         """Model an external consumer (e.g. the NMI watchdog) holding
@@ -93,6 +133,7 @@ class PerfSubsystem:
                 f"cannot reserve {n} of {pmu.n_counters + pmu.n_fixed} counters"
             )
         self._reserved[pmu.type] = n
+        self._dispatch_gen += 1
 
     def _budget(self, pmu: KernelPmu) -> int:
         return pmu.n_counters + pmu.n_fixed - self._reserved.get(pmu.type, 0)
@@ -169,6 +210,7 @@ class PerfSubsystem:
         fd = self._next_fd
         self._next_fd += 1
         self._fds[fd] = event
+        self._dispatch_gen += 1
         if target_tid is not None:
             self._thread_events.setdefault(target_tid, []).append(event)
         elif pmu.kind is PmuKind.UNCORE:
@@ -266,6 +308,7 @@ class PerfSubsystem:
         caller: Optional["SimThread"] = None,
     ) -> None:
         self.cost.charge(caller, "ioctl")
+        self._dispatch_gen += 1
         event = self._event(fd)
         targets = event.group_events() if flag_group else [event]
         for ev in targets:
@@ -328,6 +371,19 @@ class PerfSubsystem:
             raise KernelError(Errno.EBADF, f"bad fd {fd}")
         event.closed = True
         event.disable()
+        self._dispatch_gen += 1
+        # Detach from the group so GROUP reads and hw_counters_needed()
+        # stop seeing the closed event; closing a leader upgrades its
+        # siblings to singleton events, as Linux's perf_group_detach does.
+        leader = event.group_leader
+        if leader is not event:
+            if event in leader.siblings:
+                leader.siblings.remove(event)
+            event.group_leader = event
+        elif event.siblings:
+            for sibling in event.siblings:
+                sibling.group_leader = sibling
+            event.siblings = []
         for bucket in (
             self._thread_events.get(event.target_tid or -2, []),
             self._cpuwide_events.get(
@@ -350,11 +406,20 @@ class PerfSubsystem:
     def _account(
         self, thread: "SimThread", core: Core, values: np.ndarray, time_s: float
     ) -> None:
-        core_pmu_type = self._cpu_pmu_type[core.cpu_id]
-        now_s = self.machine.now_s
+        cpu_id = core.cpu_id
         events = self._thread_events.get(thread.tid)
+        cpuwide = self._cpuwide_events.get(cpu_id)
+        uncore = self._uncore_events
+        if not events and not cpuwide and not uncore:
+            return
+        rec = self.machine._rec
         if events:
-            active = self._mux_active(thread, core_pmu_type, events)
+            core_pmu_type = self._cpu_pmu_type[cpu_id]
+            entry = self._dispatch_entry(thread.tid, core_pmu_type, events)
+            active = entry.static_active
+            if active is None:
+                active = self._rotated_active(entry, thread, rec)
+            now_s = self.machine.clock.now_s
             for ev in events:
                 ev.accrue(
                     core_pmu_type,
@@ -362,71 +427,95 @@ class PerfSubsystem:
                     time_s,
                     counting_allowed=ev.group_leader in active,
                     now_s=now_s,
-                    cpu=core.cpu_id,
+                    cpu=cpu_id,
+                    rec=rec,
                 )
-        for ev in self._cpuwide_events.get(core.cpu_id, ()):
-            ev.accrue_cpuwide(values)
-        for ev in self._uncore_events:
-            ev.accrue_uncore(values)
+        if cpuwide:
+            for ev in cpuwide:
+                ev.accrue_cpuwide(values, rec)
+        for ev in uncore:
+            ev.accrue_uncore(values, rec)
 
-    def _mux_active(
+    def _dispatch_entry(
         self,
-        thread: "SimThread",
+        tid: int,
         core_pmu_type: int,
         events: list[KernelPerfEvent],
-    ) -> set[KernelPerfEvent]:
-        """Group leaders currently holding counters on this core's PMU."""
-        leaders: list[KernelPerfEvent] = []
-        for ev in events:
-            if not ev.is_group_leader or not ev.enabled:
-                continue
-            if ev.pmu.kind is PmuKind.CPU and ev.pmu.type != core_pmu_type:
-                # Foreign-PMU groups take no counters here; mark active so
-                # software members keep counting.
-                leaders.append(ev)
-                continue
-            leaders.append(ev)
+    ) -> _DispatchEntry:
+        """The cached multiplexing decision for one (thread, PMU) pair."""
+        key = (tid, core_pmu_type)
+        entry = self._dispatch.get(key)
+        if entry is not None and entry.gen == self._dispatch_gen:
+            return entry
+        entry = _DispatchEntry(self._dispatch_gen)
+        # Enabled group leaders; foreign-PMU CPU groups take no counters
+        # here but stay "active" so their software members keep counting.
+        leaders = [ev for ev in events if ev.is_group_leader and ev.enabled]
         cpu_leaders = [
             ev
             for ev in leaders
             if ev.pmu.kind is PmuKind.CPU and ev.pmu.type == core_pmu_type
         ]
         if not cpu_leaders:
-            return set(leaders)
-        pmu = cpu_leaders[0].pmu
-        budget = self._budget(pmu)
-        needed = sum(ev.hw_counters_needed() for ev in cpu_leaders)
-        if needed <= budget:
-            return set(leaders)
-        # Rotate: pinned groups first, then round-robin by thread runtime.
-        active: set[KernelPerfEvent] = {
-            ev for ev in leaders if ev not in cpu_leaders
-        }
-        pinned = [ev for ev in cpu_leaders if ev.attr.pinned]
-        rotating = [ev for ev in cpu_leaders if not ev.attr.pinned]
-        for ev in pinned:
+            entry.static_active = set(leaders)
+        else:
+            pmu = cpu_leaders[0].pmu
+            budget = self._budget(pmu)
+            needed = sum(ev.hw_counters_needed() for ev in cpu_leaders)
+            if needed <= budget:
+                entry.static_active = set(leaders)
+            else:
+                # Rotation required: pinned groups are granted counters
+                # first (deterministically), the rest round-robin.
+                base = {ev for ev in leaders if ev not in cpu_leaders}
+                pinned = [ev for ev in cpu_leaders if ev.attr.pinned]
+                rotating = [ev for ev in cpu_leaders if not ev.attr.pinned]
+                for ev in pinned:
+                    need = ev.hw_counters_needed()
+                    if need <= budget:
+                        base.add(ev)
+                        budget -= need
+                if not rotating:
+                    entry.static_active = base
+                else:
+                    entry.base_active = base
+                    entry.rotating = rotating
+                    entry.budget = budget
+        self._dispatch[key] = entry
+        return entry
+
+    def _rotated_active(
+        self, entry: _DispatchEntry, thread: "SimThread", rec=None
+    ) -> set[KernelPerfEvent]:
+        """Active set under rotation, memoized on the rotation slot."""
+        rotating = entry.rotating
+        n = len(rotating)
+        slot = int(thread.total_runtime_s / MUX_ROTATION_PERIOD_S) % n
+        if rec is not None:
+            rec.mux_guard(thread, slot, n)
+        if slot == entry.last_slot:
+            return entry.last_active
+        active = set(entry.base_active)
+        budget = entry.budget
+        for i in range(n):
+            ev = rotating[(slot + i) % n]
             need = ev.hw_counters_needed()
             if need <= budget:
                 active.add(ev)
                 budget -= need
-        if rotating:
-            start = int(thread.total_runtime_s / MUX_ROTATION_PERIOD_S) % len(rotating)
-            for i in range(len(rotating)):
-                ev = rotating[(start + i) % len(rotating)]
-                need = ev.hw_counters_needed()
-                if need <= budget:
-                    active.add(ev)
-                    budget -= need
-                else:
-                    break
+            else:
+                break
+        entry.last_slot = slot
+        entry.last_active = active
         return active
 
     def _on_tick(self, machine: "Machine") -> None:
         dt = machine.clock.dt_s
+        rec = machine._rec
         for ev in self._uncore_events:
-            ev.accrue_wall_time(dt)
+            ev.accrue_wall_time(dt, rec)
         for ev in self._rapl_events:
-            ev.accrue_wall_time(dt)
+            ev.accrue_wall_time(dt, rec)
         for bucket in self._cpuwide_events.values():
             for ev in bucket:
-                ev.accrue_wall_time(dt)
+                ev.accrue_wall_time(dt, rec)

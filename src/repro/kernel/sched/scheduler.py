@@ -124,29 +124,35 @@ class Scheduler:
             load[target] += 1
 
         # Pass 3: work-conserving balance — idle allowed CPUs pull waiters
-        # from CPUs running more than one thread.
-        moved = True
-        while moved:
-            moved = False
-            idle = [c for c, ts in placed.items() if not ts]
-            if not idle:
-                break
-            for cpu, ts in placed.items():
-                if len(ts) <= 1:
-                    continue
-                # Move the most recently added waiter to the best idle CPU.
-                for t in reversed(ts):
-                    targets = [c for c in idle if t.allowed_on(c)]
-                    if targets:
-                        target = min(targets, key=lambda c: self._placement_rank(c, load))
-                        ts.remove(t)
-                        placed[target].append(t)
-                        load[cpu] -= 1
-                        load[target] += 1
-                        idle.remove(target)
-                        moved = True
+        # from CPUs running more than one thread.  A single ascending sweep
+        # is equivalent to restarting after every move: pass-3 moves only
+        # fill idle CPUs (no CPU ever becomes overloaded again) and the
+        # idle set only shrinks (an unmovable waiter stays unmovable), so
+        # re-scanning already-drained CPUs can never find new work.
+        idle = [c for c, ts in placed.items() if not ts]
+        if idle:
+            for cpu in placed:
+                ts = placed[cpu]
+                while len(ts) > 1 and idle:
+                    # Move the most recently added movable waiter to the
+                    # best idle CPU.
+                    moved_thread = None
+                    for t in reversed(ts):
+                        targets = [c for c in idle if t.allowed_on(c)]
+                        if targets:
+                            target = min(
+                                targets, key=lambda c: self._placement_rank(c, load)
+                            )
+                            ts.remove(t)
+                            placed[target].append(t)
+                            load[cpu] -= 1
+                            load[target] += 1
+                            idle.remove(target)
+                            moved_thread = t
+                            break
+                    if moved_thread is None:
                         break
-                if moved:
+                if not idle:
                     break
 
         # Build entries with proportional shares, and account switches and

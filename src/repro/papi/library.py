@@ -422,6 +422,10 @@ class Papi:
                         handler(esid, sample)
 
         self.system.machine.tick_hooks.append(drain)
+        # Sampling accruals mark the tick recorder unsteady, so a steady
+        # macro-tick batch can never have pending samples for drain to
+        # deliver — skipping it during replay is a no-op.
+        self.system.machine.mark_hook_fastpath_safe(drain)
 
     # -- information -------------------------------------------------------------
 

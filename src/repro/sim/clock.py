@@ -4,20 +4,25 @@ from __future__ import annotations
 
 
 class SimClock:
-    """Monotonic simulated time advancing in fixed ticks."""
+    """Monotonic simulated time advancing in fixed ticks.
+
+    ``now_s`` is kept as a plain attribute (recomputed as ``ticks * dt_s``
+    on every advance, so it cannot drift) because it is read on hot paths
+    far more often than it changes.
+    """
+
+    __slots__ = ("dt_s", "ticks", "now_s")
 
     def __init__(self, dt_s: float = 0.01):
         if dt_s <= 0:
             raise ValueError("tick length must be positive")
         self.dt_s = dt_s
         self.ticks = 0
-
-    @property
-    def now_s(self) -> float:
-        return self.ticks * self.dt_s
+        self.now_s = 0.0
 
     def advance(self) -> None:
         self.ticks += 1
+        self.now_s = self.ticks * self.dt_s
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(t={self.now_s:.3f}s, dt={self.dt_s}s)"

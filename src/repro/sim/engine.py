@@ -13,6 +13,29 @@
 5. the DVFS governor picks next-tick frequencies.
 
 The engine is deterministic for a given seed.
+
+Accounting kernel
+-----------------
+
+Event generation is *fused per slice*: while a thread executes its time
+share, each work chunk only accumulates ``(instructions, seconds)`` into a
+per-rates bucket; the architectural event vector is materialized once per
+bucket as a single numpy multiply of a cached per-``(core type, rates)``
+*event-rate vector* (events per retired instruction).  Buckets are flushed
+early at every point where other code could observe counters — before a
+:class:`ControlOp` runs, before a phase ``on_complete`` callback, and when
+the thread blocks or finishes — so the fusion is invisible to measured
+programs.
+
+Fast path
+---------
+
+``Machine(fastpath=True)`` (the default) routes :meth:`run_ticks` /
+:meth:`run_until` through the steady-state macro-tick engine in
+:mod:`repro.sim.fastpath`, which batches ticks whose outcome is provably
+identical to single-stepping.  ``fastpath=False`` keeps the plain
+single-tick loop; both paths produce bit-identical counters (gated by the
+parity suite in ``tests/test_fastpath_parity.py``).
 """
 
 from __future__ import annotations
@@ -21,13 +44,13 @@ from typing import Callable, Iterable, Optional
 
 import numpy as np
 
-from repro.hw.coretype import ArchEvent, N_ARCH_EVENTS
+from repro.hw.coretype import ArchEvent, CoreType, N_ARCH_EVENTS
 from repro.hw.cpuid import CpuidEmulator
 from repro.hw.cache import LlcModel
 from repro.hw.dvfs import DvfsGovernor
 from repro.hw.machines import MachineSpec
 from repro.hw.pmu import CorePmu
-from repro.hw.power import CorePowerState, PowerModel, PowerSample
+from repro.hw.power import CorePowerState, PowerModel, PowerSample, SPIN_POWER_FRACTION
 from repro.hw.rapl import RaplPackage
 from repro.hw.thermal import ThermalModel
 from repro.hw.topology import Core
@@ -48,6 +71,10 @@ TOPDOWN_SLOTS_PER_CYCLE = 6
 #: Safety valve: max control ops a thread may run inside one time slice.
 MAX_CONTROL_OPS_PER_SLICE = 100_000
 
+#: Cap on the identity-keyed rate-vector cache; a workload that builds a
+#: fresh ``PhaseRates`` per call falls back to the value-keyed cache.
+_RATE_VEC_ID_CACHE_CAP = 4096
+
 AccountHook = Callable[[SimThread, Core, np.ndarray, float], None]
 TickHook = Callable[["Machine"], None]
 
@@ -62,6 +89,7 @@ class Machine:
         seed: int = 0,
         migrate_jitter: float = 0.0,
         rebalance_jitter: float = 0.0,
+        fastpath: bool = True,
     ):
         self.spec = spec
         self.topology = spec.topology
@@ -82,14 +110,32 @@ class Machine:
 
         self.threads: list[SimThread] = []
         self._next_tid = 1000
+        self._tid_index: dict[int, SimThread] = {}
         self.account_hooks: list[AccountHook] = []
         self.tick_hooks: list[TickHook] = []
+        #: Hooks the macro-tick engine may batch over (their per-tick
+        #: effects are fully captured by the tick recorder).  Hooks not
+        #: registered here disable macro-ticking, never correctness.
+        self._fastpath_safe_hooks: list = []
         self.last_power: Optional[PowerSample] = None
         # The TSC / architectural timer rate (invariant across the package).
         self.tsc_ghz = self.topology.clusters[-1].ctype.base_freq_mhz / 1000.0
-        self._scratch = np.zeros(N_ARCH_EVENTS, dtype=np.float64)
         self._busy = np.zeros(self.topology.n_cpus, dtype=np.float64)
         self._spin = np.zeros(self.topology.n_cpus, dtype=np.float64)
+        # Event-rate vector caches: identity-keyed hot cache over a
+        # value-keyed canonical cache (see _rate_vec).
+        self._rate_vecs_by_id: dict = {}
+        self._rate_vecs_by_value: dict = {}
+        # Active tick recorder (fast path only; None on every plain tick).
+        self._rec = None
+
+        self.fastpath = fastpath
+        if fastpath:
+            from repro.sim.fastpath import FastPathEngine
+
+            self._fastpath_engine = FastPathEngine(self)
+        else:
+            self._fastpath_engine = None
 
     # -- thread lifecycle ---------------------------------------------------
 
@@ -100,6 +146,7 @@ class Machine:
             self._next_tid += 1
         thread.state = ThreadState.READY
         self.threads.append(thread)
+        self._tid_index[thread.tid] = thread
         return thread
 
     def spawn_program(
@@ -112,10 +159,20 @@ class Machine:
         return self.spawn(SimThread(name, Program(items), affinity=affinity, weight=weight))
 
     def thread_by_tid(self, tid: int) -> SimThread:
-        for t in self.threads:
-            if t.tid == tid:
-                return t
-        raise KeyError(f"no thread with tid {tid}")
+        try:
+            return self._tid_index[tid]
+        except KeyError:
+            raise KeyError(f"no thread with tid {tid}") from None
+
+    def mark_hook_fastpath_safe(self, hook) -> None:
+        """Declare that ``hook``'s per-tick effects are recorder-visible."""
+        self._fastpath_safe_hooks.append(hook)
+
+    def hooks_fastpath_safe(self) -> bool:
+        safe = self._fastpath_safe_hooks
+        return all(h in safe for h in self.account_hooks) and all(
+            h in safe for h in self.tick_hooks
+        )
 
     # -- main loop ------------------------------------------------------------
 
@@ -125,6 +182,7 @@ class Machine:
 
     def tick(self) -> None:
         dt = self.clock.dt_s
+        rec = self._rec
 
         # 1. Wake sleepers.
         for t in self.threads:
@@ -143,6 +201,11 @@ class Machine:
                 t.current_phase = None
                 t.wake_at_s = None
                 t.state = ThreadState.READY
+                if rec is not None:
+                    rec.kill(self)
+                    rec = None
+            elif rec is not None:
+                rec.blocked.append((t, phase))
 
         # 2. Place runnable threads.
         runnable = [
@@ -150,7 +213,13 @@ class Machine:
             for t in self.threads
             if t.state in (ThreadState.READY, ThreadState.RUNNING)
         ]
+        if rec is not None:
+            rec.note_pre_schedule(self.scheduler, runnable)
+            rec.freq_before = list(self.governor.freq_mhz)
         assignment = self.scheduler.schedule(runnable)
+        if rec is not None:
+            rec.note_post_schedule(self, self.scheduler, runnable)
+            rec = self._rec  # note_post_schedule kills on migration
 
         # 3. Execute.
         self._busy[:] = 0.0
@@ -169,11 +238,9 @@ class Machine:
                 self._spin[cpu_id] += spin_s / dt
 
         # 4. Power, energy, thermal.
-        states = [
-            CorePowerState(busy_frac=float(self._busy[i]), spin_frac=float(self._spin[i]))
-            for i in range(self.topology.n_cpus)
-        ]
-        sample = self.power_model.sample(states, self.governor.freq_mhz)
+        sample = self.power_model.sample_activity(
+            self._busy, self._spin, self.governor.freq_mhz
+        )
         self.last_power = sample
         self.rapl.step(
             self.governor,
@@ -183,7 +250,6 @@ class Machine:
             dt,
         )
         self.thermal.step(sample.package_w, dt)
-        from repro.hw.power import SPIN_POWER_FRACTION
 
         cluster_activity = [
             sum(
@@ -209,6 +275,16 @@ class Machine:
             cluster_util.append(min(1.0, u))
         self.governor.update(cluster_util)
 
+        rec = self._rec  # a slice may have killed the recorder
+        if rec is not None:
+            rec.power_inputs = (
+                sample,
+                cluster_activity,
+                sample.uncore_w + sample.dram_w,
+                cluster_util,
+            )
+            rec.freq_after = list(self.governor.freq_mhz)
+
         self.clock.advance()
         for hook in self.tick_hooks:
             hook(self)
@@ -221,11 +297,21 @@ class Machine:
         busy_s = 0.0
         spin_s = 0.0
         control_ops = 0
+        rec = self._rec
+        ct = core.ctype
+        # Per-slice fused accounting: id(rates) -> [rates, instr, seconds].
+        buckets: dict[int, list] = {}
         while time_left > 1e-15:
             phase = thread.current_phase
             if phase is None:
+                # Any phase-boundary event makes this tick non-replayable.
+                if rec is not None:
+                    rec.kill(self)
+                    rec = None
                 item = thread.take_next()
                 if item is None:
+                    if buckets:
+                        self._flush_slice(thread, core, buckets)
                     thread.state = ThreadState.DONE
                     thread.cpu = None
                     break
@@ -236,98 +322,167 @@ class Machine:
                             f"thread {thread.name!r} ran {control_ops} control ops "
                             "in one slice; likely an infinite control loop"
                         )
+                    if buckets:
+                        self._flush_slice(thread, core, buckets)
                     item.fn(thread)
                     continue
                 thread.current_phase = item
                 phase = item
 
+            if isinstance(phase, ComputePhase):
+                rates = phase.rates_fn(ct)
+                instr_per_s = freq_ghz * 1e9 * rates.ipc
+                possible = instr_per_s * time_left
+                remaining = phase.remaining
+                executed = remaining if remaining < possible else possible
+                dt_used = executed / instr_per_s if instr_per_s > 0 else time_left
+                phase.remaining = remaining - executed
+                bucket = buckets.get(id(rates))
+                if bucket is None:
+                    buckets[id(rates)] = [rates, executed, dt_used]
+                else:
+                    bucket[1] += executed
+                    bucket[2] += dt_used
+                if rec is not None:
+                    rec.compute_step(phase, executed)
+                busy_s += dt_used
+                time_left -= dt_used
+                if phase.remaining <= 0.0:
+                    thread.current_phase = None
+                    if rec is not None:
+                        rec.kill(self)
+                        rec = None
+                    if phase.on_complete is not None:
+                        if buckets:
+                            self._flush_slice(thread, core, buckets)
+                        phase.on_complete(thread)
+                continue
+
+            if isinstance(phase, SpinPhase):
+                if phase.until():
+                    thread.current_phase = None
+                    if rec is not None:
+                        rec.kill(self)
+                        rec = None
+                    continue
+                # Spin for the rest of the slice.
+                instr = SPIN_RATES.ipc * (freq_ghz * 1e9 * time_left)
+                bucket = buckets.get(id(SPIN_RATES))
+                if bucket is None:
+                    buckets[id(SPIN_RATES)] = [SPIN_RATES, instr, time_left]
+                else:
+                    bucket[1] += instr
+                    bucket[2] += time_left
+                thread.spin_time_s += time_left
+                if rec is not None:
+                    rec.spin_step(thread, phase.until, time_left)
+                spin_s += time_left
+                time_left = 0.0
+                break
+
             if isinstance(phase, SleepPhase):
+                if rec is not None:
+                    rec.kill(self)
+                    rec = None
                 if phase.until is not None and phase.until():
                     thread.current_phase = None
                     continue
+                if buckets:
+                    self._flush_slice(thread, core, buckets)
                 thread.state = ThreadState.BLOCKED
                 thread.cpu = None
                 if phase.wake_at_s is not None and thread.wake_at_s is None:
                     thread.wake_at_s = self.now_s + phase.wake_at_s
                 break
 
-            if isinstance(phase, SpinPhase):
-                if phase.until():
-                    thread.current_phase = None
-                    continue
-                # Spin for the rest of the slice.
-                self._account(thread, core, freq_ghz, SPIN_RATES, time_left, spin=True)
-                spin_s += time_left
-                thread.spin_time_s += time_left
-                time_left = 0.0
-                break
-
-            if isinstance(phase, ComputePhase):
-                rates = phase.rates_fn(core.ctype)
-                instr_per_s = freq_ghz * 1e9 * rates.ipc
-                possible = instr_per_s * time_left
-                executed = min(phase.remaining, possible)
-                dt_used = executed / instr_per_s if instr_per_s > 0 else time_left
-                phase.remaining -= executed
-                self._account(
-                    thread, core, freq_ghz, rates, dt_used, instructions=executed
-                )
-                busy_s += dt_used
-                time_left -= dt_used
-                if phase.done:
-                    thread.current_phase = None
-                    if phase.on_complete is not None:
-                        phase.on_complete(thread)
-                continue
-
             raise TypeError(f"unknown phase type {type(phase)!r}")
-        thread.vruntime += (busy_s + spin_s) / thread.weight
+        if buckets:
+            self._flush_slice(thread, core, buckets)
+        vdelta = (busy_s + spin_s) / thread.weight
+        thread.vruntime += vdelta
+        if rec is not None and vdelta != 0.0:
+            rec.scalar(thread, "vruntime", vdelta)
         return busy_s, spin_s
 
-    def _account(
-        self,
-        thread: SimThread,
-        core: Core,
-        freq_ghz: float,
-        rates: PhaseRates,
-        time_s: float,
-        instructions: Optional[float] = None,
-        spin: bool = False,
-    ) -> None:
-        if time_s <= 0:
-            return
+    def _flush_slice(self, thread: SimThread, core: Core, buckets: dict) -> None:
+        """Materialize fused event vectors and credit all consumers."""
+        rec = self._rec
         ct = core.ctype
-        cycles = freq_ghz * 1e9 * time_s
-        instr = instructions if instructions is not None else rates.ipc * cycles
-        v = self._scratch
-        v[:] = 0.0
-        v[ArchEvent.CYCLES] = cycles
-        v[ArchEvent.INSTRUCTIONS] = instr
-        v[ArchEvent.FP_OPS] = instr * rates.flops_per_instr
-        refs = instr * rates.llc_refs_per_instr
-        v[ArchEvent.LLC_REFERENCES] = refs
-        v[ArchEvent.LLC_MISSES] = refs * rates.llc_miss_rate
-        l2 = instr * rates.l2_refs_per_instr
-        v[ArchEvent.L2_REFERENCES] = l2
-        v[ArchEvent.L2_MISSES] = l2 * rates.l2_miss_rate
-        branches = instr * rates.branches_per_instr
-        v[ArchEvent.BRANCHES] = branches
-        v[ArchEvent.BRANCH_MISSES] = branches * rates.branch_miss_rate
-        v[ArchEvent.REF_CYCLES] = self.tsc_ghz * 1e9 * time_s
-        v[ArchEvent.STALLED_CYCLES] = max(0.0, cycles - instr / ct.ipc)
-        if ct.supports_event(ArchEvent.TOPDOWN_SLOTS):
-            v[ArchEvent.TOPDOWN_SLOTS] = cycles * TOPDOWN_SLOTS_PER_CYCLE
+        pmu_name = ct.pmu_name
+        totals = self.pmus[core.cpu_id].totals
+        ref_per_s = self.tsc_ghz * 1e9
+        for rates, instr, time_s in buckets.values():
+            if time_s <= 0:
+                continue
+            v = self._rate_vec(ct, rates) * instr
+            v[ArchEvent.REF_CYCLES] = ref_per_s * time_s
+            thread.account(pmu_name, v, time_s, rec)
+            totals += v
+            if rec is not None:
+                rec.vec(totals, v)
+            for hook in self.account_hooks:
+                hook(thread, core, v, time_s)
+        buckets.clear()
 
-        thread.account(ct.pmu_name, v, time_s)
-        self.pmus[core.cpu_id].totals += v
-        for hook in self.account_hooks:
-            hook(thread, core, v, time_s)
+    def _rate_vec(self, ct: CoreType, rates: PhaseRates) -> np.ndarray:
+        """Cached per-instruction architectural event rates.
+
+        ``REF_CYCLES`` is time-based, not instruction-based; its slot is
+        zero here and patched from accumulated seconds at flush time.
+        """
+        key = (id(ct), id(rates))
+        vec = self._rate_vecs_by_id.get(key)
+        if vec is not None:
+            return vec
+        vkey = (
+            id(ct),
+            rates.ipc,
+            rates.flops_per_instr,
+            rates.llc_refs_per_instr,
+            rates.llc_miss_rate,
+            rates.l2_refs_per_instr,
+            rates.l2_miss_rate,
+            rates.branches_per_instr,
+            rates.branch_miss_rate,
+        )
+        entry = self._rate_vecs_by_value.get(vkey)
+        if entry is None:
+            v = np.zeros(N_ARCH_EVENTS, dtype=np.float64)
+            cycles_per_instr = 1.0 / rates.ipc
+            v[ArchEvent.CYCLES] = cycles_per_instr
+            v[ArchEvent.INSTRUCTIONS] = 1.0
+            v[ArchEvent.FP_OPS] = rates.flops_per_instr
+            v[ArchEvent.LLC_REFERENCES] = rates.llc_refs_per_instr
+            v[ArchEvent.LLC_MISSES] = rates.llc_refs_per_instr * rates.llc_miss_rate
+            v[ArchEvent.L2_REFERENCES] = rates.l2_refs_per_instr
+            v[ArchEvent.L2_MISSES] = rates.l2_refs_per_instr * rates.l2_miss_rate
+            v[ArchEvent.BRANCHES] = rates.branches_per_instr
+            v[ArchEvent.BRANCH_MISSES] = (
+                rates.branches_per_instr * rates.branch_miss_rate
+            )
+            v[ArchEvent.STALLED_CYCLES] = max(
+                0.0, cycles_per_instr - 1.0 / ct.ipc
+            )
+            if ct.supports_event(ArchEvent.TOPDOWN_SLOTS):
+                v[ArchEvent.TOPDOWN_SLOTS] = (
+                    cycles_per_instr * TOPDOWN_SLOTS_PER_CYCLE
+                )
+            # Pin ct and rates so the id() keys cannot be recycled.
+            entry = (v, ct, rates)
+            self._rate_vecs_by_value[vkey] = entry
+        if len(self._rate_vecs_by_id) >= _RATE_VEC_ID_CACHE_CAP:
+            self._rate_vecs_by_id.clear()
+        self._rate_vecs_by_id[key] = entry[0]
+        return entry[0]
 
     # -- convenience runners ---------------------------------------------------
 
     def run_ticks(self, n: int) -> None:
-        for _ in range(n):
-            self.tick()
+        if self._fastpath_engine is not None:
+            self._fastpath_engine.run_ticks(n)
+        else:
+            for _ in range(n):
+                self.tick()
 
     def run_for(self, seconds: float) -> None:
         self.run_ticks(max(1, round(seconds / self.clock.dt_s)))
@@ -335,6 +490,8 @@ class Machine:
     def run_until(self, cond: Callable[[], bool], max_s: float = 3600.0) -> bool:
         """Tick until ``cond()`` is true; returns False on timeout."""
         deadline = self.now_s + max_s
+        if self._fastpath_engine is not None:
+            return self._fastpath_engine.run_until(cond, deadline)
         while not cond():
             if self.now_s >= deadline:
                 return False

@@ -1,0 +1,300 @@
+"""Steady-state macro-tick engine: record one tick, replay it cheaply.
+
+The slow path executes every tick through the full scheduler / phase /
+accounting machinery.  Most simulated time, however, is spent in *steady
+state*: every thread stays inside the same phase, placements and DVFS
+frequencies do not move, and no wake, RAPL or thermal boundary fires.
+Such a tick is exactly reproducible: its entire effect on the world is a
+fixed set of in-place additions (counter vectors, runtimes, perf-event
+clocks) plus the hardware-controller updates (RAPL, thermal, governor)
+driven by the *same* power sample.
+
+The fast path therefore runs each tick with a :class:`TickRecorder`
+attached.  The engine marks the recorder dead at the first non-steady
+event (phase boundary, wake, migration, overflow sample); otherwise the
+recorder ends the tick holding
+
+* the ordered list of numeric increments the tick performed
+  (``ops``), each of which is replayed as the *identical* float/int
+  operation on the identical live object — so a replayed tick is
+  bit-for-bit the same as a slow-path tick;
+* the guards that must hold for the *next* tick to be a repeat: spin/
+  sleep wake conditions still false, compute phases not completing,
+  multiplexing rotation slot unchanged, DVFS frequencies unchanged;
+* the (constant) inputs of the power/thermal/governor step, which is
+  replayed *live* on the real objects because RAPL and thermal state are
+  genuine per-tick recurrences.
+
+:class:`FastPathEngine` drives ``run_ticks``/``run_until``: record a
+tick; if it stayed steady, replay it while the guards hold, falling back
+to full ticks at any boundary.  Recording is only attempted when no
+unsafe hooks are registered (see ``Machine.mark_hook_fastpath_safe``)
+and scheduler jitter is off — otherwise every tick runs the slow way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.workload import SleepPhase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Machine
+
+#: The multiplexing rotation period, duplicated from the perf subsystem
+#: to avoid an import cycle (asserted equal in the test suite).
+MUX_ROTATION_PERIOD_S = 0.004
+
+
+class TickRecorder:
+    """Collects one tick's increments and replay guards."""
+
+    __slots__ = (
+        "unsteady",
+        "ops",
+        "blocked",
+        "spin_guards",
+        "compute_guards",
+        "mux_guards",
+        "power_inputs",
+        "freq_before",
+        "freq_after",
+        "_pre_sched",
+        "_rt_incs",
+    )
+
+    def __init__(self):
+        self.unsteady = False
+        # Ordered numeric increments: ("v", array, inc_array) for numpy
+        # in-place adds, ("s", obj, attr, inc) for attribute adds,
+        # ("d", dict, key, inc) for dict-value adds.
+        self.ops: list[tuple] = []
+        self.blocked: list[tuple] = []          # (thread, SleepPhase|None)
+        self.spin_guards: list = []             # until() callables
+        self.compute_guards: dict = {}          # id(phase) -> [phase, incs...]
+        self.mux_guards: list[tuple] = []       # (thread, rt_incs, slot, n_rot)
+        self.power_inputs = None                # (sample, activity, other_w, util)
+        self.freq_before: list[float] | None = None
+        self.freq_after: list[float] | None = None
+        self._pre_sched = None
+        # Per-thread runtime increments recorded so far this tick, used to
+        # predict the post-accrual runtime the mux guard must check.
+        self._rt_incs: dict = {}
+
+    # -- cells ---------------------------------------------------------------
+
+    def vec(self, target, inc) -> None:
+        self.ops.append(("v", target, inc))
+
+    def scalar(self, obj, attr: str, inc) -> None:
+        self.ops.append(("s", obj, attr, inc))
+
+    def dict_add(self, d: dict, key, inc) -> None:
+        self.ops.append(("d", d, key, inc))
+
+    def rt_add(self, thread, time_s: float) -> None:
+        """A ``total_runtime_s`` increment (tracked for mux guards)."""
+        self.ops.append(("s", thread, "total_runtime_s", time_s))
+        lst = self._rt_incs.get(id(thread))
+        if lst is None:
+            self._rt_incs[id(thread)] = [time_s]
+        else:
+            lst.append(time_s)
+
+    def mux_guard(self, thread, slot: int, n_rot: int) -> None:
+        """The rotation slot seen by this tick's perf dispatch must repeat."""
+        incs = tuple(self._rt_incs.get(id(thread), ()))
+        self.mux_guards.append((thread, incs, slot, n_rot))
+
+    # -- engine callbacks ----------------------------------------------------
+
+    def kill(self, machine: "Machine") -> None:
+        """Mark this tick non-replayable and stop recording."""
+        self.unsteady = True
+        machine._rec = None
+
+    def compute_step(self, phase, executed: float) -> None:
+        guard = self.compute_guards.get(id(phase))
+        if guard is None:
+            self.compute_guards[id(phase)] = [phase, executed]
+        else:
+            guard.append(executed)
+
+    def spin_step(self, thread, until, time_s: float) -> None:
+        self.spin_guards.append(until)
+        self.scalar(thread, "spin_time_s", time_s)
+
+    def note_pre_schedule(self, scheduler, runnable) -> None:
+        self._pre_sched = (
+            scheduler.total_switches,
+            [(t.cpu, t.last_cpu, t.nr_switches, t.nr_migrations) for t in runnable],
+        )
+
+    def note_post_schedule(self, machine: "Machine", scheduler, runnable) -> None:
+        total_switches0, before = self._pre_sched
+        for t, (cpu0, last_cpu0, sw0, mig0) in zip(runnable, before):
+            if t.cpu != cpu0 or t.last_cpu != last_cpu0 or t.nr_migrations != mig0:
+                self.kill(machine)  # migration / fresh placement
+                return
+            if t.nr_switches != sw0:
+                self.scalar(t, "nr_switches", t.nr_switches - sw0)
+        if scheduler.total_switches != total_switches0:
+            self.scalar(
+                scheduler,
+                "total_switches",
+                scheduler.total_switches - total_switches0,
+            )
+
+    def steady(self) -> bool:
+        return (
+            not self.unsteady
+            and self.power_inputs is not None
+            and self.freq_before is not None
+            and self.freq_before == self.freq_after
+        )
+
+
+class _Batch:
+    """Replays one recorded steady tick while its guards hold."""
+
+    def __init__(self, machine: "Machine", rec: TickRecorder):
+        self.m = machine
+        self.rec = rec
+        self.freq_expect = rec.freq_after
+        # Flatten compute guard chains once.
+        self.computes = list(rec.compute_guards.values())
+
+    def guards_hold(self) -> bool:
+        """True if the next tick would repeat the recorded one exactly."""
+        rec = self.rec
+        now_s = self.m.clock.now_s
+        for t, phase in rec.blocked:
+            if isinstance(phase, SleepPhase) and phase.until is not None:
+                if phase.until():
+                    return False
+            if t.wake_at_s is not None and now_s >= t.wake_at_s:
+                return False
+            if not isinstance(phase, SleepPhase):
+                return False  # would wake unconditionally
+        for until in rec.spin_guards:
+            if until():
+                return False
+        for chain in self.computes:
+            r = chain[0].remaining
+            for e in chain[1:]:
+                if r < e:
+                    return False  # would execute less and complete
+                r = r - e
+                if r <= 0.0:
+                    return False  # would complete exactly
+        for thread, rt_incs, slot, n_rot in rec.mux_guards:
+            r = thread.total_runtime_s
+            for inc in rt_incs:
+                r = r + inc
+            if int(r / MUX_ROTATION_PERIOD_S) % n_rot != slot:
+                return False
+        return True
+
+    def apply_tick(self) -> bool:
+        """Replay the recorded tick; returns False if the batch must end
+        afterwards (DVFS frequency moved for the next tick)."""
+        m = self.m
+        rec = self.rec
+        for op in rec.ops:
+            kind = op[0]
+            if kind == "v":
+                target = op[1]
+                target += op[2]
+            elif kind == "s":
+                _, obj, attr, inc = op
+                setattr(obj, attr, getattr(obj, attr) + inc)
+            else:
+                _, d, key, inc = op
+                d[key] = d[key] + inc
+        for chain in self.computes:
+            phase = chain[0]
+            r = phase.remaining
+            for e in chain[1:]:
+                r = r - e
+            phase.remaining = r
+        sample, cluster_activity, other_w, cluster_util = rec.power_inputs
+        dt = m.clock.dt_s
+        m.last_power = sample
+        m.rapl.step(m.governor, sample.package_w, sample.cores_w, sample.dram_w, dt)
+        m.thermal.step(sample.package_w, dt)
+        m.thermal.apply_throttling(m.governor, cluster_activity, other_w, dt)
+        m.governor.update(cluster_util)
+        m.clock.advance()
+        return m.governor.freq_mhz == self.freq_expect
+
+
+class FastPathEngine:
+    """Routes ``run_ticks``/``run_until`` through macro-tick batching."""
+
+    def __init__(self, machine: "Machine"):
+        self.m = machine
+
+    def _record_ok(self) -> bool:
+        m = self.m
+        sched = m.scheduler
+        return (
+            sched.migrate_jitter == 0.0
+            and sched.rebalance_jitter == 0.0
+            and m.hooks_fastpath_safe()
+        )
+
+    def run_ticks(self, n: int) -> None:
+        m = self.m
+        left = n
+        record_ok = self._record_ok()
+        while left > 0:
+            if left >= 2 and record_ok:
+                rec = TickRecorder()
+                m._rec = rec
+                try:
+                    m.tick()
+                finally:
+                    m._rec = None
+                left -= 1
+                if not rec.steady():
+                    # Hooks can be registered from inside control ops.
+                    record_ok = self._record_ok()
+                    continue
+                batch = _Batch(m, rec)
+                while left > 0 and batch.guards_hold():
+                    more = batch.apply_tick()
+                    left -= 1
+                    if not more:
+                        break
+            else:
+                m.tick()
+                left -= 1
+
+    def run_until(self, cond, deadline: float) -> bool:
+        m = self.m
+        clock = m.clock
+        record_ok = self._record_ok()
+        while not cond():
+            if clock.now_s >= deadline:
+                return False
+            if record_ok:
+                rec = TickRecorder()
+                m._rec = rec
+                try:
+                    m.tick()
+                finally:
+                    m._rec = None
+                if not rec.steady():
+                    record_ok = self._record_ok()
+                    continue
+                batch = _Batch(m, rec)
+                while (
+                    not cond()
+                    and clock.now_s < deadline
+                    and batch.guards_hold()
+                ):
+                    if not batch.apply_tick():
+                        break
+            else:
+                m.tick()
+        return True

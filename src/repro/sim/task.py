@@ -120,7 +120,9 @@ class SimThread:
 
     # -- accounting --------------------------------------------------------
 
-    def account(self, pmu_name: str, values: np.ndarray, time_s: float) -> None:
+    def account(
+        self, pmu_name: str, values: np.ndarray, time_s: float, rec=None
+    ) -> None:
         buf = self.counters.get(pmu_name)
         if buf is None:
             buf = np.zeros(N_ARCH_EVENTS, dtype=np.float64)
@@ -128,6 +130,10 @@ class SimThread:
         buf += values
         self.runtime_s[pmu_name] = self.runtime_s.get(pmu_name, 0.0) + time_s
         self.total_runtime_s += time_s
+        if rec is not None:
+            rec.vec(buf, values)
+            rec.dict_add(self.runtime_s, pmu_name, time_s)
+            rec.rt_add(self, time_s)
 
     def counters_total(self) -> np.ndarray:
         total = np.zeros(N_ARCH_EVENTS, dtype=np.float64)

@@ -28,6 +28,7 @@ class System:
         migrate_jitter: float = 0.0,
         rebalance_jitter: float = 0.0,
         expose_cpu_types: bool = False,
+        fastpath: bool = True,
     ):
         if isinstance(spec, str):
             try:
@@ -44,6 +45,7 @@ class System:
             seed=seed,
             migrate_jitter=migrate_jitter,
             rebalance_jitter=rebalance_jitter,
+            fastpath=fastpath,
         )
         self.perf = PerfSubsystem(self.machine)
         self.sysfs = SysFs(self.machine, self.perf, expose_cpu_types=expose_cpu_types)

@@ -1,0 +1,351 @@
+"""Parity suite: the macro-tick fast path must be bit-identical to the
+slow path for deterministic workloads.
+
+Every scenario here runs twice — ``System(..., fastpath=False)`` (the
+plain single-tick loop) and ``fastpath=True`` (steady-state macro-tick
+batching) — and asserts *exact* equality of thread counters, perf read
+values, migrations/switches, RAPL energy and thermal state.  The
+experiments' correctness claims rest on the counter semantics, so no
+tolerance is allowed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.papi import Papi
+from repro.sim.task import ControlOp, Program, SimThread
+from repro.sim.workload import (
+    ComputePhase,
+    PhaseRates,
+    SleepPhase,
+    SpinBarrier,
+    constant_rates,
+)
+from repro.system import System
+
+MACHINE = "raptor-lake-i7-13700"
+RATES = PhaseRates(
+    ipc=2.0,
+    flops_per_instr=0.5,
+    llc_refs_per_instr=0.01,
+    llc_miss_rate=0.3,
+    l2_refs_per_instr=0.05,
+    l2_miss_rate=0.2,
+)
+
+
+def _run_both(build, **system_kw):
+    """Run ``build(system) -> result`` on the slow and fast paths."""
+    out = []
+    for fastpath in (False, True):
+        system = System(MACHINE, fastpath=fastpath, **system_kw)
+        out.append((system, build(system)))
+    return out
+
+
+def _assert_threads_identical(threads_slow, threads_fast):
+    for a, b in zip(threads_slow, threads_fast):
+        assert set(a.counters) == set(b.counters)
+        for pmu in a.counters:
+            assert np.array_equal(a.counters[pmu], b.counters[pmu]), (
+                f"{a.name}/{pmu} counters diverge"
+            )
+        assert a.runtime_s == b.runtime_s
+        assert a.total_runtime_s == b.total_runtime_s
+        assert a.spin_time_s == b.spin_time_s
+        assert a.vruntime == b.vruntime
+        assert a.nr_switches == b.nr_switches
+        assert a.nr_migrations == b.nr_migrations
+
+
+def _assert_machines_identical(ms, mf):
+    assert ms.clock.ticks == mf.clock.ticks
+    assert ms.rapl.package.energy_j == mf.rapl.package.energy_j
+    assert ms.rapl.cores.energy_j == mf.rapl.cores.energy_j
+    assert ms.rapl.dram.energy_j == mf.rapl.dram.energy_j
+    assert ms.rapl.scale == mf.rapl.scale
+    assert ms.thermal.temp_c == mf.thermal.temp_c
+    assert ms.governor.freq_mhz == mf.governor.freq_mhz
+    for ps, pf in zip(ms.pmus, mf.pmus):
+        assert np.array_equal(ps.totals, pf.totals)
+
+
+def _fastpath_batched(machine, run):
+    """Run ``run()`` counting real ``tick()`` executions; return (real,
+    clock) tick counts so tests can assert batching actually engaged."""
+    real = [0]
+    orig = machine.tick
+
+    def counted():
+        real[0] += 1
+        orig()
+
+    machine.tick = counted
+    start = machine.clock.ticks
+    try:
+        run()
+    finally:
+        machine.tick = orig
+    return real[0], machine.clock.ticks - start
+
+
+class TestSteadyScenarios:
+    def test_compute_spin_sleep_parity(self):
+        """Threads computing, spinning at a barrier and sleeping."""
+
+        def build(system):
+            barrier = SpinBarrier(2)
+            rates = constant_rates(RATES)
+
+            def mk():
+                return [
+                    ComputePhase(
+                        5e9, rates, on_complete=lambda t: barrier.arrive()
+                    ),
+                    barrier.wait_phase(),
+                    SleepPhase(duration_s=0.3),
+                    ComputePhase(2e9, rates),
+                ]
+
+            ts = [
+                system.machine.spawn(SimThread(f"w{i}", Program(mk())))
+                for i in range(2)
+            ]
+            assert system.machine.run_until_done(ts, max_s=100)
+            return ts
+
+        (ss, ts_slow), (sf, ts_fast) = _run_both(build, dt_s=0.01)
+        _assert_threads_identical(ts_slow, ts_fast)
+        _assert_machines_identical(ss.machine, sf.machine)
+
+    def test_idle_cooldown_parity_and_batching(self):
+        """A long idle cooldown must batch and stay identical."""
+
+        def build(system):
+            system.machine.thermal.temp_c = 80.0
+            system.machine.thermal.zone.temp_c = 80.0
+            return None
+
+        (ss, _), (sf, _) = _run_both(build, dt_s=0.01)
+        ss.machine.run_ticks(3000)
+        real, ticks = _fastpath_batched(
+            sf.machine, lambda: sf.machine.run_ticks(3000)
+        )
+        assert ticks == 3000
+        assert real < 100  # the vast majority of ticks were replayed
+        _assert_machines_identical(ss.machine, sf.machine)
+
+    def test_run_until_cooldown_parity(self):
+        (ss, _), (sf, _) = _run_both(lambda s: None, dt_s=0.01)
+        for system in (ss, sf):
+            system.machine.thermal.temp_c = 70.0
+            system.machine.thermal.zone.temp_c = 70.0
+            assert system.machine.cool_down(target_c=36.0, max_s=600)
+        _assert_machines_identical(ss.machine, sf.machine)
+
+
+class TestPerfAndPapiParity:
+    def test_quickstart_eventset_parity(self):
+        """The quickstart scenario: hybrid EventSet calipering reps."""
+
+        def build(system):
+            papi = Papi(system, mode="hybrid")
+            rates = constant_rates(RATES)
+            results = []
+            holder = {}
+
+            def setup(thread):
+                es = papi.create_eventset()
+                papi.attach(es, thread)
+                papi.add_event(es, "adl_glc::INST_RETIRED:ANY", caller=thread)
+                papi.add_event(es, "adl_grt::INST_RETIRED:ANY", caller=thread)
+                papi.start(es, caller=thread)
+                holder["es"] = es
+
+            def measure(thread):
+                results.append(tuple(papi.read(holder["es"], caller=thread)))
+                papi.reset(holder["es"], caller=thread)
+
+            items = [ControlOp(setup)]
+            for _ in range(10):
+                items.append(ComputePhase(5e6, rates))
+                items.append(ControlOp(measure))
+            items.append(ControlOp(lambda th: papi.stop(holder["es"], caller=th)))
+            t = system.machine.spawn(SimThread("caliper", Program(items)))
+            assert system.machine.run_until_done([t], max_s=10)
+            return t, results
+
+        (ss, (t_slow, r_slow)), (sf, (t_fast, r_fast)) = _run_both(
+            build, dt_s=2e-5
+        )
+        assert r_slow == r_fast
+        _assert_threads_identical([t_slow], [t_fast])
+        _assert_machines_identical(ss.machine, sf.machine)
+
+    def test_migration_scenario_parity(self):
+        """With scheduler jitter both paths run tick-by-tick; the RNG
+        stream and therefore migrations must match exactly."""
+
+        def build(system):
+            t = system.machine.spawn(
+                SimThread("app", Program([ComputePhase(2e7, constant_rates(RATES))]))
+            )
+            fd_p = _open_counting(system, "cpu_core", t.tid)
+            fd_e = _open_counting(system, "cpu_atom", t.tid)
+            assert system.machine.run_until_done([t], max_s=10)
+            return t, (
+                _read_fields(system.perf.read(fd_p)),
+                _read_fields(system.perf.read(fd_e)),
+            )
+
+        (ss, (t_slow, r_slow)), (sf, (t_fast, r_fast)) = _run_both(
+            build, dt_s=1e-4, seed=2, migrate_jitter=0.1, rebalance_jitter=0.1
+        )
+        assert t_slow.nr_migrations == t_fast.nr_migrations > 0
+        assert r_slow == r_fast
+        _assert_threads_identical([t_slow], [t_fast])
+        _assert_machines_identical(ss.machine, sf.machine)
+
+    def test_perf_read_values_identical_across_batches(self):
+        """Per-thread perf events survive macro-tick batching bit-for-bit."""
+
+        def build(system):
+            t = system.machine.spawn(
+                SimThread(
+                    "app", Program([ComputePhase(5e9, constant_rates(RATES))])
+                )
+            )
+            fds = [
+                _open_counting(system, "cpu_core", t.tid, config=c)
+                for c in (0x00C0, 0x003C)
+            ]
+            assert system.machine.run_until_done([t], max_s=100)
+            return [_read_fields(system.perf.read(fd)) for fd in fds]
+
+        (ss, r_slow), (sf, r_fast) = _run_both(build, dt_s=0.01)
+        assert r_slow == r_fast
+        _assert_machines_identical(ss.machine, sf.machine)
+
+
+class TestMultiplexedBatching:
+    """Satellite regression: enabled/running scaling of multiplexed
+    events must accrue identically when ticks are replayed in a batch."""
+
+    def test_mux_rotation_constants_agree(self):
+        from repro.kernel.perf import subsystem
+        from repro.sim import fastpath
+
+        assert (
+            fastpath.MUX_ROTATION_PERIOD_S == subsystem.MUX_ROTATION_PERIOD_S
+        )
+
+    def test_mux_scaling_parity_across_batches(self):
+        """Three events time-sharing one counter across a long steady
+        compute phase: slow and fast paths must agree bit-for-bit on
+        value, time_enabled and time_running."""
+
+        def build(system):
+            glc = system.perf.registry.by_name["cpu_core"]
+            # Leave a single free generic counter so the three events
+            # must rotate; rotation happens *within* macro-tick batches.
+            system.perf.reserve_counters(
+                "cpu_core", glc.n_counters + glc.n_fixed - 1
+            )
+            p_cpu = system.topology.cpus_of_type("P-core")[0]
+            t = system.machine.spawn(
+                SimThread(
+                    "app",
+                    Program([ComputePhase(2e9, constant_rates(RATES))]),
+                    affinity={p_cpu},
+                )
+            )
+            fds = [
+                _open_counting(system, "cpu_core", t.tid, config=0x00C0)
+                for _ in range(3)
+            ]
+            assert system.machine.run_until_done([t], max_s=100)
+            return t, [system.perf.read(fd) for fd in fds]
+
+        (ss, (t_slow, r_slow)), (sf, (t_fast, r_fast)) = _run_both(
+            build, dt_s=0.001
+        )
+        assert [_read_fields(r) for r in r_slow] == [
+            _read_fields(r) for r in r_fast
+        ]
+        # The events really were multiplexed, and the scaled estimate
+        # still reconstructs the full instruction count.
+        for rv in r_fast:
+            assert rv.time_running_ns < rv.time_enabled_ns
+        total_scaled = sum(rv.scaled_value() for rv in r_fast)
+        assert abs(total_scaled - 3 * 2e9) / (3 * 2e9) < 0.3
+        _assert_threads_identical([t_slow], [t_fast])
+        _assert_machines_identical(ss.machine, sf.machine)
+
+    def test_mux_batch_engages_while_rotating(self):
+        """Rotation alone must not kill batching: the rotation slot is a
+        replay guard, so batches end at slot boundaries, not every tick."""
+        system = System(MACHINE, dt_s=0.0001)
+        glc = system.perf.registry.by_name["cpu_core"]
+        system.perf.reserve_counters("cpu_core", glc.n_counters + glc.n_fixed - 1)
+        p_cpu = system.topology.cpus_of_type("P-core")[0]
+        t = system.machine.spawn(
+            SimThread(
+                "app",
+                Program([ComputePhase(1e10, constant_rates(RATES))]),
+                affinity={p_cpu},
+            )
+        )
+        for _ in range(2):
+            _open_counting(system, "cpu_core", t.tid)
+        real, ticks = _fastpath_batched(
+            system.machine, lambda: system.machine.run_ticks(2000)
+        )
+        assert ticks == 2000
+        # A 4 ms rotation period at 0.1 ms ticks ⇒ roughly one real tick
+        # per 40-tick slot, not one per tick.
+        assert real < 600
+
+
+class TestHplParity:
+    def test_small_hpl_run_parity(self):
+        from repro.hpl import HplConfig, run_hpl
+
+        def build(system):
+            cpus = system.topology.primary_threads()
+            result = run_hpl(
+                system, HplConfig(n=1536, nb=192), variant="intel", cpus=cpus
+            )
+            return result
+
+        (ss, r_slow), (sf, r_fast) = _run_both(build, dt_s=0.01)
+        assert r_slow.wall_s == r_fast.wall_s
+        assert r_slow.gflops == r_fast.gflops
+        assert r_slow.energy_j == r_fast.energy_j
+        _assert_threads_identical(
+            sorted(ss.machine.threads, key=lambda t: t.tid),
+            sorted(sf.machine.threads, key=lambda t: t.tid),
+        )
+        _assert_machines_identical(ss.machine, sf.machine)
+
+
+def _read_fields(read_value):
+    """PerfReadValue minus the process-global ``id`` field, which differs
+    between two System instances by construction."""
+    return (
+        read_value.value,
+        read_value.time_enabled_ns,
+        read_value.time_running_ns,
+    )
+
+
+def _open_counting(system, pmu_name, tid, config=0x00C0):
+    from repro.kernel.perf import PerfEventAttr
+    from repro.kernel.perf.subsystem import PerfIoctl
+
+    ptype = system.perf.registry.by_name[pmu_name].type
+    fd = system.perf.perf_event_open(
+        PerfEventAttr(type=ptype, config=config), pid=tid, cpu=-1
+    )
+    system.perf.ioctl(fd, PerfIoctl.ENABLE)
+    return fd

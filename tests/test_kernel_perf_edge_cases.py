@@ -71,6 +71,73 @@ class TestGroupTeardown:
         raptor.machine.run_until_done([t], max_s=5)
         assert raptor.perf.read(leader).value == pytest.approx(2e6)
 
+    def test_closed_sibling_leaves_group(self, raptor):
+        """Closing a sibling must detach it: GROUP reads stop listing it
+        and its counter slot frees up for a new sibling."""
+        from repro.kernel.perf import ReadFormat
+
+        glc = raptor.perf.registry.by_name["cpu_core"]
+        t = raptor.machine.spawn(
+            SimThread("app", Program([ComputePhase(1e6, RATES)]))
+        )
+        budget = glc.n_counters + glc.n_fixed
+        raptor.perf.reserve_counters("cpu_core", budget - 2)
+
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(
+                type=glc.type, config=0x00C0, read_format=ReadFormat.GROUP
+            ),
+            pid=t.tid, cpu=-1,
+        )
+        sib = raptor.perf.perf_event_open(
+            PerfEventAttr(type=glc.type, config=0x003C),
+            pid=t.tid, cpu=-1, group_fd=leader,
+        )
+        # The group is full: a third event does not fit...
+        with pytest.raises(KernelError) as e:
+            raptor.perf.perf_event_open(
+                PerfEventAttr(type=glc.type, config=0x00C4),
+                pid=t.tid, cpu=-1, group_fd=leader,
+            )
+        assert e.value.kernel_errno == Errno.EINVAL
+        # ...until the sibling is closed, which must release its slot.
+        raptor.perf.close(sib)
+        assert len(raptor.perf.read(leader)) == 1
+        sib2 = raptor.perf.perf_event_open(
+            PerfEventAttr(type=glc.type, config=0x00C4),
+            pid=t.tid, cpu=-1, group_fd=leader,
+        )
+        assert len(raptor.perf.read(leader)) == 2
+        raptor.perf.close(sib2)
+
+    def test_closing_leader_promotes_siblings(self, raptor):
+        """Linux's perf_group_detach: when a leader goes away, siblings
+        keep counting as singleton events."""
+        p_cpu = raptor.topology.cpus_of_type("P-core")[0]
+        t = raptor.machine.spawn(
+            SimThread(
+                "app",
+                Program([ComputePhase(1e6, RATES), ComputePhase(1e6, RATES)]),
+                affinity={p_cpu},
+            )
+        )
+        ptype = raptor.perf.registry.by_name["cpu_core"].type
+        leader = raptor.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x00C0), pid=t.tid, cpu=-1
+        )
+        sib = raptor.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x003C), pid=t.tid, cpu=-1,
+            group_fd=leader,
+        )
+        raptor.perf.ioctl(leader, PerfIoctl.ENABLE, flag_group=True)
+        raptor.machine.run_until(lambda: t.counters_total()[1] >= 1e6, max_s=5)
+        mid = raptor.perf.read(sib)
+        raptor.perf.close(leader)
+        raptor.machine.run_until_done([t], max_s=5)
+        final = raptor.perf.read(sib)
+        assert final.value > mid.value
+        assert final.time_enabled_ns > mid.time_enabled_ns
+
     def test_ioctl_on_closed_fd(self, raptor):
         t = raptor.machine.spawn(SimThread("app", Program([ComputePhase(1e5, RATES)])))
         fd = _open_enabled(raptor, "cpu_core", t.tid)

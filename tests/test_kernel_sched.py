@@ -143,3 +143,100 @@ class TestScheduler:
         shares = {e.thread.name: e.share for e in placed[0]}
         assert shares["t0"] == pytest.approx(0.75)
         assert shares["t1"] == pytest.approx(0.25)
+
+
+def _reference_balance(sched, placed, load):
+    """The original pass-3 restart loop (re-scan from scratch after every
+    move), kept as the behavioural reference for the single-sweep version."""
+    moved = True
+    while moved:
+        moved = False
+        idle = [c for c, ts in placed.items() if not ts]
+        if not idle:
+            break
+        for cpu, ts in placed.items():
+            if len(ts) <= 1:
+                continue
+            for t in reversed(ts):
+                targets = [c for c in idle if t.allowed_on(c)]
+                if targets:
+                    target = min(
+                        targets, key=lambda c: sched._placement_rank(c, load)
+                    )
+                    ts.remove(t)
+                    placed[target].append(t)
+                    load[cpu] -= 1
+                    load[target] += 1
+                    idle.remove(target)
+                    moved = True
+                    break
+            if moved:
+                break
+
+
+class TestBalanceSweepEquivalence:
+    """The single-sweep pass 3 must produce the exact placements of the
+    original restart-after-every-move loop, across randomized scenarios."""
+
+    def setup_method(self):
+        self.topo = raptor_lake_i7_13700().topology
+
+    def _random_threads(self, rng):
+        cpu_ids = [c.cpu_id for c in self.topo.cores]
+        n = rng.randrange(1, 26)
+        out = []
+        for i in range(n):
+            affinity = None
+            if rng.random() < 0.4:
+                k = rng.randrange(1, 5)
+                affinity = set(rng.sample(cpu_ids, k))
+            t = SimThread(
+                f"t{i}", Program([ComputePhase(1e6, RATES)]), affinity=affinity
+            )
+            t.tid = 100 + i
+            if rng.random() < 0.7:
+                allowed = sorted(affinity) if affinity else cpu_ids
+                t.last_cpu = rng.choice(allowed)
+            out.append(t)
+        return out
+
+    def test_matches_reference_on_random_scenarios(self):
+        import copy
+        import random
+
+        for seed in range(40):
+            rng = random.Random(seed)
+            threads = self._random_threads(rng)
+            twins = copy.deepcopy(threads)
+
+            sched = Scheduler(self.topo)
+            result = sched.schedule(threads)
+            by_cpu = {c: [e.thread.tid for e in es] for c, es in result.items()}
+
+            # Reference: passes 1+2 exactly as the scheduler runs them
+            # (no jitter, so no RNG draws), then the original pass 3.
+            ref_sched = Scheduler(self.topo)
+            load = {c.cpu_id: 0 for c in self.topo.cores}
+            placed = {c.cpu_id: [] for c in self.topo.cores}
+            fresh = []
+            for t in twins:
+                if t.last_cpu is not None and t.allowed_on(t.last_cpu):
+                    placed[t.last_cpu].append(t)
+                    load[t.last_cpu] += 1
+                else:
+                    fresh.append(t)
+            for t in fresh:
+                allowed = ref_sched._allowed_cpus(t)
+                if not allowed:
+                    continue
+                target = min(
+                    allowed, key=lambda c: ref_sched._placement_rank(c, load)
+                )
+                placed[target].append(t)
+                load[target] += 1
+            _reference_balance(ref_sched, placed, load)
+            ref_by_cpu = {
+                c: [t.tid for t in ts] for c, ts in placed.items() if ts
+            }
+
+            assert by_cpu == ref_by_cpu, f"divergence at scenario seed {seed}"
