@@ -105,15 +105,22 @@ SEED_BASELINE_S = {
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_simulator.json",
-    )
+    parser.add_argument("--output", type=Path, default=None)
     parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single-round CI smoke run; timings are not representative",
+    )
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.rounds = 1
     if args.rounds < 1:
         parser.error("--rounds must be >= 1")
+    if args.output is None:
+        # Smoke runs must not clobber the tracked perf-trajectory file.
+        name = "BENCH_smoke.json" if args.smoke else "BENCH_simulator.json"
+        args.output = Path(__file__).resolve().parent.parent / name
 
     results = {}
     for name, fn in BENCHES.items():

@@ -150,7 +150,7 @@ def run_hybrid_test(
         SimThread("papi_hybrid_100m_one_eventset", Program(program_items), affinity=affinity)
     )
     # Background noise: short bursts that occasionally contend for cores.
-    system.machine.run_until_done([t], max_s=60.0)
+    system.machine.run_until_done([t], max_s=60.0, strict=True)
     result.events = wanted
     return result
 

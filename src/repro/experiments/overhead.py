@@ -82,7 +82,7 @@ def run_overhead(machine: str = "raptor-lake-i7-13700") -> OverheadResult:
         papi.start(es)
         d = stats.delta(before)
         ops["start"] = OpCost(d.total_calls, d.instructions_charged)
-        system.machine.run_until_done([t], max_s=5.0)
+        system.machine.run_until_done([t], max_s=5.0, strict=True)
         before = stats.snapshot()
         papi.read(es)
         d = stats.delta(before)
@@ -130,7 +130,7 @@ def run_overhead(machine: str = "raptor-lake-i7-13700") -> OverheadResult:
         )
     )
     holder["fd"] = system.perf.perf_event_open(attr_p, pid=t.tid, cpu=-1)
-    system.machine.run_until_done([t], max_s=5.0)
+    system.machine.run_until_done([t], max_s=5.0, strict=True)
     return out
 
 

@@ -1,0 +1,162 @@
+"""Executes a :class:`~repro.faults.plan.FaultPlan` from the tick loop.
+
+The injector is a fastpath-safe tick hook.  Correctness under the
+macro-tick engine hinges on when faults fire relative to replayed ticks:
+
+* **Timed injections** fire in the end-of-tick hook of the first tick
+  whose end time reaches ``at_s`` — exactly as on the slow path.  During
+  a macro-tick batch hooks do not run, so the injector plants a batch
+  guard (on ``TickRecorder.spin_guards``) that breaks the batch one tick
+  *before* a timed fault comes due; the engine falls back to a full tick
+  and the hook fires the fault there, bit-identically to a slow run.
+* **Conditional injections** (``when`` predicates) fire from the batch
+  guard itself.  The guard is evaluated between replayed ticks, at
+  exactly the machine state the slow path's end-of-tick hook would see,
+  so firing there (and breaking the batch) keeps the two paths
+  bit-identical.
+
+Any firing also kills a live recorder: a tick that mutates hotplug,
+perf, or sensor state is never a steady tick.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import (
+    CounterStorm,
+    CpuOffline,
+    CpuOnline,
+    FaultPlan,
+    Injection,
+    PerfSyscallStorm,
+    SensorDropout,
+    SensorRestore,
+)
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.perf.pmu import PmuKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+#: Slack for float time comparisons against tick boundaries.
+_EPS = 1e-12
+
+
+class FaultInjector:
+    """Drives a plan's injections from ``machine.tick_hooks``.
+
+    ``fired`` logs ``(sim_time_s, fault)`` for every applied fault;
+    ``skipped`` logs ``(sim_time_s, fault, reason)`` for injections the
+    kernel refused (e.g. offlining cpu0), which are dropped rather than
+    allowed to crash the run.
+    """
+
+    def __init__(self, system: "System", plan: FaultPlan):
+        self.system = system
+        self.machine = system.machine
+        self.fired: list[tuple[float, object]] = []
+        self.skipped: list[tuple[float, object, str]] = []
+        self._seq = itertools.count()
+        self._timed: list[tuple[float, int, object]] = []
+        self._conditional: list[Injection] = []
+        for inj in plan.injections:
+            if inj.at_s is not None:
+                heapq.heappush(self._timed, (inj.at_s, next(self._seq), inj.fault))
+            else:
+                self._conditional.append(inj)
+        self.machine.tick_hooks.append(self._on_tick)
+        self.machine.mark_hook_fastpath_safe(self._on_tick)
+
+    @property
+    def pending(self) -> int:
+        return len(self._timed) + len(self._conditional)
+
+    # -- tick integration ----------------------------------------------------
+
+    def _on_tick(self, machine) -> None:
+        now = machine.clock.now_s
+        fired = False
+        while self._timed and self._timed[0][0] <= now + _EPS:
+            _, _, fault = heapq.heappop(self._timed)
+            self._apply(fault)
+            fired = True
+        for inj in list(self._conditional):
+            if inj.when():
+                self._conditional.remove(inj)
+                self._apply(inj.fault)
+                fired = True
+        rec = machine._rec
+        if rec is None:
+            return
+        if fired:
+            rec.kill(machine)
+        elif self._timed or self._conditional:
+            rec.spin_guards.append(self._batch_guard)
+
+    def _batch_guard(self) -> bool:
+        """Break the batch when a fault is due; fire conditionals here."""
+        clock = self.machine.clock
+        if self._timed and self._timed[0][0] <= clock.now_s + clock.dt_s + _EPS:
+            return True
+        fired = False
+        for inj in list(self._conditional):
+            if inj.when():
+                self._conditional.remove(inj)
+                self._apply(inj.fault)
+                fired = True
+        return fired
+
+    # -- fault application ---------------------------------------------------
+
+    def _apply(self, fault) -> None:
+        m = self.machine
+        now = m.clock.now_s
+        try:
+            if isinstance(fault, CpuOffline):
+                m.offline_cpu(fault.cpu)
+            elif isinstance(fault, CpuOnline):
+                m.online_cpu(fault.cpu)
+            elif isinstance(fault, PerfSyscallStorm):
+                self.system.perf.inject_syscall_failures(
+                    Errno[fault.errno_name], fault.count, ops=fault.ops
+                )
+            elif isinstance(fault, SensorDropout):
+                for sensor in self._sensors(fault.sensor):
+                    sensor.set_fault(fault.mode)
+                if fault.duration_s is not None:
+                    heapq.heappush(
+                        self._timed,
+                        (
+                            now + fault.duration_s,
+                            next(self._seq),
+                            SensorRestore(fault.sensor),
+                        ),
+                    )
+            elif isinstance(fault, SensorRestore):
+                for sensor in self._sensors(fault.sensor):
+                    sensor.set_fault(None)
+            elif isinstance(fault, CounterStorm):
+                for ev in self.system.perf._fds.values():
+                    if ev.closed or not ev.enabled:
+                        continue
+                    if ev.pmu.kind is PmuKind.CPU:
+                        ev.saturate()
+            else:
+                raise ValueError(f"unknown fault: {fault!r}")
+        except KernelError as exc:
+            # The kernel refusing an injection (cpu0 hotplug, ...) is a
+            # plan defect, not a reason to crash the simulated workload.
+            self.skipped.append((now, fault, str(exc)))
+            return
+        self.fired.append((now, fault))
+
+    def _sensors(self, name: str) -> list:
+        m = self.machine
+        if name == "rapl":
+            return list(m.rapl.domains)
+        if name == "thermal":
+            return [m.thermal.zone]
+        raise ValueError(f"unknown sensor {name!r} (want 'rapl' or 'thermal')")

@@ -1,0 +1,167 @@
+"""Fault plans: deterministic, seedable schedules of injected failures.
+
+A :class:`FaultPlan` is an ordered set of :class:`Injection`\\ s, each
+pairing a fault description with *when* it fires — at a simulated
+timestamp (``at_s``) or when a predicate first turns true (``when``).
+Plans are pure data; :class:`~repro.faults.injector.FaultInjector`
+executes them from the engine tick loop.
+
+Fault kinds cover the hazard classes a PAPI-based monitor must survive
+on real deployments (on top of the paper's silent-zero hazard):
+
+* :class:`CpuOffline` / :class:`CpuOnline` — CPU hotplug, honoring Linux
+  semantics (cpu0 stays up, events on a dead CPU stop counting, threads
+  migrate off);
+* :class:`PerfSyscallStorm` — transient ``perf_event_open``/``ioctl``/
+  ``read`` failures (EBUSY/EINTR) that bounded retry must absorb;
+* :class:`SensorDropout` / :class:`SensorRestore` — RAPL or thermal
+  readings going stale or erroring, which PAPI and the monitors degrade
+  around instead of raising;
+* :class:`CounterStorm` — saturates every open CPU counter at its
+  hardware width (the overflow-storm mode).
+
+:meth:`FaultPlan.random` builds a reproducible plan from a seed — the
+basis of the chaos-sweep test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.hw.topology import CpuTopology
+
+
+@dataclass(frozen=True)
+class CpuOffline:
+    """Hotplug a CPU offline (``echo 0 > cpuN/online``)."""
+
+    cpu: int
+
+
+@dataclass(frozen=True)
+class CpuOnline:
+    """Bring a CPU back online."""
+
+    cpu: int
+
+
+@dataclass(frozen=True)
+class PerfSyscallStorm:
+    """The next ``count`` matching perf syscalls fail transiently."""
+
+    errno_name: str = "EBUSY"               # "EBUSY" or "EINTR"
+    count: int = 3
+    ops: tuple[str, ...] = ("perf_event_open", "ioctl")
+
+
+@dataclass(frozen=True)
+class SensorDropout:
+    """A sensor starts returning stale values or I/O errors.
+
+    ``sensor`` is ``"rapl"`` (all RAPL domains) or ``"thermal"``.  With a
+    ``duration_s`` the matching :class:`SensorRestore` is scheduled
+    automatically when the dropout fires.
+    """
+
+    sensor: str = "rapl"
+    mode: str = "error"                      # "stale" or "error"
+    duration_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SensorRestore:
+    """Clear a sensor fault (live readings resume)."""
+
+    sensor: str = "rapl"
+
+
+@dataclass(frozen=True)
+class CounterStorm:
+    """Saturate every open, enabled CPU perf counter at 2^48 - 1."""
+
+
+Fault = object  # any of the dataclasses above
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One fault plus its trigger: a timestamp or a predicate."""
+
+    fault: Fault
+    at_s: Optional[float] = None
+    when: Optional[Callable[[], bool]] = None
+
+    def __post_init__(self):
+        if (self.at_s is None) == (self.when is None):
+            raise ValueError("exactly one of at_s / when must be given")
+
+
+@dataclass
+class FaultPlan:
+    """An immutable-by-convention schedule of injections."""
+
+    injections: list[Injection] = field(default_factory=list)
+
+    def at(self, at_s: float, fault: Fault) -> "FaultPlan":
+        """Append a timed injection (builder style); returns self."""
+        self.injections.append(Injection(fault=fault, at_s=at_s))
+        return self
+
+    def when(self, predicate: Callable[[], bool], fault: Fault) -> "FaultPlan":
+        """Append a conditional injection; returns self."""
+        self.injections.append(Injection(fault=fault, when=predicate))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.injections)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        topology: CpuTopology,
+        start_s: float = 0.0,
+        duration_s: float = 1.0,
+        n_faults: int = 4,
+        kinds: tuple[str, ...] = ("hotplug", "syscalls", "sensor", "storm"),
+    ) -> "FaultPlan":
+        """A reproducible plan of ``n_faults`` injections in the window.
+
+        Hotplug picks non-boot CPUs only and always schedules the
+        matching re-online inside the window, so every random plan is a
+        round trip: the machine ends fully online with all sensors live.
+        """
+        rng = random.Random(seed)
+        plan = cls()
+        hotplug_candidates = [c.cpu_id for c in topology.cores if c.cpu_id != 0]
+        for _ in range(n_faults):
+            kind = rng.choice(kinds)
+            t = start_s + rng.uniform(0.05, 0.85) * duration_s
+            if kind == "hotplug" and hotplug_candidates:
+                cpu = rng.choice(hotplug_candidates)
+                back = t + rng.uniform(0.05, 0.5) * (start_s + duration_s - t)
+                plan.at(t, CpuOffline(cpu))
+                plan.at(back, CpuOnline(cpu))
+            elif kind == "syscalls":
+                plan.at(
+                    t,
+                    PerfSyscallStorm(
+                        errno_name=rng.choice(("EBUSY", "EINTR")),
+                        count=rng.randint(1, 4),
+                        ops=("perf_event_open", "ioctl", "read"),
+                    ),
+                )
+            elif kind == "sensor":
+                plan.at(
+                    t,
+                    SensorDropout(
+                        sensor=rng.choice(("rapl", "thermal")),
+                        mode=rng.choice(("stale", "error")),
+                        duration_s=rng.uniform(0.05, 0.3) * duration_s,
+                    ),
+                )
+            elif kind == "storm":
+                plan.at(t, CounterStorm())
+        return plan

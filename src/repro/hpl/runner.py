@@ -220,11 +220,8 @@ def run_hpl(
 
     t0 = machine.now_s
     e0 = machine.rapl.package.energy_j
-    finished = machine.run_until_done(threads, max_s=max_s)
-    if not finished:
-        raise RuntimeError(
-            f"HPL run did not finish within {max_s} simulated seconds"
-        )
+    # strict: a wedged run raises SimTimeout naming the stuck threads.
+    machine.run_until_done(threads, max_s=max_s, strict=True)
     wall = machine.now_s - t0
     energy = machine.rapl.package.energy_j - e0
 

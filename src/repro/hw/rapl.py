@@ -21,8 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Optional
+
 from repro.hw.dvfs import DvfsGovernor
 from repro.hw.machines import MachineSpec
+from repro.hw.sensor import SensorReadError, check_fault_mode
 
 #: Energy unit of the emulated MSR: 2^-16 joules (15.26 uJ), Intel default.
 ENERGY_UNIT_J = 2.0 ** -16
@@ -39,19 +42,42 @@ class RaplDomain:
     name: str
     energy_j: float = 0.0      # unwrapped ground truth
     _raw_units: float = 0.0
+    #: Injected sensor fault: None (live), "stale" or "error".
+    fault_mode: Optional[str] = None
+    _stale_j: float = 0.0
+    _stale_units: float = 0.0
 
     def accumulate(self, power_w: float, dt_s: float) -> None:
         e = power_w * dt_s
         self.energy_j += e
         self._raw_units += e / ENERGY_UNIT_J
 
+    def set_fault(self, mode: Optional[str]) -> None:
+        """Inject/clear a sensor dropout; "stale" freezes the reading."""
+        check_fault_mode(mode)
+        if mode == "stale":
+            self._stale_j = self.energy_j
+            self._stale_units = self._raw_units
+        self.fault_mode = mode
+
+    def visible_energy_j(self) -> float:
+        """Energy as a reader sees it (ground truth unless faulted)."""
+        if self.fault_mode == "error":
+            raise SensorReadError(f"rapl:{self.name}")
+        if self.fault_mode == "stale":
+            return self._stale_j
+        return self.energy_j
+
     def read_raw(self) -> int:
         """The wrapped 32-bit MSR value, in 2^-16 J units."""
-        return int(self._raw_units) & ENERGY_COUNTER_MASK
+        if self.fault_mode == "error":
+            raise SensorReadError(f"rapl:{self.name}")
+        units = self._stale_units if self.fault_mode == "stale" else self._raw_units
+        return int(units) & ENERGY_COUNTER_MASK
 
     def read_uj(self) -> int:
         """Energy in microjoules as the kernel's powercap sysfs reports it."""
-        return int(self.energy_j * 1e6)
+        return int(self.visible_energy_j() * 1e6)
 
 
 @dataclass

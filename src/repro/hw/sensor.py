@@ -1,0 +1,32 @@
+"""Sensor fault states shared by the RAPL and thermal models.
+
+Real monitoring deployments see sensors *drop out*: an hwmon read that
+starts returning ``EIO``, or a management controller that keeps serving
+the last cached value long after the sensor died.  Both failure shapes
+are modelled as a per-sensor ``fault_mode``:
+
+* ``"stale"`` — reads keep succeeding but return the value frozen at the
+  moment the fault was injected;
+* ``"error"`` — reads raise :class:`SensorReadError`, which the kernel
+  surfaces translate to ``EIO`` and the PAPI/monitor layers degrade
+  around (NaN slots plus an error code instead of an exception).
+
+``None`` restores live readings.
+"""
+
+from __future__ import annotations
+
+FAULT_MODES = (None, "stale", "error")
+
+
+class SensorReadError(RuntimeError):
+    """A hardware sensor read failed (injected dropout)."""
+
+    def __init__(self, sensor: str):
+        super().__init__(f"sensor {sensor!r} read failed (dropout)")
+        self.sensor = sensor
+
+
+def check_fault_mode(mode) -> None:
+    if mode not in FAULT_MODES:
+        raise ValueError(f"unknown sensor fault mode {mode!r}; use {FAULT_MODES}")

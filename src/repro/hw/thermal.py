@@ -34,6 +34,30 @@ class ThermalZone:
     name: str
     index: int
     temp_c: float
+    #: Injected sensor fault: None (live), "stale" or "error".
+    fault_mode: str | None = None
+    _stale_c: float = 0.0
+
+    def set_fault(self, mode: str | None) -> None:
+        """Inject/clear a sensor dropout; "stale" freezes the reading."""
+        from repro.hw.sensor import check_fault_mode
+
+        check_fault_mode(mode)
+        if mode == "stale":
+            self._stale_c = self.temp_c
+        self.fault_mode = mode
+
+    def visible_c(self) -> float:
+        """Unrounded temperature as a reader sees it, honoring faults."""
+        from repro.hw.sensor import SensorReadError
+
+        if self.fault_mode == "error":
+            raise SensorReadError(f"thermal:{self.name}")
+        return self._stale_c if self.fault_mode == "stale" else self.temp_c
+
+    def read_millic(self) -> int:
+        """The value a sysfs reader sees, honoring injected faults."""
+        return round(self.visible_c() * 1000)
 
     @property
     def temp_millic(self) -> int:

@@ -28,11 +28,13 @@ class Core:
     cluster: int
     ctype: CoreType
     smt_thread: int = 0     # 0 = primary hardware thread
+    online: bool = True     # hotplug state (cpu0 is never offlined)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "" if self.online else ", offline"
         return (
             f"Core(cpu{self.cpu_id}, phys{self.phys_core}, "
-            f"{self.ctype.name}, smt{self.smt_thread})"
+            f"{self.ctype.name}, smt{self.smt_thread}{state})"
         )
 
 
@@ -125,6 +127,14 @@ class CpuTopology:
     def cpus_of_pmu(self, pmu_name: str) -> list[int]:
         """Logical CPU ids served by the Linux PMU ``pmu_name``."""
         return [c.cpu_id for c in self.cores if c.ctype.pmu_name == pmu_name]
+
+    def online_cpus(self) -> list[int]:
+        """Logical CPU ids currently online (hotplug state)."""
+        return [c.cpu_id for c in self.cores if c.online]
+
+    def offline_cpus(self) -> list[int]:
+        """Logical CPU ids currently offline."""
+        return [c.cpu_id for c in self.cores if not c.online]
 
     def smt_siblings(self, cpu_id: int) -> list[int]:
         me = self.core(cpu_id)

@@ -8,8 +8,11 @@ import enum
 class Errno(enum.IntEnum):
     EPERM = 1
     ENOENT = 2
+    EINTR = 4
+    EIO = 5
     EBADF = 9
     EBUSY = 16
+    ENODEV = 19
     EINVAL = 22
     ENOSPC = 28
     ESRCH = 3
@@ -25,3 +28,17 @@ class KernelError(OSError):
 
     def __str__(self) -> str:
         return f"[{self.kernel_errno.name}] {self.args[1]}"
+
+
+class KernelFileNotFound(KernelError, FileNotFoundError):
+    """ENOENT from a virtual filesystem.
+
+    Inherits both :class:`KernelError` (so all kernel surfaces report a
+    consistent ``kernel_errno``) and :class:`FileNotFoundError` (so
+    callers probing paths with ``except FileNotFoundError`` keep
+    working).
+    """
+
+    def __init__(self, path: str):
+        super().__init__(Errno.ENOENT, path)
+        self.path = path

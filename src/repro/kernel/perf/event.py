@@ -51,6 +51,10 @@ class PerfSample:
 #: counted as lost (like a full perf mmap buffer).
 SAMPLE_BUFFER_CAP = 65536
 
+#: Hardware counter width: general-purpose counters are 48 bits on the
+#: modelled parts; reads saturate at this value instead of wrapping.
+COUNTER_MAX = (1 << 48) - 1
+
 
 @dataclass
 class PerfReadValue:
@@ -95,6 +99,11 @@ class KernelPerfEvent:
         if group_leader is not None:
             group_leader.siblings.append(self)
         self.closed = False
+        # Parked: the event's target CPU is hotplug-offline.  A parked
+        # event keeps accruing enabled time (it is still attached) but
+        # neither counts nor accrues running time — so after re-online
+        # the enabled/running ratio reflects the outage.
+        self.parked = False
         # Software-event baseline snapshots (count = live stat - baseline).
         self._sw_base: Optional[float] = None
         # RAPL baseline (energy joules at enable).
@@ -204,7 +213,12 @@ class KernelPerfEvent:
         Their enabled/running clocks follow wall time (accrued per tick),
         since a CPU-wide event keeps "running" through idle.
         """
-        if self.enabled and not self.closed and self.arch_event is not None:
+        if (
+            self.enabled
+            and not self.closed
+            and not self.parked
+            and self.arch_event is not None
+        ):
             inc = float(values[self.arch_event])
             self.count += inc
             if rec is not None:
@@ -212,24 +226,43 @@ class KernelPerfEvent:
 
     def accrue_uncore(self, values: np.ndarray, rec=None) -> None:
         """Uncore events count package traffic from every core."""
-        if self.enabled and not self.closed and self.arch_event is not None:
+        if (
+            self.enabled
+            and not self.closed
+            and not self.parked
+            and self.arch_event is not None
+        ):
             inc = float(values[self.arch_event])
             self.count += inc
             if rec is not None:
                 rec.scalar(self, "count", inc)
 
     def accrue_wall_time(self, dt_s: float, rec=None) -> None:
-        """CPU-wide (uncore/RAPL) events: times advance with wall time."""
+        """CPU-wide (uncore/RAPL) events: times advance with wall time.
+
+        A parked event (its CPU is offline) accrues enabled time only —
+        its PMU context is gone, so it cannot be running.
+        """
         if self.enabled and not self.closed:
             self.time_enabled_s += dt_s
-            self.time_running_s += dt_s
             if rec is not None:
                 rec.scalar(self, "time_enabled_s", dt_s)
-                rec.scalar(self, "time_running_s", dt_s)
+            if not self.parked:
+                self.time_running_s += dt_s
+                if rec is not None:
+                    rec.scalar(self, "time_running_s", dt_s)
+
+    def saturate(self) -> None:
+        """Force the counter to its hardware width (overflow-storm mode)."""
+        self.count = float(COUNTER_MAX)
+        if self._next_overflow is not None:
+            # Re-anchor the overflow threshold so the next accrual emits
+            # a bounded number of samples rather than replaying the jump.
+            self._next_overflow = self.count + float(self.attr.sample_period)
 
     def read_value(self) -> PerfReadValue:
         return PerfReadValue(
-            value=int(self.count),
+            value=min(int(self.count), COUNTER_MAX),
             time_enabled_ns=int(self.time_enabled_s * 1e9),
             time_running_ns=int(self.time_running_s * 1e9),
             id=self.id,

@@ -21,6 +21,7 @@ from typing import Optional, TYPE_CHECKING
 import numpy as np
 
 from repro.hw.coretype import ArchEvent
+from repro.hw.sensor import SensorReadError
 from repro.hw.topology import Core
 from repro.kernel.errno import Errno, KernelError
 from repro.kernel.perf.attr import PerfEventAttr, PerfType, ReadFormat
@@ -117,8 +118,12 @@ class PerfSubsystem:
         # while its generation matches (bumped by any state-changing call).
         self._dispatch: dict[tuple[int, int], _DispatchEntry] = {}
         self._dispatch_gen = 0
+        # Injected transient syscall failures: list of [ops, errno, left]
+        # budgets consumed by _maybe_fail (fault-injection hook).
+        self._fault_budgets: list[list] = []
         machine.account_hooks.append(self._account)
         machine.tick_hooks.append(self._on_tick)
+        machine.hotplug_hooks.append(self._on_hotplug)
         # Both hooks record their per-tick effects through the tick
         # recorder, so the macro-tick engine may batch over them.
         machine.mark_hook_fastpath_safe(self._account)
@@ -138,6 +143,43 @@ class PerfSubsystem:
     def _budget(self, pmu: KernelPmu) -> int:
         return pmu.n_counters + pmu.n_fixed - self._reserved.get(pmu.type, 0)
 
+    # ----------------------------------------------------------- fault hooks
+
+    def inject_syscall_failures(
+        self,
+        errno_: Errno,
+        count: int,
+        ops: tuple[str, ...] = ("perf_event_open", "ioctl"),
+    ) -> None:
+        """Make the next ``count`` matching syscalls fail transiently.
+
+        Models EBUSY/EINTR storms: each failing call consumes one unit of
+        the budget, so a bounded-retry caller eventually gets through.
+        """
+        if count > 0:
+            self._fault_budgets.append([frozenset(ops), errno_, count])
+
+    def _maybe_fail(self, op: str) -> None:
+        for budget in self._fault_budgets:
+            ops, errno_, left = budget
+            if op in ops and left > 0:
+                budget[2] = left - 1
+                if budget[2] == 0:
+                    self._fault_budgets.remove(budget)
+                raise KernelError(errno_, f"injected transient {op} failure")
+
+    def _on_hotplug(self, cpu_id: int, online: bool) -> None:
+        """Park/resume events whose target CPU changed hotplug state.
+
+        Thread-bound events follow their thread (which migrates off a
+        dead CPU), so only CPU-bound events need parking.  Dispatch
+        entries are invalidated wholesale — the scheduler may now place
+        threads on a different core type.
+        """
+        self._dispatch_gen += 1
+        for ev in self._cpuwide_events.get(cpu_id, []):
+            ev.parked = not online
+
     # ------------------------------------------------------------------ open
 
     def perf_event_open(
@@ -150,6 +192,7 @@ class PerfSubsystem:
         caller: Optional["SimThread"] = None,
     ) -> int:
         self.cost.charge(caller, "perf_event_open")
+        self._maybe_fail("perf_event_open")
         if pid == -1 and cpu == -1:
             raise KernelError(Errno.EINVAL, "pid == -1 requires cpu >= 0")
 
@@ -172,6 +215,8 @@ class PerfSubsystem:
                     f"PMU {pmu.name} does not cover cpu {cpu} "
                     f"(covers {pmu.cpus})",
                 )
+            if pmu.kind is PmuKind.CPU and not self.machine.topology.core(cpu).online:
+                raise KernelError(Errno.ENODEV, f"cpu {cpu} is offline")
             target_cpu = cpu
 
         leader: Optional[KernelPerfEvent] = None
@@ -308,6 +353,7 @@ class PerfSubsystem:
         caller: Optional["SimThread"] = None,
     ) -> None:
         self.cost.charge(caller, "ioctl")
+        self._maybe_fail("ioctl")
         self._dispatch_gen += 1
         event = self._event(fd)
         targets = event.group_events() if flag_group else [event]
@@ -329,7 +375,12 @@ class PerfSubsystem:
         if ev.pmu.kind is PmuKind.SOFTWARE and ev.target_tid is not None:
             ev._sw_base = self._sw_stat(ev)
         if ev.pmu.kind is PmuKind.RAPL:
-            ev._rapl_base = ev._rapl_domain.energy_j  # type: ignore[attr-defined]
+            try:
+                ev._rapl_base = ev._rapl_domain.visible_energy_j()  # type: ignore[attr-defined]
+            except SensorReadError:
+                # Sensor dropout at enable time: keep the previous
+                # baseline (stale rebase) rather than failing the ioctl.
+                pass
 
     def _sw_stat(self, ev: KernelPerfEvent) -> float:
         thread = self.machine.thread_by_tid(ev.target_tid)
@@ -350,6 +401,7 @@ class PerfSubsystem:
         event = self._event(fd)
         group = event.wants(ReadFormat.GROUP)
         self.cost.charge(caller, "read_group" if group else "read")
+        self._maybe_fail("read")
         if group:
             return [self._materialize(ev) for ev in event.group_events()]
         return self._materialize(event)
@@ -360,7 +412,10 @@ class PerfSubsystem:
             ev.count = self._sw_stat(ev) - base
         elif ev.pmu.kind is PmuKind.RAPL:
             base = ev._rapl_base if ev._rapl_base is not None else 0.0
-            joules = ev._rapl_domain.energy_j - base  # type: ignore[attr-defined]
+            try:
+                joules = ev._rapl_domain.visible_energy_j() - base  # type: ignore[attr-defined]
+            except SensorReadError as exc:
+                raise KernelError(Errno.EIO, str(exc)) from exc
             ev.count = joules / RAPL_PERF_UNIT_J
         return ev.read_value()
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.kernel.errno import KernelFileNotFound
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Machine
 
@@ -70,4 +72,4 @@ class ProcFs:
     def read(self, path: str) -> str:
         if path.rstrip("/") == "/proc/cpuinfo":
             return cpuinfo_text(self.machine)
-        raise FileNotFoundError(path)
+        raise KernelFileNotFound(path)

@@ -56,9 +56,27 @@ class Scheduler:
     # -- helpers -----------------------------------------------------------
 
     def _allowed_cpus(self, thread: "SimThread") -> list[int]:
+        online = self.topology.online_cpus()
         if thread.affinity is None:
-            return [c.cpu_id for c in self.topology.cores]
-        return sorted(thread.affinity)
+            return online
+        allowed = sorted(thread.affinity.intersection(online))
+        if not allowed:
+            # Linux cpuset-fallback semantics: when hotplug empties a
+            # task's effective mask, it runs on any online CPU.  The
+            # stored affinity is untouched, so the task snaps back as
+            # soon as one of its CPUs returns.
+            return online
+        return allowed
+
+    def _usable(self, thread: "SimThread", cpu_id: int) -> bool:
+        """Whether ``thread`` may run on ``cpu_id`` right now (affinity
+        plus hotplug state, including the empty-mask fallback)."""
+        if not self.topology.core(cpu_id).online:
+            return False
+        if thread.allowed_on(cpu_id):
+            return True
+        # Fallback-mode thread: every online CPU is usable.
+        return not thread.affinity.intersection(self.topology.online_cpus())
 
     def _placement_rank(self, cpu_id: int, load: dict[int, int]) -> tuple:
         """Sort key for idle-CPU selection: lowest load, then biggest
@@ -75,8 +93,9 @@ class Scheduler:
 
     def schedule(self, runnable: list["SimThread"]) -> dict[int, list[SchedEntry]]:
         """Place ``runnable`` threads; returns cpu -> entries with shares."""
-        load: dict[int, int] = {c.cpu_id: 0 for c in self.topology.cores}
-        placed: dict[int, list["SimThread"]] = {c.cpu_id: [] for c in self.topology.cores}
+        online = [c for c in self.topology.cores if c.online]
+        load: dict[int, int] = {c.cpu_id: 0 for c in online}
+        placed: dict[int, list["SimThread"]] = {c.cpu_id: [] for c in online}
 
         # Jitter first: occasionally kick a thread off its CPU, forcing a
         # fresh placement decision (background interference model), and
@@ -101,7 +120,8 @@ class Scheduler:
                 t.last_cpu is not None
                 and id(t) not in kicked
                 and id(t) not in rebalanced
-                and t.allowed_on(t.last_cpu)
+                and t.last_cpu in placed
+                and self._usable(t, t.last_cpu)
             ):
                 placed[t.last_cpu].append(t)
                 load[t.last_cpu] += 1
@@ -138,7 +158,7 @@ class Scheduler:
                     # best idle CPU.
                     moved_thread = None
                     for t in reversed(ts):
-                        targets = [c for c in idle if t.allowed_on(c)]
+                        targets = [c for c in idle if self._usable(t, c)]
                         if targets:
                             target = min(
                                 targets, key=lambda c: self._placement_rank(c, load)

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional, TYPE_CHECKING
 
+from repro.hw.sensor import SensorReadError
+from repro.kernel.errno import Errno, KernelError, KernelFileNotFound
 from repro.kernel.sched.affinity import format_cpu_list
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,10 +33,18 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Machine
 
 Provider = Callable[[], str]
+Writer = Callable[[str], None]
 
 
 class SysFs:
-    """A read-only virtual filesystem of path -> content providers."""
+    """A virtual filesystem of path -> content providers.
+
+    Most files are read-only; a few control files (notably
+    ``/sys/devices/system/cpu/cpuN/online``) accept :meth:`write`.
+    Missing paths raise :class:`KernelFileNotFound` — a
+    :class:`KernelError` carrying ``ENOENT`` that is also a
+    ``FileNotFoundError`` for backwards compatibility.
+    """
 
     def __init__(
         self,
@@ -46,6 +56,7 @@ class SysFs:
         self.perf = perf
         self.expose_cpu_types = expose_cpu_types
         self._files: dict[str, Provider] = {}
+        self._writers: dict[str, Writer] = {}
         self._build()
 
     # -- filesystem interface ----------------------------------------------
@@ -54,8 +65,22 @@ class SysFs:
         path = path.rstrip("/")
         provider = self._files.get(path)
         if provider is None:
-            raise FileNotFoundError(path)
-        return provider()
+            raise KernelFileNotFound(path)
+        try:
+            return provider()
+        except SensorReadError as exc:
+            # A dropped-out sensor surfaces as EIO, like a dead hwmon.
+            raise KernelError(Errno.EIO, f"{path}: {exc}") from exc
+
+    def write(self, path: str, value: str) -> None:
+        """Write to a control file (``echo value > path``)."""
+        path = path.rstrip("/")
+        writer = self._writers.get(path)
+        if writer is None:
+            if path in self._files:
+                raise KernelError(Errno.EPERM, f"read-only file: {path}")
+            raise KernelFileNotFound(path)
+        writer(value.strip())
 
     def exists(self, path: str) -> bool:
         path = path.rstrip("/")
@@ -73,14 +98,29 @@ class SysFs:
             if p.startswith(prefix)
         }
         if not names and path not in self._files:
-            raise FileNotFoundError(path)
+            raise KernelFileNotFound(path)
         return sorted(names)
 
-    def add(self, path: str, provider: Provider | str) -> None:
+    def add(self, path: str, provider: Provider | str, writer: Optional[Writer] = None) -> None:
         if isinstance(provider, str):
             value = provider
             provider = lambda: value  # noqa: E731
-        self._files[path.rstrip("/")] = provider
+        path = path.rstrip("/")
+        self._files[path] = provider
+        if writer is not None:
+            self._writers[path] = writer
+
+    # -- control-file handlers ----------------------------------------------
+
+    def _write_cpu_online(self, cpu: int, value: str) -> None:
+        if value == "0":
+            self.machine.offline_cpu(cpu)
+        elif value == "1":
+            self.machine.online_cpu(cpu)
+        else:
+            raise KernelError(
+                Errno.EINVAL, f"cpu{cpu}/online accepts 0 or 1, got {value!r}"
+            )
 
     # -- tree construction ---------------------------------------------------
 
@@ -100,10 +140,14 @@ class SysFs:
                 else:
                     self.add(f"{base}/cpumask", format_cpu_list(pmu.cpus or [0]))
 
-        # Per-CPU directories.
+        # Per-CPU directories.  online/offline reflect live hotplug state.
         self.add(
             "/sys/devices/system/cpu/online",
-            format_cpu_list(c.cpu_id for c in topo.cores),
+            lambda: format_cpu_list(topo.online_cpus()),
+        )
+        self.add(
+            "/sys/devices/system/cpu/offline",
+            lambda: format_cpu_list(topo.offline_cpus()),
         )
         self.add(
             "/sys/devices/system/cpu/possible",
@@ -113,6 +157,13 @@ class SysFs:
             cpu = core.cpu_id
             base = f"/sys/devices/system/cpu/cpu{cpu}"
             ct = core.ctype
+            if cpu != 0:
+                # cpu0 has no online file: not hotpluggable, as on x86.
+                self.add(
+                    f"{base}/online",
+                    (lambda c=core: "1" if c.online else "0"),
+                    writer=(lambda v, c=cpu: self._write_cpu_online(c, v)),
+                )
             if is_arm:
                 # cpu_capacity is exported by arm64 kernels only.
                 self.add(f"{base}/cpu_capacity", str(topo.capacity_of(cpu)))
@@ -159,7 +210,7 @@ class SysFs:
         # Thermal zone.
         tz = f"/sys/class/thermal/thermal_zone{spec.thermal_zone_index}"
         self.add(f"{tz}/type", spec.thermal_zone_name)
-        self.add(f"{tz}/temp", lambda: str(m.thermal.zone.temp_millic))
+        self.add(f"{tz}/temp", lambda: str(m.thermal.zone.read_millic()))
 
         # RAPL powercap tree.
         if spec.has_rapl:

@@ -15,6 +15,7 @@ from typing import Callable, Optional, TypeVar
 
 import numpy as np
 
+from repro.hw.sensor import SensorReadError
 from repro.system import System
 
 T = TypeVar("T")
@@ -75,6 +76,7 @@ class Sampler:
         self._active = False
         self._t0 = 0.0
         self._last_energy_j: Optional[float] = None
+        self._last_energy_t: float = 0.0
         system.machine.tick_hooks.append(self._on_tick)
 
     def start(self) -> None:
@@ -96,16 +98,31 @@ class Sampler:
         for i, cl in enumerate(machine.topology.clusters):
             label = cl.ctype.name
             trace.freq_mhz.setdefault(label, []).append(machine.governor.freq_mhz[i])
-        trace.temp_c.append(machine.thermal.temp_c)
+        # Sensors are read through their fault-aware interfaces: a
+        # dropped-out sensor yields NaN samples (the script keeps running)
+        # and the first good sample after an outage averages power over
+        # the whole gap, not one period.
+        try:
+            trace.temp_c.append(machine.thermal.zone.visible_c())
+        except SensorReadError:
+            trace.temp_c.append(float("nan"))
         # Power is derived from energy-counter deltas, exactly like the
         # paper's mon_hpl.py computes it from RAPL readings at 1 Hz — so
         # each point is the average power over the sample period.
-        energy = machine.rapl.package.energy_j
+        try:
+            energy = machine.rapl.package.visible_energy_j()
+        except SensorReadError:
+            trace.package_w.append(float("nan"))
+            trace.wall_power_w.append(float("nan"))
+            trace.energy_j.append(float("nan"))
+            return
         if self._last_energy_j is None:
             power = machine.last_power.package_w if machine.last_power else 0.0
         else:
-            power = (energy - self._last_energy_j) / self.period_s
+            elapsed = max(machine.now_s - self._last_energy_t, 1e-12)
+            power = (energy - self._last_energy_j) / elapsed
         self._last_energy_j = energy
+        self._last_energy_t = machine.now_s
         trace.package_w.append(power)
         trace.wall_power_w.append(power + machine.spec.board_base_w)
         trace.energy_j.append(energy)

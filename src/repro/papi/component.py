@@ -21,9 +21,10 @@ from __future__ import annotations
 import abc
 from typing import Optional, TYPE_CHECKING
 
+from repro.kernel.errno import Errno, KernelError
 from repro.kernel.perf.attr import PerfEventAttr
 from repro.kernel.perf.pmu import PmuKind
-from repro.papi.consts import PapiErrorCode
+from repro.papi.consts import PAPI_OK, PapiErrorCode
 from repro.papi.error import PapiError
 from repro.papi.eventset import EventSet
 from repro.pfmlib.library import EventInfo
@@ -202,10 +203,19 @@ class RaplComponent(Component):
         paths.append(path)
         return len(paths) - 1
 
+    def _read_uj(self, path: str):
+        """One powercap read; a dropped-out sensor (EIO) yields None."""
+        try:
+            return int(self.system.sysfs.read(path))
+        except KernelError as exc:
+            if exc.kernel_errno is not Errno.EIO:
+                raise
+            return None
+
     def start(self, es, caller):
         self._require_inactive_slot(es)
         self._base_uj[es.esid] = [
-            int(self.system.sysfs.read(p)) for p in self._paths.get(es.esid, [])
+            self._read_uj(p) for p in self._paths.get(es.esid, [])
         ]
         self._mark_active(es)
 
@@ -213,9 +223,18 @@ class RaplComponent(Component):
         base = self._base_uj.get(es.esid)
         if base is None:
             raise PapiError(PapiErrorCode.ENOTRUN, "EventSet not started")
-        now = [int(self.system.sysfs.read(p)) for p in self._paths.get(es.esid, [])]
-        # PAPI reports nanojoules.
-        return [float((n - b) * 1000) for n, b in zip(now, base)]
+        now = [self._read_uj(p) for p in self._paths.get(es.esid, [])]
+        es.last_status = PAPI_OK
+        # PAPI reports nanojoules; a domain whose sensor dropped out (at
+        # start or now) degrades to NaN plus a PAPI_ECNFLCT status.
+        values = []
+        for n, b in zip(now, base):
+            if n is None or b is None:
+                values.append(float("nan"))
+                es.last_status = PapiErrorCode.ECNFLCT
+            else:
+                values.append(float((n - b) * 1000))
+        return values
 
     def stop(self, es, caller):
         values = self.read(es, caller)
@@ -224,7 +243,7 @@ class RaplComponent(Component):
 
     def reset(self, es, caller):
         self._base_uj[es.esid] = [
-            int(self.system.sysfs.read(p)) for p in self._paths.get(es.esid, [])
+            self._read_uj(p) for p in self._paths.get(es.esid, [])
         ]
 
     def cleanup(self, es, caller):

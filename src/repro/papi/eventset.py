@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
-from repro.papi.consts import PapiState
+from repro.papi.consts import PAPI_OK, PapiState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.papi.component import Component
@@ -43,6 +43,10 @@ class EventSet:
     entries: list[EventEntry] = field(default_factory=list)
     attached: Optional["SimThread"] = None
     multiplexed: bool = False
+    #: Status of the most recent read/stop: ``PAPI_OK`` or, when a
+    #: counter could not be read and its slots were reported as NaN,
+    #: ``PapiErrorCode.ECNFLCT`` (partial results).
+    last_status: int = PAPI_OK
 
     @property
     def running(self) -> bool:

@@ -339,6 +339,11 @@ class Papi:
             )
         return self._combine(es, es.component.read(es, caller))
 
+    def last_status(self, esid: int) -> int:
+        """Status of the EventSet's most recent read/stop: ``PAPI_OK`` or
+        ``PapiErrorCode.ECNFLCT`` when some counters degraded to NaN."""
+        return self.eventset(esid).last_status
+
     def reset(self, esid: int, caller: Optional["SimThread"] = None) -> None:
         es = self.eventset(esid)
         if es.component is None:

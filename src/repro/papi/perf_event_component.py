@@ -24,17 +24,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
+from repro.kernel.errno import Errno, KernelError
 from repro.kernel.perf.attr import PerfEventAttr, ReadFormat
 from repro.kernel.perf.pmu import PmuKind
 from repro.kernel.perf.subsystem import PerfIoctl
 from repro.papi.component import Component
-from repro.papi.consts import PapiErrorCode
+from repro.papi.consts import PAPI_OK, PapiErrorCode
 from repro.papi.error import PapiError
 from repro.papi.eventset import EventSet
 from repro.pfmlib.library import EventInfo
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.task import SimThread
+
+#: How often a transiently failing perf syscall is retried before the
+#: component gives up, mirroring real PAPI's EINTR/EBUSY retry loops.
+MAX_SYSCALL_RETRIES = 8
+
+#: Transient errnos worth retrying; anything else is a real error.
+_TRANSIENT_ERRNOS = (Errno.EBUSY, Errno.EINTR)
 
 
 @dataclass
@@ -69,6 +77,22 @@ class PerfEventComponent(Component):
         self._state: dict[int, PerfState] = {}
 
     # -- helpers -------------------------------------------------------------
+
+    def _syscall(self, fn):
+        """Run a perf syscall, absorbing bounded EBUSY/EINTR transients."""
+        last = None
+        for _ in range(MAX_SYSCALL_RETRIES):
+            try:
+                return fn()
+            except KernelError as exc:
+                if exc.kernel_errno not in _TRANSIENT_ERRNOS:
+                    raise
+                last = exc
+        raise PapiError(
+            PapiErrorCode.ESYS,
+            f"perf syscall still failing after {MAX_SYSCALL_RETRIES} "
+            f"attempts: {last}",
+        ) from last
 
     def state_of(self, es: EventSet) -> PerfState:
         return self._state.setdefault(es.esid, PerfState())
@@ -136,8 +160,10 @@ class PerfEventComponent(Component):
             group_fd = -1
             attr.read_format |= ReadFormat.GROUP
 
-        fd = self.system.perf.perf_event_open(
-            attr, pid=pid, cpu=cpu, group_fd=group_fd, caller=caller
+        fd = self._syscall(
+            lambda: self.system.perf.perf_event_open(
+                attr, pid=pid, cpu=cpu, group_fd=group_fd, caller=caller
+            )
         )
         slot = NativeSlot(info=info, attr=attr, fd=fd, pmu_type=ptype, pmu_kind=pmu.kind)
         state.slots.append(slot)
@@ -158,17 +184,48 @@ class PerfEventComponent(Component):
     def start(self, es: EventSet, caller: Optional["SimThread"]) -> None:
         self._require_inactive_slot(es)
         for fd in self._leader_fds(es):
-            self.system.perf.ioctl(fd, PerfIoctl.RESET, flag_group=True, caller=caller)
-            self.system.perf.ioctl(fd, PerfIoctl.ENABLE, flag_group=True, caller=caller)
+            self._syscall(
+                lambda fd=fd: self.system.perf.ioctl(
+                    fd, PerfIoctl.RESET, flag_group=True, caller=caller
+                )
+            )
+            self._syscall(
+                lambda fd=fd: self.system.perf.ioctl(
+                    fd, PerfIoctl.ENABLE, flag_group=True, caller=caller
+                )
+            )
         self._mark_active(es)
 
     def read(self, es: EventSet, caller: Optional["SimThread"]) -> list[float]:
+        """Read all groups; unreadable groups degrade to NaN slots.
+
+        A group whose counters cannot be delivered — retry-exhausted
+        transient failures, a dropped-out RAPL sensor (EIO), a
+        hotplugged-away CPU (ENODEV) — reports NaN for its slots and
+        flags ``es.last_status = PAPI_ECNFLCT`` instead of raising, so
+        callers get partial results plus an error code, never a torn
+        exception mid-measurement.
+        """
         state = self.state_of(es)
+        es.last_status = PAPI_OK
         values = [0.0] * len(state.slots)
         for idxs in state.groups.values():
             leader = state.slots[idxs[0]]
-            result = self.system.perf.read(leader.fd, caller=caller)
-            if isinstance(result, list):
+            try:
+                result = self._syscall(
+                    lambda: self.system.perf.read(leader.fd, caller=caller)
+                )
+            except PapiError:
+                result = None  # transient storm outlasted the retry budget
+            except KernelError as exc:
+                if exc.kernel_errno not in (Errno.EIO, Errno.ENODEV):
+                    raise
+                result = None
+            if result is None:
+                for idx in idxs:
+                    values[idx] = float("nan")
+                es.last_status = PapiErrorCode.ECNFLCT
+            elif isinstance(result, list):
                 for idx, rv in zip(idxs, result):
                     values[idx] = self._value_of(es, rv)
             else:
@@ -182,14 +239,29 @@ class PerfEventComponent(Component):
 
     def stop(self, es: EventSet, caller: Optional["SimThread"]) -> list[float]:
         values = self.read(es, caller)
+        status = es.last_status
         for fd in self._leader_fds(es):
-            self.system.perf.ioctl(fd, PerfIoctl.DISABLE, flag_group=True, caller=caller)
+            try:
+                self._syscall(
+                    lambda fd=fd: self.system.perf.ioctl(
+                        fd, PerfIoctl.DISABLE, flag_group=True, caller=caller
+                    )
+                )
+            except PapiError:
+                status = PapiErrorCode.ECNFLCT
+        # The EventSet stops no matter what; a counter that could not be
+        # disabled is reported through the status, not an exception.
+        es.last_status = status
         self._mark_inactive(es)
         return values
 
     def reset(self, es: EventSet, caller: Optional["SimThread"]) -> None:
         for fd in self._leader_fds(es):
-            self.system.perf.ioctl(fd, PerfIoctl.RESET, flag_group=True, caller=caller)
+            self._syscall(
+                lambda fd=fd: self.system.perf.ioctl(
+                    fd, PerfIoctl.RESET, flag_group=True, caller=caller
+                )
+            )
 
     def cleanup(self, es: EventSet, caller: Optional["SimThread"]) -> None:
         state = self._state.pop(es.esid, None)
@@ -251,8 +323,10 @@ class PerfEventComponent(Component):
                 pmu = self.system.perf.registry.by_type[slot.pmu_type]
                 pid, cpu = -1, (pmu.cpus[0] if pmu.cpus else 0)
             slot.attr = attr
-            slot.fd = self.system.perf.perf_event_open(
-                attr, pid=pid, cpu=cpu, caller=caller
+            slot.fd = self._syscall(
+                lambda: self.system.perf.perf_event_open(
+                    attr, pid=pid, cpu=cpu, caller=caller
+                )
             )
             state.groups[-(idx + 1)] = [idx]
             if idx in sampling:

@@ -77,6 +77,19 @@ _RATE_VEC_ID_CACHE_CAP = 4096
 
 AccountHook = Callable[[SimThread, Core, np.ndarray, float], None]
 TickHook = Callable[["Machine"], None]
+HotplugHook = Callable[[int, bool], None]
+
+
+class SimTimeout(RuntimeError):
+    """``run_until``/``run_until_done`` hit ``max_s`` in strict mode.
+
+    The message names the threads that were still unfinished so a hung
+    experiment fails loudly instead of silently returning ``False``.
+    """
+
+    def __init__(self, message: str, stuck: Optional[list[SimThread]] = None):
+        super().__init__(message)
+        self.stuck = stuck if stuck is not None else []
 
 
 class Machine:
@@ -113,6 +126,9 @@ class Machine:
         self._tid_index: dict[int, SimThread] = {}
         self.account_hooks: list[AccountHook] = []
         self.tick_hooks: list[TickHook] = []
+        #: Called as ``hook(cpu_id, online)`` after a CPU changes hotplug
+        #: state (the perf subsystem parks/resumes events through this).
+        self.hotplug_hooks: list[HotplugHook] = []
         #: Hooks the macro-tick engine may batch over (their per-tick
         #: effects are fully captured by the tick recorder).  Hooks not
         #: registered here disable macro-ticking, never correctness.
@@ -167,6 +183,47 @@ class Machine:
     def mark_hook_fastpath_safe(self, hook) -> None:
         """Declare that ``hook``'s per-tick effects are recorder-visible."""
         self._fastpath_safe_hooks.append(hook)
+
+    # -- CPU hotplug ---------------------------------------------------------
+
+    def offline_cpu(self, cpu_id: int) -> None:
+        """Take a CPU offline (``echo 0 > /sys/.../cpuN/online``).
+
+        Linux semantics: cpu0 is not hotpluggable, threads running on the
+        dying CPU migrate off at the next scheduling point, and perf
+        events bound to the CPU stop counting (parked via the hotplug
+        hooks).  Idempotent for an already-offline CPU.
+        """
+        from repro.kernel.errno import Errno, KernelError
+
+        core = self.topology.core(cpu_id)  # KeyError on bad id
+        if cpu_id == 0:
+            raise KernelError(Errno.EBUSY, "cpu0 is not hotpluggable")
+        if not core.online:
+            return
+        core.online = False
+        # Threads on the dead CPU lose their placement; the scheduler
+        # gives them a fresh capacity-aware placement next tick.
+        for t in self.threads:
+            if t.cpu == cpu_id:
+                t.cpu = None
+            if t.last_cpu == cpu_id:
+                t.last_cpu = None
+        if self._rec is not None:
+            self._rec.kill(self)
+        for hook in self.hotplug_hooks:
+            hook(cpu_id, False)
+
+    def online_cpu(self, cpu_id: int) -> None:
+        """Bring a previously offlined CPU back (idempotent)."""
+        core = self.topology.core(cpu_id)
+        if core.online:
+            return
+        core.online = True
+        if self._rec is not None:
+            self._rec.kill(self)
+        for hook in self.hotplug_hooks:
+            hook(cpu_id, True)
 
     def hooks_fastpath_safe(self) -> bool:
         safe = self._fastpath_safe_hooks
@@ -487,22 +544,56 @@ class Machine:
     def run_for(self, seconds: float) -> None:
         self.run_ticks(max(1, round(seconds / self.clock.dt_s)))
 
-    def run_until(self, cond: Callable[[], bool], max_s: float = 3600.0) -> bool:
-        """Tick until ``cond()`` is true; returns False on timeout."""
+    def run_until(
+        self,
+        cond: Callable[[], bool],
+        max_s: float = 3600.0,
+        strict: bool = False,
+        watch: Optional[list[SimThread]] = None,
+    ) -> bool:
+        """Tick until ``cond()`` is true; returns False on timeout.
+
+        With ``strict=True`` a timeout raises :class:`SimTimeout` naming
+        the unfinished threads (``watch`` if given, else all threads)
+        instead of returning a silently discardable ``False``.
+        """
         deadline = self.now_s + max_s
         if self._fastpath_engine is not None:
-            return self._fastpath_engine.run_until(cond, deadline)
-        while not cond():
-            if self.now_s >= deadline:
-                return False
-            self.tick()
-        return True
+            ok = self._fastpath_engine.run_until(cond, deadline)
+        else:
+            ok = True
+            while not cond():
+                if self.now_s >= deadline:
+                    ok = False
+                    break
+                self.tick()
+        if not ok and strict:
+            pool = watch if watch is not None else self.threads
+            stuck = [t for t in pool if not t.done]
+            names = ", ".join(
+                f"{t.name!r} (tid={t.tid}, {t.state.value}, cpu={t.cpu})"
+                for t in stuck
+            ) or "<none>"
+            raise SimTimeout(
+                f"condition not reached within {max_s} simulated seconds "
+                f"(t={self.now_s:.3f}s); stuck threads: {names}",
+                stuck,
+            )
+        return ok
 
     def run_until_done(
-        self, threads: Optional[Iterable[SimThread]] = None, max_s: float = 3600.0
+        self,
+        threads: Optional[Iterable[SimThread]] = None,
+        max_s: float = 3600.0,
+        strict: bool = False,
     ) -> bool:
         watch = list(threads) if threads is not None else self.threads
-        return self.run_until(lambda: all(t.done for t in watch), max_s=max_s)
+        return self.run_until(
+            lambda: all(t.done for t in watch),
+            max_s=max_s,
+            strict=strict,
+            watch=watch,
+        )
 
     def cool_down(self, target_c: float = 35.0, max_s: float = 600.0) -> bool:
         """Idle the machine until the package settles at ``target_c``.

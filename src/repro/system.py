@@ -55,5 +55,22 @@ class System:
     def topology(self):
         return self.machine.topology
 
+    # -- fault injection -----------------------------------------------------
+
+    def offline_cpu(self, cpu_id: int) -> None:
+        """Hotplug a CPU offline (``echo 0 > .../cpuN/online``)."""
+        self.machine.offline_cpu(cpu_id)
+
+    def online_cpu(self, cpu_id: int) -> None:
+        """Bring a hotplugged CPU back online."""
+        self.machine.online_cpu(cpu_id)
+
+    def inject_faults(self, plan):
+        """Attach a :class:`~repro.faults.plan.FaultPlan`; returns the
+        live :class:`~repro.faults.injector.FaultInjector`."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self, plan)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"System({self.spec.name!r}, t={self.machine.now_s:.3f}s)"

@@ -329,6 +329,164 @@ class TestHplParity:
         _assert_machines_identical(ss.machine, sf.machine)
 
 
+class TestFaultInjectionParity:
+    """Injected faults are guard violations: the fast path must fall back
+    to real ticks around them and stay bit-identical to the slow path."""
+
+    def test_timed_hotplug_parity(self):
+        from repro.faults import CpuOffline, CpuOnline, FaultPlan
+
+        def build(system):
+            m = system.machine
+            rates = constant_rates(RATES)
+            surv = m.spawn(
+                SimThread(
+                    "surv", Program([ComputePhase(3e9, rates)]), affinity={0}
+                )
+            )
+            roam = m.spawn(
+                SimThread(
+                    "roam", Program([ComputePhase(8e8, rates)]), affinity={16, 17}
+                )
+            )
+            fds = [
+                _open_counting(system, pmu, surv.tid)
+                for pmu in ("cpu_core", "cpu_atom")
+            ]
+            plan = FaultPlan().at(0.05, CpuOffline(17)).at(0.12, CpuOnline(17))
+            inj = system.inject_faults(plan)
+            assert m.run_until_done([surv, roam], max_s=10)
+            assert inj.pending == 0
+            return [surv, roam], [
+                _read_fields(system.perf.read(fd)) for fd in fds
+            ]
+
+        (ss, (ts_slow, r_slow)), (sf, (ts_fast, r_fast)) = _run_both(
+            build, dt_s=0.001
+        )
+        assert r_slow == r_fast
+        _assert_threads_identical(ts_slow, ts_fast)
+        _assert_machines_identical(ss.machine, sf.machine)
+
+    def test_conditional_injection_parity(self):
+        """``when()`` predicates are evaluated inside the batch guard, so
+        they fire at the exact tick the slow path fires them."""
+        from repro.faults import CpuOffline, CpuOnline, FaultPlan
+
+        def build(system):
+            m = system.machine
+            t = m.spawn(
+                SimThread(
+                    "app",
+                    Program([ComputePhase(1.5e9, constant_rates(RATES))]),
+                    affinity={16, 17},
+                )
+            )
+            plan = (
+                FaultPlan()
+                .when(lambda: t.total_runtime_s > 0.04, CpuOffline(16))
+                .when(lambda: t.total_runtime_s > 0.09, CpuOnline(16))
+            )
+            inj = system.inject_faults(plan)
+            assert m.run_until_done([t], max_s=10)
+            return [t], [(at, type(f).__name__) for at, f in inj.fired]
+
+        (ss, (ts_slow, f_slow)), (sf, (ts_fast, f_fast)) = _run_both(
+            build, dt_s=0.001
+        )
+        assert f_slow == f_fast  # identical fire times, to the tick
+        assert [k for _, k in f_slow] == ["CpuOffline", "CpuOnline"]
+        _assert_threads_identical(ts_slow, ts_fast)
+        _assert_machines_identical(ss.machine, sf.machine)
+
+    def test_syscall_storm_parity(self):
+        """EBUSY retries charge syscall overhead to the caller; both
+        paths must absorb the same storm at the same reads."""
+        from repro.faults import FaultPlan, PerfSyscallStorm
+
+        def build(system):
+            papi = Papi(system, mode="hybrid")
+            rates = constant_rates(RATES)
+            results = []
+            holder = {}
+
+            def setup(thread):
+                es = papi.create_eventset()
+                papi.attach(es, thread)
+                papi.add_event(es, "adl_glc::INST_RETIRED:ANY", caller=thread)
+                papi.start(es, caller=thread)
+                holder["es"] = es
+
+            def measure(thread):
+                results.append(tuple(papi.read(holder["es"], caller=thread)))
+
+            items = [ControlOp(setup)]
+            for _ in range(6):
+                items.append(ComputePhase(5e6, rates))
+                items.append(ControlOp(measure))
+            t = system.machine.spawn(SimThread("caliper", Program(items)))
+            plan = FaultPlan().at(
+                1e-3, PerfSyscallStorm(errno_name="EBUSY", count=3, ops=("read",))
+            )
+            system.inject_faults(plan)
+            assert system.machine.run_until_done([t], max_s=10)
+            return [t], results
+
+        (ss, (ts_slow, r_slow)), (sf, (ts_fast, r_fast)) = _run_both(
+            build, dt_s=2e-5
+        )
+        assert r_slow == r_fast
+        _assert_threads_identical(ts_slow, ts_fast)
+        _assert_machines_identical(ss.machine, sf.machine)
+
+    def test_sensor_dropout_and_counter_storm_parity(self):
+        from repro.faults import CounterStorm, FaultPlan, SensorDropout
+
+        def build(system):
+            m = system.machine
+            t = m.spawn(
+                SimThread(
+                    "app",
+                    Program([ComputePhase(2e9, constant_rates(RATES))]),
+                    affinity={0},
+                )
+            )
+            fd = _open_counting(system, "cpu_core", t.tid)
+            plan = (
+                FaultPlan()
+                .at(0.02, SensorDropout("rapl", "stale", duration_s=0.03))
+                .at(0.04, CounterStorm())
+            )
+            inj = system.inject_faults(plan)
+            m.run_for(0.08)
+            assert inj.pending == 0
+            return [t], _read_fields(system.perf.read(fd))
+
+        (ss, (ts_slow, r_slow)), (sf, (ts_fast, r_fast)) = _run_both(
+            build, dt_s=0.001
+        )
+        assert r_slow == r_fast
+        _assert_threads_identical(ts_slow, ts_fast)
+        _assert_machines_identical(ss.machine, sf.machine)
+
+    def test_pending_faults_do_not_kill_batching(self):
+        """An armed injector is a replay guard, not a batching veto: an
+        idle stretch with a far-future fault still macro-ticks."""
+        from repro.faults import FaultPlan, SensorDropout
+
+        system = System(MACHINE, dt_s=0.01)
+        plan = FaultPlan().at(
+            10.0, SensorDropout("rapl", "stale", duration_s=0.5)
+        )
+        inj = system.inject_faults(plan)
+        real, ticks = _fastpath_batched(
+            system.machine, lambda: system.machine.run_ticks(3000)
+        )
+        assert ticks == 3000
+        assert inj.pending == 0  # dropout and auto-restore both fired
+        assert real < 100
+
+
 def _read_fields(read_value):
     """PerfReadValue minus the process-global ``id`` field, which differs
     between two System instances by construction."""

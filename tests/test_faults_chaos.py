@@ -1,0 +1,314 @@
+"""Chaos sweep: seeded fault plans must degrade gracefully, never crash.
+
+Two guarantees from the robustness issue:
+
+* any seeded :meth:`FaultPlan.random` scenario completes without an
+  uncaught exception — PAPI reads return NaN + ``PAPI_ECNFLCT`` style
+  partial results at worst;
+* counters on *surviving* CPUs exactly match a fault-free run: a
+  same-cluster E-core hotplug perturbs neither the package power nor the
+  DVFS state, so a P-core-pinned thread's counters must be bit-identical
+  with and without the fault.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CounterStorm,
+    CpuOffline,
+    CpuOnline,
+    FaultPlan,
+    PerfSyscallStorm,
+    SensorDropout,
+)
+from repro.papi import Papi
+from repro.papi.consts import PapiErrorCode
+from repro.sim.engine import SimTimeout
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+MACHINE = "raptor-lake-i7-13700"
+RATES = constant_rates(
+    PhaseRates(ipc=2.0, llc_refs_per_instr=0.01, llc_miss_rate=0.3)
+)
+
+
+def _open_counting(system, pmu_name, tid, config=0x00C0):
+    from repro.kernel.perf import PerfEventAttr
+    from repro.kernel.perf.subsystem import PerfIoctl
+
+    ptype = system.perf.registry.by_name[pmu_name].type
+    fd = system.perf.perf_event_open(
+        PerfEventAttr(type=ptype, config=config), pid=tid, cpu=-1
+    )
+    system.perf.ioctl(fd, PerfIoctl.ENABLE)
+    return fd
+
+
+class TestChaosSweep:
+    """>= 20 seeded random scenarios, each a full stack exercise."""
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_seeded_plan_completes_without_exceptions(self, seed):
+        system = System(MACHINE, dt_s=0.001)
+        m = system.machine
+        papi = Papi(system)
+        surv = m.spawn_program(
+            "survivor", [ComputePhase(1.2e10, RATES)], affinity={0}
+        )
+        roam = m.spawn_program("roamer", [ComputePhase(3e9, RATES)])
+
+        es = papi.create_eventset()
+        papi.attach(es, surv)
+        papi.add_event(es, "PAPI_TOT_INS")
+        es_rapl = papi.create_eventset()
+        papi.add_event(es_rapl, "rapl::RAPL_ENERGY_PKG", component="rapl")
+        papi.start(es)
+        papi.start(es_rapl)
+
+        plan = FaultPlan.random(
+            seed, system.topology, start_s=0.0, duration_s=0.35, n_faults=5
+        )
+        inj = system.inject_faults(plan)
+
+        m.run_for(0.6)  # the whole fault window plus auto-restores
+        m.run_until_done([surv, roam], max_s=30.0, strict=True)
+
+        values = papi.stop(es)
+        rapl_values = papi.stop(es_rapl)
+        assert all(isinstance(v, float) for v in values + rapl_values)
+        assert papi.last_status(es) in (0, PapiErrorCode.ECNFLCT)
+
+        # Random plans are round trips: every offline is paired with a
+        # later online, every dropout auto-restores.
+        assert inj.pending == 0
+        assert inj.skipped == []
+        assert system.topology.offline_cpus() == []
+        assert all(d.fault_mode is None for d in m.rapl.domains)
+        assert m.thermal.zone.fault_mode is None
+
+    def test_random_plans_are_reproducible_and_never_target_cpu0(self):
+        system = System(MACHINE, dt_s=0.01)
+        for seed in range(50):
+            a = FaultPlan.random(seed, system.topology, n_faults=6)
+            b = FaultPlan.random(seed, system.topology, n_faults=6)
+            assert [(i.at_s, i.fault) for i in a.injections] == [
+                (i.at_s, i.fault) for i in b.injections
+            ]
+            for inj in a.injections:
+                if isinstance(inj.fault, (CpuOffline, CpuOnline)):
+                    assert inj.fault.cpu != 0
+
+
+class TestSurvivorExactMatch:
+    """Hotplug within one DVFS cluster must not perturb other CPUs."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_surviving_cpu_counters_match_fault_free_run(self, seed):
+        rng = random.Random(seed)
+        e_cpus = System(MACHINE, dt_s=0.01).topology.cpus_of_type("E-core")
+        cpu_pair = set(rng.sample(e_cpus, 2))
+        t_off = round(rng.uniform(0.05, 0.2), 3)
+        t_on = round(t_off + rng.uniform(0.05, 0.2), 3)
+
+        def run(with_fault):
+            system = System(MACHINE, dt_s=0.001)
+            m = system.machine
+            surv = m.spawn_program(
+                "surv", [ComputePhase(2e10, RATES)], affinity={0}
+            )
+            victim = m.spawn_program(
+                "victim", [ComputePhase(2e10, RATES)], affinity=cpu_pair
+            )
+            fd = _open_counting(system, "cpu_core", surv.tid)
+            m.run_for(0.01)  # settle placement; deterministic across runs
+            start_cpu = victim.cpu
+            if with_fault:
+                plan = (
+                    FaultPlan()
+                    .at(t_off, CpuOffline(start_cpu))
+                    .at(t_on, CpuOnline(start_cpu))
+                )
+                system.inject_faults(plan)
+            intervals, victim_cpus = [], []
+            for _ in range(10):
+                m.run_for(0.05)
+                intervals.append(system.perf.read(fd).value)
+                victim_cpus.append(victim.cpu)
+            return system, surv, victim, intervals, start_cpu, victim_cpus
+
+        s_ok, surv_ok, victim_ok, iv_ok, cpu_ok, cpus_ok = run(with_fault=False)
+        s_ch, surv_ch, victim_ch, iv_ch, cpu_ch, cpus_ch = run(with_fault=True)
+
+        # Placement is deterministic, and the hotplug really displaced
+        # the victim onto its sibling E-core.
+        assert cpu_ok == cpu_ch
+        assert all(c == cpu_ok for c in cpus_ok)
+        assert any(c != cpu_ch for c in cpus_ch)
+
+        # ...yet the surviving P-core thread saw the exact same world:
+        # interval reads, final counters, energy, frequency — all
+        # bit-identical to the fault-free run.
+        assert iv_ch == iv_ok
+        for pmu in surv_ok.counters:
+            assert np.array_equal(surv_ok.counters[pmu], surv_ch.counters[pmu])
+        assert surv_ok.total_runtime_s == surv_ch.total_runtime_s
+        assert s_ok.machine.rapl.package.energy_j == s_ch.machine.rapl.package.energy_j
+        assert s_ok.machine.thermal.temp_c == s_ch.machine.thermal.temp_c
+        assert s_ok.machine.governor.freq_mhz == s_ch.machine.governor.freq_mhz
+        # Same-cluster migration: even the victim loses no work.
+        assert victim_ok.total_runtime_s == victim_ch.total_runtime_s
+
+
+class TestDegradedSensors:
+    def test_rapl_dropout_yields_nan_and_status_then_recovers(self):
+        system = System(MACHINE, dt_s=0.001)
+        m = system.machine
+        papi = Papi(system)
+        t = m.spawn_program("w", [ComputePhase(5e9, RATES)], affinity={0})
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "rapl::RAPL_ENERGY_PKG")
+        papi.start(es)
+        plan = FaultPlan().at(0.02, SensorDropout("rapl", "error", duration_s=0.05))
+        system.inject_faults(plan)
+        m.run_for(0.04)
+        mid = papi.read(es)
+        assert math.isnan(mid[0])
+        assert papi.last_status(es) == PapiErrorCode.ECNFLCT
+        m.run_for(0.06)  # restore fires
+        end = papi.stop(es)
+        assert not math.isnan(end[0]) and end[0] > 0
+        assert papi.last_status(es) == 0
+
+    def test_stale_rapl_freezes_sampler_energy(self):
+        from repro.monitor.sampler import Sampler
+
+        system = System(MACHINE, dt_s=0.001)
+        m = system.machine
+        m.spawn_program("w", [ComputePhase(1e10, RATES)], affinity={0})
+        sampler = Sampler(system, period_s=0.01)
+        sampler.start()
+        plan = FaultPlan().at(0.05, SensorDropout("rapl", "stale", duration_s=0.03))
+        system.inject_faults(plan)
+        m.run_for(0.12)
+        trace = sampler.stop()
+        # Stale window: consecutive identical energy readings.
+        diffs = np.diff(np.asarray(trace.energy_j))
+        assert (diffs == 0.0).any()
+        # After restore the counter jumps forward and keeps growing.
+        assert trace.energy_j[-1] > trace.energy_j[0]
+
+    def test_thermal_error_gives_nan_temperature_samples(self):
+        from repro.monitor.sampler import Sampler
+
+        system = System(MACHINE, dt_s=0.001)
+        m = system.machine
+        m.spawn_program("w", [ComputePhase(1e10, RATES)], affinity={0})
+        sampler = Sampler(system, period_s=0.01)
+        sampler.start()
+        plan = FaultPlan().at(0.04, SensorDropout("thermal", "error", duration_s=0.03))
+        system.inject_faults(plan)
+        m.run_for(0.12)
+        trace = sampler.stop()
+        temps = np.asarray(trace.temp_c)
+        assert np.isnan(temps).any()
+        assert not np.isnan(temps[-1])  # recovered
+
+
+class TestCounterStorm:
+    def test_saturated_counter_clamps_at_width(self):
+        from repro.kernel.perf.event import COUNTER_MAX
+
+        system = System(MACHINE, dt_s=0.001)
+        m = system.machine
+        t = m.spawn_program("w", [ComputePhase(1e10, RATES)], affinity={0})
+        fd = _open_counting(system, "cpu_core", t.tid)
+        plan = FaultPlan().at(0.02, CounterStorm())
+        system.inject_faults(plan)
+        m.run_for(0.05)
+        rv = system.perf.read(fd)
+        assert rv.value == COUNTER_MAX  # saturates, never wraps
+
+    def test_saturation_does_not_flood_overflow_sampling(self):
+        from repro.kernel.perf import PerfEventAttr
+        from repro.kernel.perf.subsystem import PerfIoctl
+
+        system = System(MACHINE, dt_s=0.001)
+        m = system.machine
+        t = m.spawn_program("w", [ComputePhase(1e10, RATES)], affinity={0})
+        ptype = system.perf.registry.by_name["cpu_core"].type
+        fd = system.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x00C0, sample_period=10_000_000),
+            pid=t.tid,
+            cpu=-1,
+        )
+        system.perf.ioctl(fd, PerfIoctl.ENABLE)
+        plan = FaultPlan().at(0.02, CounterStorm())
+        system.inject_faults(plan)
+        m.run_for(0.05)
+        ev = system.perf._event(fd)
+        # The jump to 2^48 re-anchors the overflow threshold instead of
+        # emitting ~2^34 samples.
+        assert ev.lost_samples == 0
+        assert len(ev.samples) < 1000
+
+
+class TestSyscallStorms:
+    def test_storm_outlasting_retries_degrades_not_raises(self):
+        system = System(MACHINE, dt_s=0.001)
+        m = system.machine
+        papi = Papi(system)
+        t = m.spawn_program("w", [ComputePhase(5e9, RATES)], affinity={0})
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, "PAPI_TOT_INS")
+        papi.start(es)
+        m.run_for(0.02)
+        plan = FaultPlan().at(
+            0.03, PerfSyscallStorm(errno_name="EBUSY", count=100, ops=("read",))
+        )
+        system.inject_faults(plan)
+        m.run_for(0.02)
+        mid = papi.read(es)
+        assert all(math.isnan(v) for v in mid)
+        assert papi.last_status(es) == PapiErrorCode.ECNFLCT
+        system.perf._fault_budgets.clear()
+        end = papi.stop(es)
+        assert all(not math.isnan(v) for v in end)
+
+    def test_conditional_injection_fires_on_predicate(self):
+        system = System(MACHINE, dt_s=0.001)
+        m = system.machine
+        t = m.spawn_program("w", [ComputePhase(5e9, RATES)], affinity={16, 17})
+        plan = FaultPlan().when(
+            lambda: t.total_runtime_s > 0.05, CpuOffline(16)
+        ).when(
+            lambda: t.total_runtime_s > 0.1, CpuOnline(16)
+        )
+        inj = system.inject_faults(plan)
+        m.run_for(0.2)
+        assert [type(f).__name__ for _, f in inj.fired] == [
+            "CpuOffline",
+            "CpuOnline",
+        ]
+        assert system.topology.offline_cpus() == []
+
+
+class TestStrictTimeout:
+    def test_stuck_thread_is_named_in_simtimeout(self):
+        from repro.sim.workload import SpinPhase
+
+        system = System(MACHINE, dt_s=0.001)
+        m = system.machine
+        t = m.spawn_program("wedged", [SpinPhase(until=lambda: False)])
+        with pytest.raises(SimTimeout) as err:
+            m.run_until_done([t], max_s=0.05, strict=True)
+        assert "wedged" in str(err.value)
+        assert err.value.stuck == [t]

@@ -1,0 +1,192 @@
+"""CPU hotplug: Linux semantics end to end.
+
+sysfs control files, scheduler fallback when affinity masks go dark,
+and perf-event parking with correct enabled/running accounting across
+an offline → online round trip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.errno import Errno, KernelError
+from repro.kernel.perf import PerfEventAttr
+from repro.kernel.perf.subsystem import PerfIoctl
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+MACHINE = "raptor-lake-i7-13700"
+RATES = constant_rates(PhaseRates(ipc=2.0))
+
+
+def _system(dt_s=0.001):
+    return System(MACHINE, dt_s=dt_s)
+
+
+def _spawn(system, name, affinity=None, instr=1e12):
+    return system.machine.spawn(
+        SimThread(name, Program([ComputePhase(instr, RATES)]), affinity=affinity)
+    )
+
+
+class TestSysfsHotplugControl:
+    def test_online_file_round_trip(self):
+        system = _system()
+        path = "/sys/devices/system/cpu/cpu17/online"
+        assert system.sysfs.read(path) == "1"
+        system.sysfs.write(path, "0")
+        assert system.sysfs.read(path) == "0"
+        assert 17 in system.topology.offline_cpus()
+        assert "17" not in system.sysfs.read("/sys/devices/system/cpu/online")
+        system.sysfs.write(path, "1")
+        assert system.topology.offline_cpus() == []
+
+    def test_cpu0_has_no_online_file(self):
+        system = _system()
+        assert not system.sysfs.exists("/sys/devices/system/cpu/cpu0/online")
+        with pytest.raises(FileNotFoundError):
+            system.sysfs.read("/sys/devices/system/cpu/cpu0/online")
+        with pytest.raises(KernelError) as err:
+            system.machine.offline_cpu(0)
+        assert err.value.kernel_errno is Errno.EBUSY
+
+    def test_bogus_online_value_is_einval(self):
+        system = _system()
+        with pytest.raises(KernelError) as err:
+            system.sysfs.write("/sys/devices/system/cpu/cpu17/online", "2")
+        assert err.value.kernel_errno is Errno.EINVAL
+
+    def test_offline_is_idempotent(self):
+        system = _system()
+        system.machine.offline_cpu(17)
+        system.machine.offline_cpu(17)
+        system.machine.online_cpu(17)
+        system.machine.online_cpu(17)
+        assert system.topology.offline_cpus() == []
+
+
+class TestSchedulerUnderHotplug:
+    def test_affinity_disjoint_from_online_falls_back_to_cpuset(self):
+        """All of a thread's allowed CPUs die: like Linux's
+        ``select_fallback_rq`` cpuset fallback, it keeps running on any
+        online CPU rather than starving."""
+        system = _system()
+        m = system.machine
+        t = _spawn(system, "pinned", affinity={17})
+        m.run_for(0.01)
+        assert t.cpu == 17
+        m.offline_cpu(17)
+        m.run_for(0.01)
+        assert t.cpu is not None and t.cpu != 17
+        assert system.topology.core(t.cpu).online
+        before = t.total_runtime_s
+        m.run_for(0.01)
+        assert t.total_runtime_s > before  # still making progress
+
+    def test_affinity_honoured_again_after_reonline(self):
+        system = _system()
+        m = system.machine
+        t = _spawn(system, "pinned", affinity={17})
+        m.run_for(0.01)
+        m.offline_cpu(17)
+        m.run_for(0.01)
+        m.online_cpu(17)
+        m.run_for(0.01)
+        assert t.cpu == 17
+
+    def test_whole_core_type_offline(self):
+        """Hotplugging every E-core leaves a hybrid machine all-P; the
+        E-affine thread migrates and the machine keeps ticking."""
+        system = _system()
+        m = system.machine
+        e_cpus = system.topology.cpus_of_type("E-core")
+        t = _spawn(system, "e-task", affinity=set(e_cpus))
+        m.run_for(0.01)
+        assert t.cpu in e_cpus
+        for cpu in e_cpus:
+            m.offline_cpu(cpu)
+        assert set(system.topology.offline_cpus()) == set(e_cpus)
+        m.run_for(0.01)
+        assert t.cpu not in e_cpus
+        assert system.topology.core(t.cpu).ctype.name == "P-core"
+
+    def test_spawn_onto_offline_cpu_gets_fallback_placement(self):
+        system = _system()
+        m = system.machine
+        m.offline_cpu(17)
+        t = _spawn(system, "late", affinity={17})
+        m.run_for(0.01)
+        assert t.cpu is not None and t.cpu != 17
+        assert t.total_runtime_s > 0
+
+
+class TestPerfEventsUnderHotplug:
+    def test_open_on_offline_cpu_is_enodev(self):
+        system = _system()
+        system.machine.offline_cpu(17)
+        ptype = system.perf.registry.by_name["cpu_atom"].type
+        with pytest.raises(KernelError) as err:
+            system.perf.perf_event_open(
+                PerfEventAttr(type=ptype, config=0x00C0), pid=-1, cpu=17
+            )
+        assert err.value.kernel_errno is Errno.ENODEV
+
+    def test_thread_bound_event_follows_migrating_thread(self):
+        system = _system()
+        m = system.machine
+        t = _spawn(system, "app", affinity={16, 17})
+        ptype = system.perf.registry.by_name["cpu_atom"].type
+        fd = system.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x00C0), pid=t.tid, cpu=-1
+        )
+        system.perf.ioctl(fd, PerfIoctl.ENABLE)
+        m.run_for(0.02)
+        start_cpu = t.cpu
+        before = system.perf.read(fd).value
+        m.offline_cpu(start_cpu)
+        m.run_for(0.02)
+        assert t.cpu != start_cpu
+        # Counting continued on the new CPU — no park for task events.
+        assert system.perf.read(fd).value > before
+
+    def test_cpu_wide_event_parks_and_resumes_round_trip(self):
+        """Offline → online round trip: a CPU-bound event accrues
+        time_enabled throughout but time_running (and its count) only
+        while the CPU is up — the scaling ratio reflects the outage."""
+        system = _system()
+        m = system.machine
+        t = _spawn(system, "app", affinity={17})
+        ptype = system.perf.registry.by_name["cpu_atom"].type
+        fd = system.perf.perf_event_open(
+            PerfEventAttr(type=ptype, config=0x00C0), pid=-1, cpu=17
+        )
+        system.perf.ioctl(fd, PerfIoctl.ENABLE)
+
+        m.run_for(0.1)
+        up = system.perf.read(fd)
+        assert up.value > 0
+
+        m.offline_cpu(17)
+        assert system.perf._event(fd).parked
+        m.run_for(0.2)
+        parked = system.perf.read(fd)
+        # Dead CPU: nothing counted, wall time still accrues.
+        assert parked.value == up.value
+        assert parked.time_running_ns == up.time_running_ns
+        assert parked.time_enabled_ns == pytest.approx(
+            up.time_enabled_ns + 0.2e9, rel=1e-6
+        )
+
+        m.online_cpu(17)
+        assert not system.perf._event(fd).parked
+        m.run_for(0.1)
+        back = system.perf.read(fd)
+        # The pinned thread snapped back to cpu17, so counting resumed.
+        assert back.value > parked.value
+        assert back.time_running_ns == pytest.approx(
+            parked.time_running_ns + 0.1e9, rel=1e-6
+        )
+        # 0.2 s outage in a 0.4 s window: running/enabled ratio ≈ 1/2.
+        ratio = back.time_running_ns / back.time_enabled_ns
+        assert ratio == pytest.approx(0.5, rel=1e-6)
