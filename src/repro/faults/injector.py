@@ -35,6 +35,7 @@ from repro.faults.plan import (
     SensorDropout,
     SensorRestore,
 )
+from repro.checkpoint.surface import snapshot_surface
 from repro.kernel.errno import Errno, KernelError
 from repro.kernel.perf.pmu import PmuKind
 
@@ -45,6 +46,13 @@ if TYPE_CHECKING:  # pragma: no cover
 _EPS = 1e-12
 
 
+@snapshot_surface(
+    note="Fault-plan progress is state: the timed heap (remaining "
+    "injections), conditional injections, fired/skipped logs, and the "
+    "itertools.count sequencer (pickles with its position).  The tick "
+    "hook is re-registered implicitly because machine.tick_hooks holds "
+    "the bound method and pickles with the machine."
+)
 class FaultInjector:
     """Drives a plan's injections from ``machine.tick_hooks``.
 

@@ -183,15 +183,41 @@ def default_cpu_selection(system: System) -> list[int]:
     return system.topology.primary_threads()
 
 
-def run_hpl(
+@dataclass
+class HplRunHandle:
+    """An HPL run in flight: everything needed to finish and score it.
+
+    The handle is part of the checkpoint payload a supervisor worker
+    saves between slices — it survives a snapshot/restore alongside the
+    :class:`~repro.system.System`, so a resumed run finishes with the
+    same baselines (``t0``/``e0``) the uninterrupted run would use.
+    """
+
+    variant: str
+    config: HplConfig
+    cpus: list[int]
+    threads: list[SimThread]
+    t0: float
+    e0: float
+
+    @property
+    def done(self) -> bool:
+        return all(t.done for t in self.threads)
+
+
+def start_hpl(
     system: System,
     config: HplConfig,
     variant: str = "openblas",
     cpus: Optional[Sequence[int]] = None,
     settle_temp_c: Optional[float] = None,
-    max_s: float = 36_000.0,
-) -> HplResult:
-    """Run one HPL benchmark to completion and collect its metrics."""
+) -> HplRunHandle:
+    """Spawn an HPL run's threads without driving the clock.
+
+    The caller decides how to advance time — :func:`run_hpl` runs to
+    completion in one go; the experiment supervisor's worker advances in
+    slices with periodic checkpoints in between.
+    """
     try:
         var = VARIANTS[variant]
     except KeyError:
@@ -217,25 +243,34 @@ def run_hpl(
                 SimThread(f"hpl-{variant}-{slot}", src, affinity={cpu})
             )
         )
-
-    t0 = machine.now_s
-    e0 = machine.rapl.package.energy_j
-    # strict: a wedged run raises SimTimeout naming the stuck threads.
-    machine.run_until_done(threads, max_s=max_s, strict=True)
-    wall = machine.now_s - t0
-    energy = machine.rapl.package.energy_j - e0
-
-    result = HplResult(
+    return HplRunHandle(
         variant=variant,
         config=config,
         cpus=cpu_list,
+        threads=threads,
+        t0=machine.now_s,
+        e0=machine.rapl.package.energy_j,
+    )
+
+
+def finish_hpl(system: System, handle: HplRunHandle) -> HplResult:
+    """Score a completed HPL run (all handle threads done)."""
+    machine = system.machine
+    wall = machine.now_s - handle.t0
+    energy = machine.rapl.package.energy_j - handle.e0
+    config = handle.config
+
+    result = HplResult(
+        variant=handle.variant,
+        config=config,
+        cpus=handle.cpus,
         gflops=hpl_flops(config.n) / wall / 1e9 if wall else 0.0,
         wall_s=wall,
         energy_j=energy,
         avg_power_w=energy / wall if wall else 0.0,
-        spin_time_s=sum(t.spin_time_s for t in threads),
+        spin_time_s=sum(t.spin_time_s for t in handle.threads),
     )
-    for t in threads:
+    for t in handle.threads:
         for pmu, counters in t.counters.items():
             result.instructions[pmu] = (
                 result.instructions.get(pmu, 0.0) + counters[ArchEvent.INSTRUCTIONS]
@@ -253,3 +288,20 @@ def run_hpl(
         for pmu, rt in t.runtime_s.items():
             result.runtime_s[pmu] = result.runtime_s.get(pmu, 0.0) + rt
     return result
+
+
+def run_hpl(
+    system: System,
+    config: HplConfig,
+    variant: str = "openblas",
+    cpus: Optional[Sequence[int]] = None,
+    settle_temp_c: Optional[float] = None,
+    max_s: float = 36_000.0,
+) -> HplResult:
+    """Run one HPL benchmark to completion and collect its metrics."""
+    handle = start_hpl(
+        system, config, variant=variant, cpus=cpus, settle_temp_c=settle_temp_c
+    )
+    # strict: a wedged run raises SimTimeout naming the stuck threads.
+    system.machine.run_until_done(handle.threads, max_s=max_s, strict=True)
+    return finish_hpl(system, handle)

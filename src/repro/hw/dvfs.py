@@ -11,12 +11,16 @@ minimum of all constraints.
 
 from __future__ import annotations
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.hw.topology import CpuTopology
 
 #: schedutil's utilization headroom: f = max_f * util * 1.25.
 UTIL_HEADROOM = 1.25
 
 
+@snapshot_surface(
+    note="All state: per-cluster frequencies and named ceiling maps."
+)
 class DvfsGovernor:
     """Tracks the operating frequency of each cluster.
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.hw.machines import MachineSpec
 
 #: Fraction of full dynamic power drawn by a core spinning at a barrier.
@@ -44,6 +45,10 @@ class PowerSample:
         return sum(self.per_cluster_w)
 
 
+@snapshot_surface(
+    note="Stateless between ticks apart from the static physical-core "
+    "grouping, which is derived from the topology and pickles as-is."
+)
 class PowerModel:
     """Computes instantaneous package power from per-CPU activity."""
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from typing import Optional
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.hw.dvfs import DvfsGovernor
 from repro.hw.machines import MachineSpec
 from repro.hw.sensor import SensorReadError, check_fault_mode
@@ -81,6 +82,10 @@ class RaplDomain:
 
 
 @dataclass
+@snapshot_surface(
+    note="All state: domain energy accumulators, capping-controller "
+    "averages and scale, throttle events, and fault modes."
+)
 class RaplPackage:
     """Package-level RAPL: domains plus the PL1/PL2 capping controller."""
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.hw.machines import MachineSpec
 from repro.hw.dvfs import DvfsGovernor
 
@@ -64,6 +65,10 @@ class ThermalZone:
         return round(self.temp_c * 1000)
 
 
+@snapshot_surface(
+    note="All state: integrated temperature, the sysfs-visible zone, "
+    "per-cluster throttle scales and the throttle-event count."
+)
 class ThermalModel:
     """Integrates package temperature and applies thermal frequency limits."""
 

@@ -15,12 +15,12 @@ times let userspace scale the result.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
+from repro.checkpoint.surface import register_global_counter, snapshot_surface
 from repro.hw.coretype import ArchEvent
 from repro.kernel.perf.attr import PerfEventAttr, ReadFormat
 from repro.kernel.perf.pmu import KernelPmu, PmuKind
@@ -28,7 +28,32 @@ from repro.kernel.perf.pmu import KernelPmu, PmuKind
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.task import SimThread
 
-_event_ids = itertools.count(1)
+# Event ids are allocated from a plain module global (not an
+# ``itertools.count``) so checkpoints can capture and rewind it: events
+# opened *after* a restore must receive the same ids the uninterrupted
+# run would have handed out.
+_next_event_id = 1
+
+
+def _alloc_event_id() -> int:
+    global _next_event_id
+    eid = _next_event_id
+    _next_event_id += 1
+    return eid
+
+
+def _get_next_event_id() -> int:
+    return _next_event_id
+
+
+def _set_next_event_id(value: int) -> None:
+    global _next_event_id
+    _next_event_id = value
+
+
+register_global_counter(
+    "kernel.perf.next_event_id", _get_next_event_id, _set_next_event_id
+)
 
 
 @dataclass(frozen=True)
@@ -72,6 +97,12 @@ class PerfReadValue:
         return self.value * self.time_enabled_ns / self.time_running_ns
 
 
+@snapshot_surface(
+    note="All state: counts, enabled/running clocks, group links, "
+    "parked flag, software/RAPL baselines, sample ring and overflow "
+    "cursor.  Ids come from the kernel.perf.next_event_id global "
+    "counter, which the snapshot envelope rewinds on restore."
+)
 class KernelPerfEvent:
     """One opened perf event."""
 
@@ -84,7 +115,7 @@ class KernelPerfEvent:
         group_leader: Optional["KernelPerfEvent"] = None,
         arch_event: Optional[ArchEvent] = None,
     ):
-        self.id = next(_event_ids)
+        self.id = _alloc_event_id()
         self.attr = attr
         self.pmu = pmu
         self.arch_event = arch_event

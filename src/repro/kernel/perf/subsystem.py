@@ -20,6 +20,7 @@ from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.hw.coretype import ArchEvent
 from repro.hw.sensor import SensorReadError
 from repro.hw.topology import Core
@@ -92,6 +93,17 @@ class _DispatchEntry:
         self.last_active: Optional[set] = None
 
 
+@snapshot_surface(
+    caches=("_dispatch",),
+    rebuild="_init_snapshot_caches",
+    note=(
+        "Multiplexing dispatch entries are generation-tagged memos "
+        "rebuilt on first use; everything else — fd table, event "
+        "contexts with counts and enabled/running clocks, rotation "
+        "state via thread runtime, reserved counters, fault budgets, "
+        "the dispatch generation itself — is genuine kernel state."
+    ),
+)
 class PerfSubsystem:
     """The kernel perf_event layer of one machine."""
 
@@ -116,7 +128,7 @@ class PerfSubsystem:
         self._reserved: dict[int, int] = {}
         # Indexed dispatch: (tid, core_pmu_type) -> _DispatchEntry, valid
         # while its generation matches (bumped by any state-changing call).
-        self._dispatch: dict[tuple[int, int], _DispatchEntry] = {}
+        self._init_snapshot_caches()
         self._dispatch_gen = 0
         # Injected transient syscall failures: list of [ops, errno, left]
         # budgets consumed by _maybe_fail (fault-injection hook).
@@ -128,6 +140,9 @@ class PerfSubsystem:
         # recorder, so the macro-tick engine may batch over them.
         machine.mark_hook_fastpath_safe(self._account)
         machine.mark_hook_fastpath_safe(self._on_tick)
+
+    def _init_snapshot_caches(self) -> None:
+        self._dispatch: dict[tuple[int, int], _DispatchEntry] = {}
 
     def reserve_counters(self, pmu_name: str, n: int) -> None:
         """Model an external consumer (e.g. the NMI watchdog) holding

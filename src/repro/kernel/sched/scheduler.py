@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.hw.topology import CpuTopology
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,6 +36,11 @@ class SchedEntry:
     share: float    # fraction of the tick this thread gets
 
 
+@snapshot_surface(
+    note="All state: the jitter RNG (random.Random pickles its full "
+    "Mersenne state), migration/switch totals, and the previous "
+    "assignment map that keeps placement sticky across ticks."
+)
 class Scheduler:
     """Assigns runnable threads to CPUs once per tick."""
 

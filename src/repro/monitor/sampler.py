@@ -15,6 +15,7 @@ from typing import Callable, Optional, TypeVar
 
 import numpy as np
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.hw.sensor import SensorReadError
 from repro.system import System
 
@@ -65,6 +66,12 @@ class SampleTrace:
         return max(self.temp_c) if self.temp_c else 0.0
 
 
+@snapshot_surface(
+    note="All state: the accumulated trace, sampling phase "
+    "(_next_sample_s, _t0) and energy baselines.  Snapshot a sampler "
+    "together with its system (one composite payload) so the tick-hook "
+    "bound method stays shared, not duplicated."
+)
 class Sampler:
     """Registers a tick hook and records samples every ``period_s``."""
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.papi.consts import PAPI_OK, PapiState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,6 +35,10 @@ class EventEntry:
 
 
 @dataclass
+@snapshot_surface(
+    note="All state: PAPI state machine position, entries with their "
+    "kernel event handles, attach target, multiplex flag, last status."
+)
 class EventSet:
     """One PAPI EventSet."""
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, TYPE_CHECKING
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.papi.component import Component, RaplComponent, UncoreComponent
 from repro.papi.consts import PRESETS, PapiErrorCode, PapiState, pmu_family
 from repro.papi.error import PapiError
@@ -31,6 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.task import SimThread
 
 
+@snapshot_surface(
+    note="All state: eventsets (ids, entries, attach targets, "
+    "multiplex flags, open fds into the perf subsystem), components "
+    "and preset tables.  Snapshot a Papi together with its system in "
+    "one composite payload so the shared references stay shared."
+)
 class Papi:
     """One initialized PAPI library instance bound to a system."""
 

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
+from repro.checkpoint.surface import snapshot_surface
 
+
+@snapshot_surface(
+    note="Pure state (dt_s, ticks, now_s); slots-only class, pickled "
+    "via the default slots protocol."
+)
 class SimClock:
     """Monotonic simulated time advancing in fixed ticks.
 

@@ -44,6 +44,7 @@ from typing import Callable, Iterable, Optional
 
 import numpy as np
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.hw.coretype import ArchEvent, CoreType, N_ARCH_EVENTS
 from repro.hw.cpuid import CpuidEmulator
 from repro.hw.cache import LlcModel
@@ -83,15 +84,52 @@ HotplugHook = Callable[[int, bool], None]
 class SimTimeout(RuntimeError):
     """``run_until``/``run_until_done`` hit ``max_s`` in strict mode.
 
-    The message names the threads that were still unfinished so a hung
-    experiment fails loudly instead of silently returning ``False``.
+    The message names the threads that were still unfinished — with the
+    CPU and core type each is wedged on — and the machine's last
+    checkpoint path, so a stuck run is diagnosable (and resumable) from
+    the error alone.
     """
 
-    def __init__(self, message: str, stuck: Optional[list[SimThread]] = None):
+    def __init__(
+        self,
+        message: str,
+        stuck: Optional[list[SimThread]] = None,
+        checkpoint_path: Optional[str] = None,
+        details: Optional[list[dict]] = None,
+    ):
         super().__init__(message)
         self.stuck = stuck if stuck is not None else []
+        self.checkpoint_path = checkpoint_path
+        self._details = details
+
+    def stuck_details(self) -> list[dict]:
+        """JSON-able description of the stuck threads (for manifests)."""
+        if self._details is not None:
+            return self._details
+        return [
+            {
+                "name": t.name,
+                "tid": t.tid,
+                "state": t.state.value,
+                "cpu": t.cpu if t.cpu is not None else t.last_cpu,
+                "core_type": None,
+                "phase": getattr(t.current_phase, "label", None),
+            }
+            for t in self.stuck
+        ]
 
 
+@snapshot_surface(
+    caches=("_rate_vecs_by_id", "_rate_vecs_by_value", "_rec"),
+    rebuild="_init_snapshot_caches",
+    digest_exclude=("fastpath", "_fastpath_engine", "last_checkpoint_path"),
+    note=(
+        "Rate-vector caches are identity-keyed memos rebuilt lazily; a "
+        "tick recorder never outlives a tick.  Engine-path selection and "
+        "the checkpoint breadcrumb are configuration, not machine state, "
+        "so they stay out of the digest."
+    ),
+)
 class Machine:
     """A simulated machine executing simulated threads."""
 
@@ -138,12 +176,10 @@ class Machine:
         self.tsc_ghz = self.topology.clusters[-1].ctype.base_freq_mhz / 1000.0
         self._busy = np.zeros(self.topology.n_cpus, dtype=np.float64)
         self._spin = np.zeros(self.topology.n_cpus, dtype=np.float64)
-        # Event-rate vector caches: identity-keyed hot cache over a
-        # value-keyed canonical cache (see _rate_vec).
-        self._rate_vecs_by_id: dict = {}
-        self._rate_vecs_by_value: dict = {}
-        # Active tick recorder (fast path only; None on every plain tick).
-        self._rec = None
+        self._init_snapshot_caches()
+        #: Path of the most recent checkpoint of this machine (set by
+        #: ``System.save``); surfaced by SimTimeout for diagnosability.
+        self.last_checkpoint_path: Optional[str] = None
 
         self.fastpath = fastpath
         if fastpath:
@@ -152,6 +188,17 @@ class Machine:
             self._fastpath_engine = FastPathEngine(self)
         else:
             self._fastpath_engine = None
+
+    def _init_snapshot_caches(self) -> None:
+        """(Re)create the cache attributes excluded from snapshots.
+
+        Event-rate vector caches are identity-keyed hot memos over a
+        value-keyed canonical cache (see ``_rate_vec``); ``_rec`` is the
+        active tick recorder (fast path only; None on every plain tick).
+        """
+        self._rate_vecs_by_id: dict = {}
+        self._rate_vecs_by_value: dict = {}
+        self._rec = None
 
     # -- thread lifecycle ---------------------------------------------------
 
@@ -570,16 +617,44 @@ class Machine:
         if not ok and strict:
             pool = watch if watch is not None else self.threads
             stuck = [t for t in pool if not t.done]
+            details = [self._stuck_detail(t) for t in stuck]
             names = ", ".join(
-                f"{t.name!r} (tid={t.tid}, {t.state.value}, cpu={t.cpu})"
-                for t in stuck
+                f"{d['name']!r} (tid={d['tid']}, {d['state']}, "
+                f"cpu={d['cpu']} [{d['core_type'] or 'off-cpu'}], "
+                f"phase={d['phase']})"
+                for d in details
             ) or "<none>"
+            ckpt = (
+                f"; last checkpoint: {self.last_checkpoint_path}"
+                if self.last_checkpoint_path
+                else "; no checkpoint taken"
+            )
             raise SimTimeout(
                 f"condition not reached within {max_s} simulated seconds "
-                f"(t={self.now_s:.3f}s); stuck threads: {names}",
+                f"(t={self.now_s:.3f}s); stuck threads: {names}{ckpt}",
                 stuck,
+                checkpoint_path=self.last_checkpoint_path,
+                details=details,
             )
         return ok
+
+    def _stuck_detail(self, t: SimThread) -> dict:
+        """One stuck thread's manifest entry: where it is wedged."""
+        cpu = t.cpu if t.cpu is not None else t.last_cpu
+        core_type = None
+        if cpu is not None:
+            try:
+                core_type = self.topology.core(cpu).ctype.name
+            except KeyError:  # pragma: no cover - defensive
+                core_type = None
+        return {
+            "name": t.name,
+            "tid": t.tid,
+            "state": t.state.value,
+            "cpu": cpu,
+            "core_type": core_type,
+            "phase": getattr(t.current_phase, "label", None),
+        }
 
     def run_until_done(
         self,

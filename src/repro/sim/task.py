@@ -18,6 +18,7 @@ from typing import Callable, Iterable, Optional
 
 import numpy as np
 
+from repro.checkpoint.surface import snapshot_surface
 from repro.hw.coretype import N_ARCH_EVENTS
 from repro.sim.workload import ComputePhase, PhaseRates, WorkPhase, constant_rates
 
@@ -61,6 +62,11 @@ class Program:
         return len(self._items)
 
 
+@snapshot_surface(
+    note="Everything is state: run/ready/blocked status, the in-flight "
+    "phase (including closure-captured coordinators and barriers), "
+    "per-PMU counters, accrued runtimes, pending control ops."
+)
 class SimThread:
     """One schedulable thread.
 

@@ -1,0 +1,34 @@
+"""Crash-isolated, resumable experiment supervision.
+
+See :mod:`repro.supervisor.supervisor` for the orchestrator,
+:mod:`repro.supervisor.worker` for the per-run subprocess entry, and
+:mod:`repro.supervisor.manifest` for the durable sweep state.
+"""
+
+from repro.supervisor.manifest import (
+    DONE,
+    EXIT_PERMANENT,
+    EXIT_TRANSIENT,
+    FAILED,
+    PENDING,
+    RUNNING,
+    Manifest,
+    RunRecord,
+)
+from repro.supervisor.runs import RUN_KINDS, RunContext
+from repro.supervisor.supervisor import RunSpec, Supervisor
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "PENDING",
+    "RUNNING",
+    "Manifest",
+    "RunRecord",
+    "RUN_KINDS",
+    "RunContext",
+    "RunSpec",
+    "Supervisor",
+    "EXIT_PERMANENT",
+    "EXIT_TRANSIENT",
+]

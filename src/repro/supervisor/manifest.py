@@ -1,0 +1,153 @@
+"""The sweep run-manifest: one JSON file that makes a sweep resumable.
+
+The manifest is the supervisor's durable source of truth.  Every state
+transition (attempt started, run finished, retry scheduled, failure
+classified) is written through :meth:`Manifest.save` — an atomic
+tmp-and-replace, so a SIGKILL at any moment leaves either the old or the
+new manifest on disk, never a torn one.  ``tools/sweep.py --resume``
+reloads it, skips runs already ``done``, and restarts the rest from
+their latest recorded checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional
+
+MANIFEST_VERSION = 1
+
+#: Run lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Worker exit codes (the supervisor/worker protocol; any other nonzero
+#: exit or death-by-signal is a crash, classified transient).
+EXIT_PERMANENT = 3
+EXIT_TRANSIENT = 4
+
+
+def atomic_write_json(path: str, payload: dict) -> None:
+    """Write JSON durably: tmp file + fsync + rename into place."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".manifest-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class RunRecord:
+    """Durable state of one run in the sweep."""
+
+    run_id: str
+    kind: str
+    params: dict
+    status: str = PENDING
+    attempts: int = 0
+    result_path: Optional[str] = None
+    checkpoint_path: Optional[str] = None
+    last_error: Optional[dict] = None
+    #: Stuck-thread details from the last SimTimeout (cpu + core type).
+    stuck: list = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "params": self.params,
+            "status": self.status,
+            "attempts": self.attempts,
+            "result_path": self.result_path,
+            "checkpoint_path": self.checkpoint_path,
+            "last_error": self.last_error,
+            "stuck": self.stuck,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunRecord":
+        return cls(
+            run_id=data["run_id"],
+            kind=data["kind"],
+            params=data.get("params", {}),
+            status=data.get("status", PENDING),
+            attempts=int(data.get("attempts", 0)),
+            result_path=data.get("result_path"),
+            checkpoint_path=data.get("checkpoint_path"),
+            last_error=data.get("last_error"),
+            stuck=data.get("stuck", []),
+        )
+
+
+class Manifest:
+    """All runs of one sweep plus sweep-level metadata."""
+
+    def __init__(self, path: str, meta: Optional[dict] = None):
+        self.path = path
+        self.meta = dict(meta or {})
+        self.runs: dict[str, RunRecord] = {}
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self) -> None:
+        atomic_write_json(
+            self.path,
+            {
+                "version": MANIFEST_VERSION,
+                "meta": self.meta,
+                "runs": {rid: rec.to_json() for rid, rec in self.runs.items()},
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Manifest":
+        with open(path) as fh:
+            data = json.load(fh)
+        version = data.get("version")
+        if version != MANIFEST_VERSION:
+            raise ValueError(
+                f"manifest {path} has version {version}, "
+                f"this supervisor speaks version {MANIFEST_VERSION}"
+            )
+        manifest = cls(path, meta=data.get("meta", {}))
+        for rid, rec in data.get("runs", {}).items():
+            manifest.runs[rid] = RunRecord.from_json(rec)
+        return manifest
+
+    # -- run bookkeeping -----------------------------------------------------
+
+    def add_run(self, record: RunRecord) -> None:
+        if record.run_id in self.runs:
+            raise ValueError(f"duplicate run id {record.run_id!r}")
+        self.runs[record.run_id] = record
+
+    def pending_runs(self) -> list[RunRecord]:
+        """Runs a (re)started sweep still has to execute.
+
+        A run found in state ``running`` was in flight when the previous
+        supervisor died — it is resumed, not skipped: its checkpoint (if
+        any) is recorded and its result was never written.
+        """
+        return [
+            rec for rec in self.runs.values() if rec.status not in (DONE,)
+        ]
+
+    def summary(self) -> dict:
+        counts: dict[str, int] = {}
+        for rec in self.runs.values():
+            counts[rec.status] = counts.get(rec.status, 0) + 1
+        return counts

@@ -1,0 +1,182 @@
+"""The run contract: what a supervisor worker actually executes.
+
+A *run kind* is a function ``kind(params, ctx) -> dict``:
+
+* ``params`` — the JSON-safe parameter dict from the sweep manifest;
+* ``ctx`` — a :class:`RunContext` giving it attempt number, a restored
+  checkpoint payload (when resuming), and periodic checkpointing;
+* the return value is the run's JSON-safe result, written to
+  ``result.json`` by the worker.
+
+Kinds must be *deterministic in simulation time*: given the same params
+and the same (or no) checkpoint, they produce bit-identical results.
+That is what makes kill-and-resume equivalence testable — the resumed
+sweep's results must match an uninterrupted sweep byte for byte.
+
+The checkpoint payload convention is a plain dict (``{"system": ...,
+"handle": ...}``) saved with :func:`repro.checkpoint.save_object`; each
+kind owns its payload shape.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Callable, Optional
+
+from repro.checkpoint.snapshot import save_object
+from repro.hpl.dat import HplConfig
+from repro.hpl.runner import finish_hpl, start_hpl
+from repro.system import System
+
+
+class RunContext:
+    """Worker-side services handed to a run kind."""
+
+    def __init__(
+        self,
+        run_id: str,
+        attempt: int,
+        checkpoint_path: str,
+        checkpoint_every_s: float = 0.1,
+        restored_payload: Optional[dict] = None,
+    ):
+        self.run_id = run_id
+        self.attempt = attempt
+        #: Where checkpoints go (one rolling file, atomically replaced).
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every_s = checkpoint_every_s
+        #: The payload loaded from the latest checkpoint when resuming,
+        #: else None (fresh start).
+        self.restored_payload = restored_payload
+        self._last_checkpoint_sim_s: Optional[float] = None
+
+    def maybe_checkpoint(self, system: System, payload: dict) -> bool:
+        """Checkpoint if at least ``checkpoint_every_s`` of *simulated*
+        time passed since the last one.  Cadence in sim time keeps the
+        checkpoint schedule deterministic across hosts."""
+        now = system.machine.now_s
+        if (
+            self._last_checkpoint_sim_s is not None
+            and now - self._last_checkpoint_sim_s < self.checkpoint_every_s
+        ):
+            return False
+        self.checkpoint(system, payload)
+        return True
+
+    def checkpoint(self, system: System, payload: dict) -> None:
+        save_object(
+            payload,
+            self.checkpoint_path,
+            meta={
+                "kind": "supervisor-run",
+                "run_id": self.run_id,
+                "attempt": self.attempt,
+                "sim_time_s": system.machine.now_s,
+            },
+        )
+        # SimTimeout diagnostics report the newest checkpoint.
+        system.machine.last_checkpoint_path = self.checkpoint_path
+        self._last_checkpoint_sim_s = system.machine.now_s
+
+
+def hpl_run(params: dict, ctx: RunContext) -> dict:
+    """One HPL sweep point, advanced in slices with checkpoints between.
+
+    Params: ``machine`` (preset name), ``n``, ``nb``, ``variant``,
+    optional ``dt_s``, ``seed``, ``slice_s``, ``max_sim_s``, and the
+    fault-injection knobs of :func:`_maybe_crash` (used by the
+    ``flaky-hpl`` kind).
+    """
+    slice_s = float(params.get("slice_s", 0.05))
+    max_sim_s = float(params.get("max_sim_s", 36_000.0))
+
+    if ctx.restored_payload is not None:
+        system = ctx.restored_payload["system"]
+        handle = ctx.restored_payload["handle"]
+    else:
+        system = System(
+            params.get("machine", "raptor-lake-i7-13700"),
+            dt_s=float(params.get("dt_s", 0.01)),
+            seed=int(params.get("seed", 0)),
+            fastpath=bool(params.get("fastpath", True)),
+        )
+        handle = start_hpl(
+            system,
+            HplConfig(n=int(params["n"]), nb=int(params.get("nb", 128))),
+            variant=params.get("variant", "openblas"),
+        )
+
+    machine = system.machine
+    payload = {"system": system, "handle": handle}
+    done = lambda: handle.done
+    while not handle.done:
+        if machine.now_s - handle.t0 > max_sim_s:
+            # One strict tick raises the enriched SimTimeout (stuck
+            # threads + core types + last checkpoint path).
+            machine.run_until(done, max_s=machine.clock.dt_s, strict=True)
+            break
+        machine.run_until(done, max_s=slice_s)
+        if not handle.done:
+            ctx.maybe_checkpoint(system, payload)
+            _maybe_crash(params, ctx, machine.now_s - handle.t0)
+
+    result = finish_hpl(system, handle)
+    return {
+        "kind": "hpl",
+        "machine": system.spec.name,
+        "variant": result.variant,
+        "n": result.config.n,
+        "nb": result.config.nb,
+        "cpus": result.cpus,
+        "gflops": result.gflops,
+        "wall_s": result.wall_s,
+        "energy_j": result.energy_j,
+        "avg_power_w": result.avg_power_w,
+        "spin_time_s": result.spin_time_s,
+        "instructions": result.instructions,
+        "llc_references": result.llc_references,
+        "llc_misses": result.llc_misses,
+        "fp_ops": result.fp_ops,
+        "runtime_s": result.runtime_s,
+        "state_digest": system.state_digest(),
+    }
+
+
+def _maybe_crash(params: dict, ctx: RunContext, elapsed_sim_s: float) -> None:
+    """Deterministic self-crash for supervisor tests and CI.
+
+    ``crash_at_s`` names a *simulated* time; ``crash_on_attempts`` the
+    attempt numbers that die there.  The process SIGKILLs itself — the
+    hardest crash there is: no atexit, no flushing, exactly what the
+    supervisor must survive.  Keyed to sim time so every host crashes at
+    the same point of the computation.
+    """
+    crash_at = params.get("crash_at_s")
+    if crash_at is None:
+        return
+    attempts = params.get("crash_on_attempts", [1])
+    if ctx.attempt in attempts and elapsed_sim_s >= float(crash_at):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def flaky_hpl_run(params: dict, ctx: RunContext) -> dict:
+    """An HPL run that SIGKILLs itself mid-run on its first attempt.
+
+    Exists so tests and CI can exercise crash-isolation and resume
+    deterministically; identical to ``hpl`` except the params are
+    expected to carry ``crash_at_s``.
+    """
+    return hpl_run(params, ctx)
+
+
+def failing_run(params: dict, ctx: RunContext) -> dict:
+    """A run that always raises — exercises permanent-failure handling."""
+    raise ValueError(params.get("message", "this run always fails"))
+
+
+RUN_KINDS: dict[str, Callable[[dict, RunContext], dict]] = {
+    "hpl": hpl_run,
+    "flaky-hpl": flaky_hpl_run,
+    "failing": failing_run,
+}

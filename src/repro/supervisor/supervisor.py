@@ -1,0 +1,266 @@
+"""Crash-isolated, resumable experiment supervisor.
+
+Runs a sweep of simulation experiments as subprocess workers
+(:mod:`repro.supervisor.worker`), one process per attempt, so no worker
+failure — Python exception, :class:`~repro.sim.engine.SimTimeout`,
+SIGKILL, OOM — can corrupt the supervisor or the other runs.  Per run it
+enforces a wall-clock timeout, retries transient failures with
+exponential backoff (resuming from the run's latest checkpoint), stops
+immediately on permanent ones, and records every state transition in the
+JSON :class:`~repro.supervisor.manifest.Manifest` so a killed sweep
+resumes where it stopped: completed runs are skipped, in-flight runs
+restart from their last checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.supervisor.manifest import (
+    DONE,
+    EXIT_PERMANENT,
+    EXIT_TRANSIENT,
+    FAILED,
+    PENDING,
+    RUNNING,
+    Manifest,
+    RunRecord,
+    atomic_write_json,
+)
+
+
+@dataclass
+class RunSpec:
+    """One run the caller wants executed."""
+
+    run_id: str
+    kind: str
+    params: dict = field(default_factory=dict)
+
+
+def _src_path() -> str:
+    """Directory to put on the worker's PYTHONPATH (the ``src`` root)."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class Supervisor:
+    """Drives a sweep to completion; see the module docstring."""
+
+    def __init__(
+        self,
+        out_dir: str,
+        max_attempts: int = 3,
+        backoff_s: float = 0.5,
+        wall_timeout_s: Optional[float] = 300.0,
+        checkpoint_every_s: float = 0.1,
+        python: Optional[str] = None,
+        log: Callable[[str], None] = print,
+    ):
+        self.out_dir = out_dir
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.wall_timeout_s = wall_timeout_s
+        self.checkpoint_every_s = checkpoint_every_s
+        self.python = python or sys.executable
+        self.log = log
+        self.manifest_path = os.path.join(out_dir, "manifest.json")
+
+    # -- manifest lifecycle --------------------------------------------------
+
+    def _open_manifest(self, runs: list[RunSpec], resume: bool) -> Manifest:
+        if resume and os.path.exists(self.manifest_path):
+            manifest = Manifest.load(self.manifest_path)
+            known = set(manifest.runs)
+            for spec in runs:
+                if spec.run_id not in known:
+                    manifest.add_run(
+                        RunRecord(run_id=spec.run_id, kind=spec.kind, params=spec.params)
+                    )
+            return manifest
+        if resume:
+            self.log(
+                f"[supervisor] no manifest at {self.manifest_path}; starting fresh"
+            )
+        manifest = Manifest(
+            self.manifest_path,
+            meta={
+                "out_dir": self.out_dir,
+                "max_attempts": self.max_attempts,
+                "checkpoint_every_s": self.checkpoint_every_s,
+            },
+        )
+        for spec in runs:
+            manifest.add_run(
+                RunRecord(run_id=spec.run_id, kind=spec.kind, params=spec.params)
+            )
+        return manifest
+
+    # -- one attempt ---------------------------------------------------------
+
+    def _launch(self, record: RunRecord, resume_from: Optional[str]) -> int:
+        """Run one worker attempt; returns its exit code (-N for signal N)."""
+        run_dir = os.path.join(self.out_dir, record.run_id)
+        os.makedirs(run_dir, exist_ok=True)
+        spec = {
+            "run_id": record.run_id,
+            "kind": record.kind,
+            "params": record.params,
+            "attempt": record.attempts,
+            "out_dir": run_dir,
+            "checkpoint_every_s": self.checkpoint_every_s,
+            "resume_from": resume_from,
+        }
+        spec_path = os.path.join(run_dir, "spec.json")
+        atomic_write_json(spec_path, spec)
+
+        env = dict(os.environ)
+        src = _src_path()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+
+        proc = subprocess.Popen(
+            [self.python, "-m", "repro.supervisor.worker", "--spec", spec_path],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            _, stderr = proc.communicate(timeout=self.wall_timeout_s)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+            self.log(
+                f"[supervisor] {record.run_id}: wall-clock timeout after "
+                f"{self.wall_timeout_s}s, worker killed"
+            )
+            return -9
+        if proc.returncode not in (0, EXIT_PERMANENT, EXIT_TRANSIENT) and stderr:
+            tail = stderr.decode(errors="replace").strip().splitlines()[-3:]
+            for line in tail:
+                self.log(f"[supervisor] {record.run_id}: worker stderr: {line}")
+        return proc.returncode
+
+    @staticmethod
+    def _read_error(run_dir: str) -> Optional[dict]:
+        try:
+            with open(os.path.join(run_dir, "error.json")) as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    @staticmethod
+    def _describe_stuck(stuck: list) -> str:
+        parts = []
+        for d in stuck or []:
+            parts.append(
+                f"{d.get('name')!r} on cpu {d.get('cpu')} "
+                f"[{d.get('core_type') or 'off-cpu'}]"
+            )
+        return ", ".join(parts) if parts else "none reported"
+
+    # -- the sweep loop ------------------------------------------------------
+
+    def run(self, runs: list[RunSpec], resume: bool = False) -> Manifest:
+        os.makedirs(self.out_dir, exist_ok=True)
+        manifest = self._open_manifest(runs, resume)
+        manifest.save()
+
+        todo = manifest.pending_runs()
+        skipped = len(manifest.runs) - len(todo)
+        if skipped:
+            self.log(f"[supervisor] resume: {skipped} run(s) already done, skipped")
+
+        for record in todo:
+            self._drive_run(manifest, record)
+
+        counts = manifest.summary()
+        self.log(f"[supervisor] sweep complete: {counts}")
+        return manifest
+
+    def _drive_run(self, manifest: Manifest, record: RunRecord) -> None:
+        run_dir = os.path.join(self.out_dir, record.run_id)
+        checkpoint = os.path.join(run_dir, "checkpoint.snap")
+        if record.status == FAILED:
+            # A failed run re-queued under --resume gets a fresh attempt
+            # budget; its checkpoint (if any) still applies.
+            record.attempts = 0
+
+        while record.attempts < self.max_attempts:
+            record.attempts += 1
+            record.status = RUNNING
+            resume_from = checkpoint if os.path.exists(checkpoint) else None
+            record.checkpoint_path = resume_from
+            manifest.save()
+
+            origin = (
+                f"resuming from {resume_from}" if resume_from else "fresh start"
+            )
+            self.log(
+                f"[supervisor] {record.run_id}: attempt "
+                f"{record.attempts}/{self.max_attempts} ({origin})"
+            )
+            code = self._launch(record, resume_from)
+
+            if code == 0:
+                record.status = DONE
+                record.last_error = None
+                record.result_path = os.path.join(run_dir, "result.json")
+                if os.path.exists(checkpoint):
+                    record.checkpoint_path = checkpoint
+                manifest.save()
+                self.log(f"[supervisor] {record.run_id}: done")
+                return
+
+            error = self._read_error(run_dir)
+            if os.path.exists(checkpoint):
+                record.checkpoint_path = checkpoint
+            record.stuck = (error or {}).get("stuck", [])
+            record.last_error = error or {
+                "type": "WorkerCrash",
+                "message": (
+                    f"worker died with signal {-code}"
+                    if code < 0
+                    else f"worker exited {code} without writing error.json"
+                ),
+                "classification": "transient",
+            }
+
+            permanent = code == EXIT_PERMANENT
+            label = "permanent" if permanent else "transient"
+            ckpt_note = record.checkpoint_path or "no checkpoint taken"
+            self.log(
+                f"[supervisor] {record.run_id}: attempt {record.attempts} failed "
+                f"({label}: {record.last_error.get('type')}: "
+                f"{record.last_error.get('message')}); "
+                f"last checkpoint: {ckpt_note}; "
+                f"stuck: {self._describe_stuck(record.stuck)}"
+            )
+
+            if permanent:
+                record.status = FAILED
+                manifest.save()
+                return
+
+            if record.attempts < self.max_attempts:
+                delay = self.backoff_s * (2 ** (record.attempts - 1))
+                if delay > 0:
+                    self.log(
+                        f"[supervisor] {record.run_id}: retrying in {delay:.1f}s"
+                    )
+                    time.sleep(delay)
+            manifest.save()
+
+        record.status = FAILED
+        manifest.save()
+        self.log(
+            f"[supervisor] {record.run_id}: giving up after "
+            f"{record.attempts} attempts"
+        )

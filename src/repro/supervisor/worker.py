@@ -1,0 +1,125 @@
+"""Subprocess worker: executes exactly one run, crash-isolated.
+
+The supervisor never runs simulations in its own process — each run
+executes here, launched as ``python -m repro.supervisor.worker --spec
+spec.json``, so a segfault, SIGKILL, or runaway loop takes down only
+this worker.  Communication is file-based (crash-safe): the worker
+reads a spec, writes ``result.json`` on success or ``error.json`` on
+failure, both atomically, and reports classification via exit code:
+
+* 0 — success, ``result.json`` written;
+* :data:`EXIT_PERMANENT` (3) — deterministic failure (bad params,
+  unknown kind, an exception the simulation will reproduce on every
+  attempt); retrying is pointless;
+* :data:`EXIT_TRANSIENT` (4) — worth retrying: a :class:`SimTimeout`
+  (the retry resumes from the last checkpoint and may progress) or an
+  unreadable/corrupt checkpoint (the retry falls back to a fresh start).
+
+Anything else — a signal, an OOM kill, an interpreter abort — yields no
+exit code from this table, and the supervisor classifies the bare crash
+as transient.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import traceback
+
+from repro.checkpoint.snapshot import SnapshotError, load_object
+from repro.sim.engine import SimTimeout
+from repro.supervisor.manifest import (
+    EXIT_PERMANENT,
+    EXIT_TRANSIENT,
+    atomic_write_json,
+)
+from repro.supervisor.runs import RUN_KINDS, RunContext
+
+
+def _write_error(path: str, kind: str, exc: BaseException, **extra) -> None:
+    payload = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "classification": kind,
+        "traceback": traceback.format_exc(),
+    }
+    payload.update(extra)
+    atomic_write_json(path, payload)
+
+
+def run_spec(spec: dict) -> int:
+    """Execute one run spec; returns the process exit code."""
+    run_id = spec["run_id"]
+    out_dir = spec["out_dir"]
+    os.makedirs(out_dir, exist_ok=True)
+    error_path = os.path.join(out_dir, "error.json")
+    result_path = os.path.join(out_dir, "result.json")
+    checkpoint_path = spec.get("checkpoint_path") or os.path.join(
+        out_dir, "checkpoint.snap"
+    )
+
+    kind = spec["kind"]
+    fn = RUN_KINDS.get(kind)
+    if fn is None:
+        _write_error(
+            error_path,
+            "permanent",
+            ValueError(f"unknown run kind {kind!r}; known: {sorted(RUN_KINDS)}"),
+        )
+        return EXIT_PERMANENT
+
+    restored = None
+    resume_from = spec.get("resume_from")
+    if resume_from:
+        try:
+            restored = load_object(resume_from)
+        except (SnapshotError, OSError) as exc:
+            # A torn or stale checkpoint is not fatal to the *run* —
+            # the next attempt starts fresh.  Report transient so the
+            # supervisor retries without the checkpoint.
+            _write_error(error_path, "transient", exc, bad_checkpoint=resume_from)
+            return EXIT_TRANSIENT
+
+    ctx = RunContext(
+        run_id=run_id,
+        attempt=int(spec.get("attempt", 1)),
+        checkpoint_path=checkpoint_path,
+        checkpoint_every_s=float(spec.get("checkpoint_every_s", 0.1)),
+        restored_payload=restored,
+    )
+
+    try:
+        result = fn(spec.get("params", {}), ctx)
+    except SimTimeout as exc:
+        _write_error(
+            error_path,
+            "transient",
+            exc,
+            stuck=exc.stuck_details(),
+            checkpoint_path=exc.checkpoint_path,
+        )
+        return EXIT_TRANSIENT
+    except Exception as exc:
+        # The simulation is deterministic: a plain exception recurs on
+        # every attempt.  Classify permanent so the supervisor stops
+        # burning retries on it.
+        _write_error(error_path, "permanent", exc)
+        return EXIT_PERMANENT
+
+    atomic_write_json(result_path, result)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", required=True, help="path to the run-spec JSON")
+    args = parser.parse_args(argv)
+    with open(args.spec) as fh:
+        spec = json.load(fh)
+    return run_spec(spec)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ virtual /sys and /proc trees.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from repro.hw.machines import MACHINE_PRESETS, MachineSpec
 from repro.kernel.perf.subsystem import PerfSubsystem
@@ -54,6 +54,63 @@ class System:
     @property
     def topology(self):
         return self.machine.topology
+
+    # -- checkpoint/restore --------------------------------------------------
+
+    def save(self, path: str, meta: Optional[dict] = None) -> dict:
+        """Snapshot the whole system to ``path`` (atomic, versioned).
+
+        The snapshot carries every stateful layer — topology and
+        hotplug state, DVFS/thermal/RAPL, scheduler run-queues and RNG,
+        thread state including in-flight phases and closures, all perf
+        event contexts, fault-plan progress — such that
+        ``System.restore(path)`` followed by running is bit-identical to
+        never having snapshotted.  Returns the snapshot header.
+        """
+        from repro.checkpoint.snapshot import save_object
+
+        merged = {
+            "kind": "system",
+            "spec": self.spec.name,
+            "sim_time_s": self.machine.now_s,
+            "ticks": self.machine.clock.ticks,
+            "fastpath": self.machine.fastpath,
+            "state_digest": self.state_digest(),
+        }
+        if meta:
+            merged.update(meta)
+        header = save_object(self, path, meta=merged)
+        self.machine.last_checkpoint_path = path
+        return header
+
+    @classmethod
+    def restore(cls, path: str) -> "System":
+        """Load a snapshot written by :meth:`save`.
+
+        Also rewinds registered process-global counters (perf event-id
+        allocator) to their values at save time — required for
+        bit-identical continuation; restore one run per worker process.
+        """
+        from repro.checkpoint.snapshot import SnapshotError, load_object
+
+        obj = load_object(path)
+        if not isinstance(obj, cls):
+            raise SnapshotError(
+                f"{path} holds a {type(obj).__name__}, not a System; "
+                "use repro.checkpoint.load_object for composite snapshots"
+            )
+        obj.machine.last_checkpoint_path = path
+        return obj
+
+    def state_digest(self) -> str:
+        """Stable hash over the snapshot surface (see
+        :mod:`repro.checkpoint.digest`).  Two systems digest equal iff
+        their observable simulated state is bit-identical; engine-path
+        selection (``fastpath``) is excluded, so a fast-path and a
+        slow-path run of one workload must digest equal."""
+        from repro.checkpoint.digest import state_digest
+
+        return state_digest(self)
 
     # -- fault injection -----------------------------------------------------
 

@@ -1,6 +1,16 @@
-"""Shared fixtures: simulated systems of every machine preset."""
+"""Shared fixtures: simulated systems of every machine preset.
+
+Also installs a SIGALRM-based per-test wall-clock timeout: a wedged test
+(a worker subprocess that never exits, a sim loop that stopped
+progressing) aborts with a traceback instead of hanging CI.  The stdlib
+mechanism is used because ``pytest-timeout`` is not part of the baked
+test environment.  Override per test with ``@pytest.mark.timeout(N)``;
+``0`` disables.
+"""
 
 from __future__ import annotations
+
+import signal
 
 import pytest
 
@@ -11,6 +21,41 @@ from repro.hw.machines import (
     raptor_lake_i7_13700,
 )
 from repro.system import System
+
+#: Generous default: the slowest tier-1 tests (multi-attempt supervisor
+#: sweeps with real worker subprocesses) finish well under a minute.
+DEFAULT_TEST_TIMEOUT_S = 120
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test wall-clock limit (0 disables; "
+        f"default {DEFAULT_TEST_TIMEOUT_S}s via SIGALRM)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    seconds = int(marker.args[0]) if marker and marker.args else DEFAULT_TEST_TIMEOUT_S
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {seconds}s wall-clock limit "
+            "(see tests/conftest.py; raise with @pytest.mark.timeout)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

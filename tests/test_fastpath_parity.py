@@ -3,16 +3,18 @@ slow path for deterministic workloads.
 
 Every scenario here runs twice — ``System(..., fastpath=False)`` (the
 plain single-tick loop) and ``fastpath=True`` (steady-state macro-tick
-batching) — and asserts *exact* equality of thread counters, perf read
-values, migrations/switches, RAPL energy and thermal state.  The
-experiments' correctness claims rest on the counter semantics, so no
-tolerance is allowed.
+batching) — and asserts equality of the *whole snapshot surface* via
+``state_digest``: thread counters, perf read values and event clocks,
+scheduler RNG position, RAPL energy, thermal state, everything the
+checkpoint layer declares as state.  The experiments' correctness
+claims rest on the counter semantics, so no tolerance is allowed; any
+new state a layer grows is covered automatically.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.checkpoint import state_digest
+from repro.checkpoint.surface import global_counter_state, set_global_counter_state
 from repro.papi import Papi
 from repro.sim.task import ControlOp, Program, SimThread
 from repro.sim.workload import (
@@ -36,39 +38,40 @@ RATES = PhaseRates(
 
 
 def _run_both(build, **system_kw):
-    """Run ``build(system) -> result`` on the slow and fast paths."""
+    """Run ``build(system) -> result`` on the slow and fast paths.
+
+    Process-global counters (the perf event-id allocator) are rewound
+    between the two builds so both systems hand out identical ids —
+    exactly what a checkpoint restore does — making whole-system
+    digests directly comparable.
+    """
     out = []
+    g0 = global_counter_state()
     for fastpath in (False, True):
+        set_global_counter_state(g0)
         system = System(MACHINE, fastpath=fastpath, **system_kw)
         out.append((system, build(system)))
     return out
 
 
 def _assert_threads_identical(threads_slow, threads_fast):
+    """Per-thread digest equality (localizes a whole-system mismatch)."""
+    assert len(threads_slow) == len(threads_fast)
     for a, b in zip(threads_slow, threads_fast):
-        assert set(a.counters) == set(b.counters)
-        for pmu in a.counters:
-            assert np.array_equal(a.counters[pmu], b.counters[pmu]), (
-                f"{a.name}/{pmu} counters diverge"
-            )
-        assert a.runtime_s == b.runtime_s
-        assert a.total_runtime_s == b.total_runtime_s
-        assert a.spin_time_s == b.spin_time_s
-        assert a.vruntime == b.vruntime
-        assert a.nr_switches == b.nr_switches
-        assert a.nr_migrations == b.nr_migrations
+        assert state_digest(a) == state_digest(b), (
+            f"{a.name} diverges between slow and fast paths"
+        )
 
 
-def _assert_machines_identical(ms, mf):
-    assert ms.clock.ticks == mf.clock.ticks
-    assert ms.rapl.package.energy_j == mf.rapl.package.energy_j
-    assert ms.rapl.cores.energy_j == mf.rapl.cores.energy_j
-    assert ms.rapl.dram.energy_j == mf.rapl.dram.energy_j
-    assert ms.rapl.scale == mf.rapl.scale
-    assert ms.thermal.temp_c == mf.thermal.temp_c
-    assert ms.governor.freq_mhz == mf.governor.freq_mhz
-    for ps, pf in zip(ms.pmus, mf.pmus):
-        assert np.array_equal(ps.totals, pf.totals)
+def _assert_systems_identical(ss, sf):
+    """The tight form: one digest over the full snapshot surface.
+
+    ``fastpath``/engine internals are declared ``digest_exclude`` by the
+    Machine's snapshot surface, so the two engine paths must digest
+    equal — everything else (counters, clocks, RNGs, energies, sample
+    buffers) is covered with zero tolerance.
+    """
+    assert ss.state_digest() == sf.state_digest()
 
 
 def _fastpath_batched(machine, run):
@@ -86,7 +89,10 @@ def _fastpath_batched(machine, run):
     try:
         run()
     finally:
-        machine.tick = orig
+        # Remove the shadowing instance attribute entirely (assigning
+        # ``orig`` back would leave a bound method in ``__dict__`` and
+        # show up as a digest difference vs. an untouched machine).
+        del machine.tick
     return real[0], machine.clock.ticks - start
 
 
@@ -117,7 +123,7 @@ class TestSteadyScenarios:
 
         (ss, ts_slow), (sf, ts_fast) = _run_both(build, dt_s=0.01)
         _assert_threads_identical(ts_slow, ts_fast)
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
     def test_idle_cooldown_parity_and_batching(self):
         """A long idle cooldown must batch and stay identical."""
@@ -134,7 +140,7 @@ class TestSteadyScenarios:
         )
         assert ticks == 3000
         assert real < 100  # the vast majority of ticks were replayed
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
     def test_run_until_cooldown_parity(self):
         (ss, _), (sf, _) = _run_both(lambda s: None, dt_s=0.01)
@@ -142,7 +148,7 @@ class TestSteadyScenarios:
             system.machine.thermal.temp_c = 70.0
             system.machine.thermal.zone.temp_c = 70.0
             assert system.machine.cool_down(target_c=36.0, max_s=600)
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
 
 class TestPerfAndPapiParity:
@@ -181,7 +187,7 @@ class TestPerfAndPapiParity:
         )
         assert r_slow == r_fast
         _assert_threads_identical([t_slow], [t_fast])
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
     def test_migration_scenario_parity(self):
         """With scheduler jitter both paths run tick-by-tick; the RNG
@@ -205,7 +211,7 @@ class TestPerfAndPapiParity:
         assert t_slow.nr_migrations == t_fast.nr_migrations > 0
         assert r_slow == r_fast
         _assert_threads_identical([t_slow], [t_fast])
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
     def test_perf_read_values_identical_across_batches(self):
         """Per-thread perf events survive macro-tick batching bit-for-bit."""
@@ -225,7 +231,7 @@ class TestPerfAndPapiParity:
 
         (ss, r_slow), (sf, r_fast) = _run_both(build, dt_s=0.01)
         assert r_slow == r_fast
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
 
 class TestMultiplexedBatching:
@@ -280,7 +286,7 @@ class TestMultiplexedBatching:
         total_scaled = sum(rv.scaled_value() for rv in r_fast)
         assert abs(total_scaled - 3 * 2e9) / (3 * 2e9) < 0.3
         _assert_threads_identical([t_slow], [t_fast])
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
     def test_mux_batch_engages_while_rotating(self):
         """Rotation alone must not kill batching: the rotation slot is a
@@ -326,7 +332,7 @@ class TestHplParity:
             sorted(ss.machine.threads, key=lambda t: t.tid),
             sorted(sf.machine.threads, key=lambda t: t.tid),
         )
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
 
 class TestFaultInjectionParity:
@@ -366,7 +372,7 @@ class TestFaultInjectionParity:
         )
         assert r_slow == r_fast
         _assert_threads_identical(ts_slow, ts_fast)
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
     def test_conditional_injection_parity(self):
         """``when()`` predicates are evaluated inside the batch guard, so
@@ -397,7 +403,7 @@ class TestFaultInjectionParity:
         assert f_slow == f_fast  # identical fire times, to the tick
         assert [k for _, k in f_slow] == ["CpuOffline", "CpuOnline"]
         _assert_threads_identical(ts_slow, ts_fast)
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
     def test_syscall_storm_parity(self):
         """EBUSY retries charge syscall overhead to the caller; both
@@ -437,7 +443,7 @@ class TestFaultInjectionParity:
         )
         assert r_slow == r_fast
         _assert_threads_identical(ts_slow, ts_fast)
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
     def test_sensor_dropout_and_counter_storm_parity(self):
         from repro.faults import CounterStorm, FaultPlan, SensorDropout
@@ -467,7 +473,7 @@ class TestFaultInjectionParity:
         )
         assert r_slow == r_fast
         _assert_threads_identical(ts_slow, ts_fast)
-        _assert_machines_identical(ss.machine, sf.machine)
+        _assert_systems_identical(ss, sf)
 
     def test_pending_faults_do_not_kill_batching(self):
         """An armed injector is a replay guard, not a batching veto: an

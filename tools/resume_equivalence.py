@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""CI gate: a SIGKILLed-and-resumed sweep equals an uninterrupted one.
+
+Procedure:
+
+1. run a small sweep start to finish (the reference);
+2. run the identical sweep again, SIGKILL the whole supervisor process
+   group once the manifest shows partial progress (some runs done, some
+   not — i.e. mid-sweep, workers possibly mid-run);
+3. resume it with ``--resume``;
+4. compare every ``result.json`` byte for byte against the reference —
+   including each run's final ``state_digest``, so "equal" means the
+   restored simulations ended in bit-identical states, not just similar
+   headline numbers.
+
+Exits 0 on equivalence, 1 on any difference or failed run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+TOOLS = os.path.dirname(os.path.abspath(__file__))
+SWEEP = os.path.join(TOOLS, "sweep.py")
+
+SWEEP_ARGS = [
+    "--preset", "quick",
+    "--slice-s", "0.02",
+    "--checkpoint-every-s", "0.04",
+    "--backoff-s", "0",
+]
+
+
+def run_sweep(out_dir: str, resume: bool = False) -> None:
+    cmd = [sys.executable, SWEEP, "--out", out_dir, *SWEEP_ARGS]
+    if resume:
+        cmd.append("--resume")
+    subprocess.run(cmd, check=True)
+
+
+def run_sweep_and_kill(out_dir: str, max_wait_s: float = 600.0) -> None:
+    """Start the sweep in its own process group; SIGKILL it mid-sweep."""
+    cmd = [sys.executable, SWEEP, "--out", out_dir, *SWEEP_ARGS]
+    proc = subprocess.Popen(cmd, start_new_session=True)
+    manifest_path = os.path.join(out_dir, "manifest.json")
+    deadline = time.monotonic() + max_wait_s
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise SystemExit(
+                    "sweep finished before it could be killed; "
+                    "shrink --slice-s or grow the sweep"
+                )
+            counts = manifest_counts(manifest_path)
+            done = counts.get("done", 0)
+            total = sum(counts.values())
+            # Mid-sweep: at least one run completed, at least one not —
+            # and the in-flight run has checkpointed, so the resume path
+            # being exercised is restore-from-checkpoint, not restart.
+            if total and 0 < done < total and inflight_checkpoint(out_dir):
+                break
+            time.sleep(0.02)
+        else:
+            raise SystemExit("sweep never reached a mid-sweep state")
+    finally:
+        if proc.poll() is None:
+            # Kill supervisor AND any in-flight worker: the whole group.
+            os.killpg(proc.pid, signal.SIGKILL)
+    proc.wait()
+    print(f"[equiv] killed sweep mid-flight (manifest: {manifest_counts(manifest_path)})")
+
+
+def inflight_checkpoint(out_dir: str) -> bool:
+    """True if some not-yet-done run has a checkpoint on disk."""
+    manifest_path = os.path.join(out_dir, "manifest.json")
+    try:
+        with open(manifest_path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return False
+    for rid, rec in data.get("runs", {}).items():
+        if rec["status"] != "done" and os.path.exists(
+            os.path.join(out_dir, rid, "checkpoint.snap")
+        ):
+            return True
+    return False
+
+
+def manifest_counts(path: str) -> dict:
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    counts: dict[str, int] = {}
+    for rec in data.get("runs", {}).values():
+        counts[rec["status"]] = counts.get(rec["status"], 0) + 1
+    return counts
+
+
+def collect_results(out_dir: str) -> dict[str, dict]:
+    with open(os.path.join(out_dir, "manifest.json")) as fh:
+        manifest = json.load(fh)
+    results = {}
+    for rid, rec in manifest["runs"].items():
+        if rec["status"] != "done":
+            raise SystemExit(f"run {rid} in {out_dir} is {rec['status']}, not done")
+        with open(os.path.join(out_dir, rid, "result.json")) as fh:
+            results[rid] = json.load(fh)
+    return results
+
+
+def main() -> int:
+    base = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else "/tmp/resume-equiv")
+    ref_dir = os.path.join(base, "reference")
+    killed_dir = os.path.join(base, "killed")
+    shutil.rmtree(base, ignore_errors=True)
+    os.makedirs(base)
+
+    print("[equiv] phase 1: reference sweep (uninterrupted)")
+    run_sweep(ref_dir)
+
+    print("[equiv] phase 2: same sweep, SIGKILLed mid-flight")
+    run_sweep_and_kill(killed_dir)
+
+    print("[equiv] phase 3: resume the killed sweep")
+    run_sweep(killed_dir, resume=True)
+
+    print("[equiv] phase 4: compare results")
+    ref = collect_results(ref_dir)
+    res = collect_results(killed_dir)
+    if set(ref) != set(res):
+        print(f"[equiv] FAIL: run sets differ: {sorted(set(ref) ^ set(res))}")
+        return 1
+    bad = 0
+    for rid in sorted(ref):
+        if ref[rid] != res[rid]:
+            bad += 1
+            diffs = [k for k in ref[rid] if ref[rid][k] != res[rid].get(k)]
+            print(f"[equiv] FAIL: {rid} differs in fields: {diffs}")
+        else:
+            print(f"[equiv] ok: {rid} identical (digest {ref[rid]['state_digest'][:12]}...)")
+    if bad:
+        return 1
+    print(f"[equiv] PASS: {len(ref)} run(s) bit-identical after kill+resume")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

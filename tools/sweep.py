@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Run an HPL experiment sweep under the crash-isolated supervisor.
+
+Each sweep point runs in its own subprocess worker with periodic
+checkpointing; failures are retried with backoff (transient) or reported
+(permanent), and everything is recorded in ``<out>/manifest.json``.  A
+killed sweep picks up where it stopped::
+
+    python tools/sweep.py --out runs/sweep1
+    # ... SIGKILL at any point ...
+    python tools/sweep.py --out runs/sweep1 --resume
+
+``--resume`` skips runs already marked done and restarts the rest from
+their latest checkpoint; the results are bit-identical to a sweep that
+was never interrupted (see ``tools/resume_equivalence.py``, which CI
+runs to enforce exactly that).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.supervisor import DONE, RunSpec, Supervisor  # noqa: E402
+
+#: Sweep presets: problem sizes kept small enough to iterate on quickly.
+PRESETS = {
+    "quick": {"n_values": [1000, 2000], "variants": ["openblas"]},
+    "paper": {"n_values": [2000, 4000, 8000], "variants": ["openblas", "blis"]},
+}
+
+
+def build_runs(args: argparse.Namespace) -> list[RunSpec]:
+    preset = PRESETS[args.preset]
+    n_values = args.n or preset["n_values"]
+    variants = args.variants or preset["variants"]
+    runs = []
+    for variant in variants:
+        for n in n_values:
+            params = {
+                "machine": args.machine,
+                "n": n,
+                "nb": args.nb,
+                "variant": variant,
+                "slice_s": args.slice_s,
+            }
+            runs.append(RunSpec(f"hpl-{variant}-n{n}", "hpl", params))
+    if args.flaky:
+        # A deterministic self-crashing run: dies with SIGKILL mid-run on
+        # attempt 1, resumes from its checkpoint on attempt 2.  For
+        # exercising the crash-isolation machinery end to end.
+        runs.append(
+            RunSpec(
+                "flaky-selftest",
+                "flaky-hpl",
+                {
+                    "machine": args.machine,
+                    # The longest point of the sweep, so the run is still
+                    # in flight (with a checkpoint down) at crash_at_s.
+                    "n": max(n_values),
+                    "nb": args.nb,
+                    "variant": variants[0],
+                    "slice_s": args.slice_s,
+                    "crash_at_s": 0.08,
+                    "crash_on_attempts": [1],
+                },
+            )
+        )
+    return runs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    parser.add_argument("--out", default="runs/sweep", help="output directory")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from an existing manifest")
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="quick")
+    parser.add_argument("--machine", default="raptor-lake-i7-13700")
+    parser.add_argument("--n", type=int, nargs="*", help="HPL problem sizes")
+    parser.add_argument("--variants", nargs="*", help="HPL variants")
+    parser.add_argument("--nb", type=int, default=128, help="HPL block size")
+    parser.add_argument("--slice-s", type=float, default=0.05,
+                        help="sim seconds per worker slice (checkpoint cadence)")
+    parser.add_argument("--checkpoint-every-s", type=float, default=0.1,
+                        help="sim seconds between checkpoints")
+    parser.add_argument("--max-attempts", type=int, default=3)
+    parser.add_argument("--backoff-s", type=float, default=0.5,
+                        help="base retry backoff (doubles per attempt)")
+    parser.add_argument("--timeout-s", type=float, default=300.0,
+                        help="wall-clock kill timeout per worker")
+    parser.add_argument("--flaky", action="store_true",
+                        help="add a deterministic self-crashing selftest run")
+    args = parser.parse_args(argv)
+
+    supervisor = Supervisor(
+        args.out,
+        max_attempts=args.max_attempts,
+        backoff_s=args.backoff_s,
+        wall_timeout_s=args.timeout_s,
+        checkpoint_every_s=args.checkpoint_every_s,
+    )
+    manifest = supervisor.run(build_runs(args), resume=args.resume)
+
+    print()
+    print(f"{'run':28s} {'status':8s} {'att':>3s} {'gflops':>9s} {'energy J':>9s}")
+    failed = 0
+    for rid, rec in sorted(manifest.runs.items()):
+        gflops = energy = ""
+        if rec.status == DONE and rec.result_path and os.path.exists(rec.result_path):
+            with open(rec.result_path) as fh:
+                result = json.load(fh)
+            gflops = f"{result.get('gflops', 0.0):9.2f}"
+            energy = f"{result.get('energy_j', 0.0):9.1f}"
+        else:
+            failed += 1
+        print(f"{rid:28s} {rec.status:8s} {rec.attempts:3d} {gflops:>9s} {energy:>9s}")
+    print(f"\nmanifest: {manifest.path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
