@@ -49,7 +49,9 @@ def _loaded_system(fastpath: bool, with_events: bool) -> System:
         for t in threads:
             for pmu in ("cpu_core", "cpu_atom"):
                 ptype = system.perf.registry.by_name[pmu].type
-                fd = system.perf.perf_event_open(
+                # Events deliberately stay open: the benchmark measures
+                # steady-state tick cost *with* live counters attached.
+                fd = system.perf.perf_event_open(  # repro-lint: disable=PAPI-FD-LEAK
                     PerfEventAttr(type=ptype, config=0x00C0), pid=t.tid, cpu=-1
                 )
                 system.perf.ioctl(fd, PerfIoctl.ENABLE)

@@ -39,7 +39,9 @@ def test_perf_account_hook_overhead(benchmark):
     for t in threads:
         for pmu in ("cpu_core", "cpu_atom"):
             ptype = system.perf.registry.by_name[pmu].type
-            fd = system.perf.perf_event_open(
+            # Events deliberately stay open: the benchmark measures the
+            # per-tick accounting cost while counters are attached.
+            fd = system.perf.perf_event_open(  # repro-lint: disable=PAPI-FD-LEAK
                 PerfEventAttr(type=ptype, config=0x00C0), pid=t.tid, cpu=-1
             )
             system.perf.ioctl(fd, PerfIoctl.ENABLE)

@@ -48,6 +48,7 @@ def main() -> None:
     papi.start(es)
     system.machine.run_until_done([thread], max_s=10)
     (total,) = papi.stop(es)
+    papi.destroy_eventset(es)
 
     n = sum(samples_by_pmu.values())
     print(f"{total:.0f} instructions retired; {n} overflow samples "

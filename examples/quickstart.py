@@ -46,7 +46,9 @@ def main() -> None:
     def setup(thread: SimThread) -> None:
         es = papi.create_eventset()
         papi.attach(es, thread)
-        papi.add_event(es, "adl_glc::INST_RETIRED:ANY", caller=thread)
+        # The P-core/E-core mix is the point of this demo: the two raw
+        # events together cover the thread wherever it is scheduled.
+        papi.add_event(es, "adl_glc::INST_RETIRED:ANY", caller=thread)  # repro-lint: disable=PAPI-PMU-MIX
         papi.add_event(es, "adl_grt::INST_RETIRED:ANY", caller=thread)
         papi.start(es, caller=thread)
         holder["es"] = es

@@ -1,0 +1,70 @@
+"""Versioned baseline of accepted findings.
+
+The baseline records *deliberate* exceptions — e.g. the overhead
+experiment's intentionally mixed-PMU eventsets — by fingerprint
+(rule + path + symbol + message, no line number, so unrelated edits do
+not invalidate entries).  New findings fail the run; baselined ones are
+reported as accepted; entries whose finding disappeared are reported as
+stale so the file never rots silently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    entries: dict[str, dict] = field(default_factory=dict)  # fingerprint -> entry
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("tool") != "repro-lint":
+            raise ValueError(f"{path} is not a repro-lint baseline")
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: baseline version {version!r} not supported "
+                f"(expected {BASELINE_VERSION}); regenerate with "
+                "--write-baseline"
+            )
+        return cls(entries={e["fingerprint"]: e for e in data.get("entries", [])})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries = {}
+        for f in findings:
+            entries[f.fingerprint] = {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "symbol": f.symbol,
+                "message": f.message,
+            }
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "tool": "repro-lint",
+            "version": BASELINE_VERSION,
+            "entries": sorted(
+                self.entries.values(),
+                key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+            ),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def stale_entries(self, findings: Iterable[Finding]) -> list[dict]:
+        seen = {f.fingerprint for f in findings}
+        return [e for fp, e in sorted(self.entries.items()) if fp not in seen]

@@ -1,0 +1,184 @@
+"""Per-function control-flow graphs over raw AST statements.
+
+Statement-granularity CFG: one node per simple statement, with
+structured control flow (``if``/``while``/``for``/``try``/``with``,
+``break``/``continue``/``return``/``raise``) lowered to edges.  Two
+distinguished exits:
+
+* ``exit`` — the normal exit (fall off the end or ``return``), where
+  resource-leak checks apply;
+* ``raise_exit`` — reached by ``raise`` statements that no enclosing
+  handler catches; typestate rules deliberately do *not* report leaks
+  there (an escaping exception already aborts the operation).
+
+Exception edges are coarse: every statement inside a ``try`` body also
+flows to each of its handlers, which over-approximates "any statement
+may raise".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Node:
+    """One CFG node wrapping at most one AST statement."""
+
+    idx: int
+    stmt: Optional[ast.stmt]        # None for synthetic entry/exit nodes
+    label: str = ""
+    succs: list[int] = field(default_factory=list)
+
+    def link(self, other: "Node") -> None:
+        if other.idx not in self.succs:
+            self.succs.append(other.idx)
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Node] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        self.raise_exit = self._new(None, "raise-exit")
+
+    def _new(self, stmt: Optional[ast.stmt], label: str = "") -> Node:
+        node = Node(idx=len(self.nodes), stmt=stmt, label=label)
+        self.nodes.append(node)
+        return node
+
+    def preds(self, idx: int) -> list[int]:
+        return [n.idx for n in self.nodes if idx in n.succs]
+
+
+@dataclass
+class _Frame:
+    """Loop / try context during construction."""
+
+    break_targets: list[Node]
+    continue_target: Optional[Node]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.loop_stack: list[_Frame] = []
+        # Statements inside a try body additionally flow to these
+        # handler-entry nodes (innermost try first).
+        self.handler_stack: list[list[Node]] = []
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        tails = self._seq(body, [self.cfg.entry])
+        for tail in tails:
+            tail.link(self.cfg.exit)
+        return self.cfg
+
+    # -- helpers ------------------------------------------------------------
+
+    def _seq(self, stmts: list[ast.stmt], preds: list[Node]) -> list[Node]:
+        """Wire a statement sequence; returns the fall-through tails."""
+        current = preds
+        for stmt in stmts:
+            current = self._stmt(stmt, current)
+            if not current:  # unreachable rest (after return/raise/...)
+                break
+        return current
+
+    def _stmt(self, stmt: ast.stmt, preds: list[Node]) -> list[Node]:
+        if isinstance(stmt, (ast.If,)):
+            return self._if(stmt, preds)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._plain(stmt, preds)
+            return self._seq(stmt.body, [node])
+
+        node = self._plain(stmt, preds)
+        if isinstance(stmt, ast.Return):
+            node.link(self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._to_handlers_or_raise_exit(node)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.loop_stack:
+                self.loop_stack[-1].break_targets.append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self.loop_stack and self.loop_stack[-1].continue_target:
+                node.link(self.loop_stack[-1].continue_target)
+            return []
+        return [node]
+
+    def _plain(self, stmt: ast.stmt, preds: list[Node]) -> Node:
+        node = self.cfg._new(stmt)
+        for p in preds:
+            p.link(node)
+        # Coarse exception edge: anything in a try body may jump to its
+        # handlers.
+        for handlers in self.handler_stack:
+            for h in handlers:
+                node.link(h)
+        return node
+
+    def _to_handlers_or_raise_exit(self, node: Node) -> None:
+        if self.handler_stack:
+            for h in self.handler_stack[-1]:
+                node.link(h)
+        else:
+            node.link(self.cfg.raise_exit)
+
+    def _if(self, stmt: ast.If, preds: list[Node]) -> list[Node]:
+        cond = self._plain(stmt, preds)
+        then_tails = self._seq(stmt.body, [cond])
+        if stmt.orelse:
+            else_tails = self._seq(stmt.orelse, [cond])
+        else:
+            else_tails = [cond]
+        return then_tails + else_tails
+
+    def _loop(self, stmt: ast.stmt, preds: list[Node]) -> list[Node]:
+        head = self._plain(stmt, preds)
+        frame = _Frame(break_targets=[], continue_target=head)
+        self.loop_stack.append(frame)
+        body = stmt.body  # type: ignore[attr-defined]
+        body_tails = self._seq(body, [head])
+        self.loop_stack.pop()
+        for tail in body_tails:
+            tail.link(head)  # back edge
+        after: list[Node] = [head]  # loop may run zero times
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            after = self._seq(orelse, after)
+        after.extend(frame.break_targets)
+        return after
+
+    def _try(self, stmt: ast.Try, preds: list[Node]) -> list[Node]:
+        handler_entries = [self.cfg._new(h, "except") for h in stmt.handlers]
+        self.handler_stack.append(handler_entries)
+        body_tails = self._seq(stmt.body, preds)
+        self.handler_stack.pop()
+
+        tails: list[Node] = []
+        if stmt.orelse:
+            tails.extend(self._seq(stmt.orelse, body_tails))
+        else:
+            tails.extend(body_tails)
+        for entry in handler_entries:
+            handler = entry.stmt
+            assert isinstance(handler, ast.ExceptHandler)
+            tails.extend(self._seq(handler.body, [entry]))
+        if stmt.finalbody:
+            tails = self._seq(stmt.finalbody, tails)
+        return tails
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """CFG for one function definition's body."""
+    return _Builder().build(func.body)

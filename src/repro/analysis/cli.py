@@ -1,0 +1,134 @@
+"""``python -m repro.analysis`` — the repro-lint command line.
+
+Exit codes: 0 clean (baseline allowed), 1 findings (or parse errors),
+2 usage errors.  ``--strict`` also fails on warnings; the default mode
+fails on errors only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import RULE_REGISTRY, all_rules
+from repro.analysis.driver import DEFAULT_PATHS, run_analysis
+from repro.analysis.report import render_human, render_json
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "repro-lint: statically enforce the simulator's determinism "
+            "and PAPI-contract invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files/directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root paths are relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too, not only errors",
+    )
+    parser.add_argument("--json", action="store_true", help="JSON report")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE-ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:16s} [{rule.severity}] {rule.description}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"error: root {args.root!r} is not a directory", file=sys.stderr)
+        return 2
+    if args.rules:
+        unknown = set(args.rules) - set(RULE_REGISTRY)
+        # Unknown names are caught after rule modules load inside
+        # all_rules(); pre-check gives a cleaner usage error.
+        all_rules()
+        unknown = set(args.rules) - set(RULE_REGISTRY)
+        if unknown:
+            print(
+                f"error: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    baseline = None
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    result = run_analysis(
+        root, paths=args.paths, baseline=baseline, only_rules=args.rules
+    )
+
+    if args.write_baseline:
+        Baseline.from_findings(
+            result.new_findings + result.baselined
+        ).save(baseline_path)
+        print(
+            f"wrote {baseline_path} with "
+            f"{len(result.new_findings) + len(result.baselined)} entr(ies)"
+        )
+        return 0
+
+    report = (
+        render_json(result, strict=args.strict)
+        if args.json
+        else render_human(result, strict=args.strict)
+    )
+    print(report)
+    return 1 if result.failed(strict=args.strict) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Analysis driver: walk files, run rules, fold in suppressions/baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import Finding, Rule, Severity, SourceModule, all_rules
+
+#: Default analysis roots, relative to the repo root.  tests/ is
+#: deliberately excluded: tests exercise bad lifecycles on purpose.
+DEFAULT_PATHS = ("src/repro", "examples", "tools", "benchmarks")
+
+#: Directories never descended into.
+SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass
+class SuppressedFinding:
+    finding: Finding
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced, pre-classified."""
+
+    new_findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    def failed(self, strict: bool = False) -> bool:
+        if strict:
+            return bool(self.new_findings or self.parse_errors)
+        return bool(
+            [f for f in self.new_findings if f.severity is Severity.ERROR]
+            or self.parse_errors
+        )
+
+    def all_findings(self) -> list[Finding]:
+        return self.new_findings + self.baselined
+
+
+def discover_files(root: Path, paths: Sequence[str]) -> list[str]:
+    """Root-relative posix paths of every ``.py`` file under ``paths``."""
+    out: set[str] = set()
+    for rel in paths:
+        target = root / rel
+        if target.is_file() and target.suffix == ".py":
+            out.add(Path(rel).as_posix())
+        elif target.is_dir():
+            for path in target.rglob("*.py"):
+                if any(part in SKIP_DIRS for part in path.parts):
+                    continue
+                out.add(path.relative_to(root).as_posix())
+    return sorted(out)
+
+
+def run_analysis(
+    root: Path,
+    paths: Sequence[str] = DEFAULT_PATHS,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    only_rules: Optional[Sequence[str]] = None,
+) -> AnalysisResult:
+    """Analyze every file under ``paths`` (relative to ``root``)."""
+    active = list(rules) if rules is not None else all_rules(only_rules)
+    result = AnalysisResult(rules_run=[r.id for r in active])
+    baseline = baseline or Baseline()
+
+    raw: list[Finding] = []
+    for relpath in discover_files(root, paths):
+        applicable = [r for r in active if r.applies_to(relpath)]
+        if not applicable:
+            continue
+        module = SourceModule.load(root, relpath)
+        result.files_checked += 1
+        if module.parse_error is not None:
+            result.parse_errors.append((relpath, str(module.parse_error)))
+            continue
+        for rule in applicable:
+            for finding in rule.check(module):
+                raw.append(finding)
+                if module.is_suppressed(finding):
+                    result.suppressed.append(finding)
+                elif baseline.contains(finding):
+                    result.baselined.append(finding)
+                else:
+                    result.new_findings.append(finding)
+
+    result.stale_baseline = baseline.stale_entries(raw)
+    result.new_findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return result

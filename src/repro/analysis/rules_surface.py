@@ -1,0 +1,210 @@
+"""Snapshot-surface cross-check.
+
+Every stateful layer declares its full attribute surface on the
+:func:`repro.checkpoint.surface.snapshot_surface` decorator:
+``state=(...)`` names the serialized attributes, ``caches=(...)`` the
+attributes dropped at snapshot time and rebuilt on restore.  At runtime
+the registry test only asserts that the *classes* are declared; this
+rule statically diffs the declaration against every attribute the class
+body actually assigns, so adding a new mutable attribute without
+deciding its snapshot fate fails CI immediately:
+
+* an assigned attribute missing from ``state`` + ``caches`` is an
+  undeclared-surface error (it would silently join the pickle payload
+  and the digest without review);
+* a declared attribute never assigned anywhere in the class body is a
+  stale declaration;
+* ``digest_exclude`` must name serialized attributes (a subset of
+  ``state``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import Finding, Rule, Severity, SourceModule, register
+
+
+def _decorator_call(cls: ast.ClassDef, name: str) -> Optional[ast.Call]:
+    for deco in cls.decorator_list:
+        if isinstance(deco, ast.Call):
+            func = deco.func
+            if (isinstance(func, ast.Name) and func.id == name) or (
+                isinstance(func, ast.Attribute) and func.attr == name
+            ):
+                return deco
+    return None
+
+
+def _has_decorator(cls: ast.ClassDef, name: str) -> bool:
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if (isinstance(target, ast.Name) and target.id == name) or (
+            isinstance(target, ast.Attribute) and target.attr == name
+        ):
+            return True
+    return False
+
+
+def _str_tuple(node: Optional[ast.expr]) -> Optional[tuple[str, ...]]:
+    """A literal tuple/list of strings, or None when unparsable."""
+    if node is None:
+        return ()
+    if isinstance(node, (ast.Tuple, ast.List)):
+        out = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append(elt.value)
+            else:
+                return None
+        return tuple(out)
+    return None
+
+
+def _self_attr_assignments(
+    cls: ast.ClassDef,
+) -> dict[str, ast.AST]:
+    """attribute name -> first AST node assigning ``self.<name>``."""
+    assigned: dict[str, ast.AST] = {}
+
+    def collect_target(target: ast.expr, self_name: str, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                collect_target(elt, self_name, node)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == self_name
+        ):
+            assigned.setdefault(target.attr, node)
+
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if any(
+            isinstance(d, ast.Name) and d.id in ("staticmethod", "classmethod")
+            for d in item.decorator_list
+        ):
+            continue
+        if not item.args.args:
+            continue
+        self_name = item.args.args[0].arg
+        for node in ast.walk(item):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    collect_target(target, self_name, node)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                collect_target(node.target, self_name, node)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "setattr"
+                and len(node.args) >= 2
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == self_name
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                assigned.setdefault(node.args[1].value, node)
+    return assigned
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> dict[str, ast.AST]:
+    """Instance attributes a ``@dataclass`` class gains from its fields."""
+    fields: dict[str, ast.AST] = {}
+    if not _has_decorator(cls, "dataclass"):
+        return fields
+    for item in cls.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            ann = item.annotation
+            text = ast.unparse(ann) if ann is not None else ""
+            if "ClassVar" in text:
+                continue
+            fields.setdefault(item.target.id, item)
+    return fields
+
+
+@register
+class SnapshotSurfaceRule(Rule):
+    id = "SURFACE-DECL"
+    severity = Severity.ERROR
+    description = (
+        "every @snapshot_surface class must declare its complete attribute "
+        "surface (state= plus caches=) and keep it in sync with the code"
+    )
+    scope = ("src/repro",)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                deco = _decorator_call(node, "snapshot_surface")
+                if deco is not None:
+                    yield from self._check_class(module, node, deco)
+
+    def _check_class(
+        self, module: SourceModule, cls: ast.ClassDef, deco: ast.Call
+    ) -> Iterator[Finding]:
+        kwargs = {kw.arg: kw.value for kw in deco.keywords if kw.arg}
+        if "state" not in kwargs:
+            yield self.finding(
+                module,
+                deco,
+                f"{cls.name} declares no state=; list every serialized "
+                "attribute so additions are reviewed",
+                symbol=cls.name,
+            )
+            return
+        state = _str_tuple(kwargs.get("state"))
+        caches = _str_tuple(kwargs.get("caches"))
+        digest_exclude = _str_tuple(kwargs.get("digest_exclude"))
+        if state is None or caches is None or digest_exclude is None:
+            yield self.finding(
+                module,
+                deco,
+                f"{cls.name}: state=/caches=/digest_exclude= must be "
+                "literal tuples of attribute names",
+                symbol=cls.name,
+            )
+            return
+
+        assigned = _dataclass_fields(cls)
+        for name, site in _self_attr_assignments(cls).items():
+            assigned.setdefault(name, site)
+        declared = set(state) | set(caches)
+
+        for name in sorted(set(assigned) - declared):
+            yield self.finding(
+                module,
+                assigned[name],
+                f"{cls.name}.{name} is assigned but not in the snapshot "
+                "surface; add it to state= (serialized) or caches= "
+                "(dropped and rebuilt)",
+                symbol=cls.name,
+            )
+        for name in sorted(declared - set(assigned)):
+            yield self.finding(
+                module,
+                deco,
+                f"{cls.name}.{name} is declared in the snapshot surface "
+                "but never assigned in the class body",
+                symbol=cls.name,
+            )
+        overlap = set(state) & set(caches)
+        for name in sorted(overlap):
+            yield self.finding(
+                module,
+                deco,
+                f"{cls.name}.{name} is listed as both state and cache",
+                symbol=cls.name,
+            )
+        for name in sorted(set(digest_exclude) - set(state)):
+            yield self.finding(
+                module,
+                deco,
+                f"{cls.name}.{name} is digest-excluded but not serialized "
+                "state",
+                symbol=cls.name,
+            )

@@ -43,7 +43,7 @@ DIGEST_ALGO = "repro-digest-v1"
 
 
 class _Hasher:
-    def __init__(self):
+    def __init__(self) -> None:
         self.h = hashlib.sha256(DIGEST_ALGO.encode())
         self.memo: dict[int, int] = {}
         self.keepalive: list = []  # pin ids for the walk's duration

@@ -98,21 +98,21 @@ class _ModuleRef:
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (_ModuleRef, (self.name,))
 
 
 # -- reconstructors (module-level, so they pickle by reference) -------------
 
 
-def _rebuild_cell(contents):
+def _rebuild_cell(contents: object) -> types.CellType:
     return types.CellType(contents)
 
 
-def _rebuild_empty_cell():
+def _rebuild_empty_cell() -> types.CellType:
     return types.CellType()
 
 
@@ -159,7 +159,7 @@ def _rebuild_function(
 class SnapshotPickler(pickle.Pickler):
     """``pickle.Pickler`` that serializes local functions by value."""
 
-    def reducer_override(self, obj):
+    def reducer_override(self, obj: object):
         if isinstance(obj, types.CellType):
             try:
                 return (_rebuild_cell, (obj.cell_contents,))

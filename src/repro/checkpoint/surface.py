@@ -58,12 +58,21 @@ def set_global_counter_state(state: dict[str, int]) -> None:
 
 
 def snapshot_surface(
+    state: tuple[str, ...] = (),
     caches: tuple[str, ...] = (),
     rebuild: Optional[str] = None,
     digest_exclude: tuple[str, ...] = (),
     note: str = "",
 ):
     """Class decorator declaring a layer's snapshot surface.
+
+    ``state`` is the complete list of serialized instance attributes —
+    the static contract.  ``repro.analysis`` (rule ``SURFACE-DECL``)
+    diffs it against every attribute the class body actually assigns,
+    so a new mutable attribute cannot join (or silently miss) the
+    pickle payload without this declaration being reviewed; the runtime
+    registry test covers the complementary direction, asserting every
+    stateful layer is decorated at all.
 
     ``digest_exclude`` names attributes that *are* serialized (they must
     survive a restore — e.g. which engine path to use) but are
@@ -74,6 +83,7 @@ def snapshot_surface(
 
     def decorate(cls: type) -> type:
         SNAPSHOT_SURFACES[cls] = {
+            "state": tuple(state),
             "caches": tuple(caches),
             "rebuild": rebuild,
             "digest_exclude": tuple(digest_exclude),
@@ -82,13 +92,13 @@ def snapshot_surface(
         if not caches:
             return cls  # pure declaration: default pickling already right
 
-        def __getstate__(self):
+        def __getstate__(self) -> dict:
             state = dict(self.__dict__)
             for name in caches:
                 state.pop(name, None)
             return state
 
-        def __setstate__(self, state):
+        def __setstate__(self, state: dict) -> None:
             self.__dict__.update(state)
             if rebuild is not None:
                 getattr(self, rebuild)()

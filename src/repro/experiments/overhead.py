@@ -92,6 +92,7 @@ def run_overhead(machine: str = "raptor-lake-i7-13700") -> OverheadResult:
         d = stats.delta(before)
         ops["stop"] = OpCost(d.total_calls, d.instructions_charged)
         out.costs[label] = ops
+        papi.destroy_eventset(es)
 
     # rdpmc fast path: read a P-core event from the target thread while
     # it runs on a P-core (valid) and on an E-core (invalid).
@@ -131,6 +132,7 @@ def run_overhead(machine: str = "raptor-lake-i7-13700") -> OverheadResult:
     )
     holder["fd"] = system.perf.perf_event_open(attr_p, pid=t.tid, cpu=-1)
     system.machine.run_until_done([t], max_s=5.0, strict=True)
+    system.perf.close(holder["fd"])
     return out
 
 

@@ -47,6 +47,15 @@ _EPS = 1e-12
 
 
 @snapshot_surface(
+    state=(
+        "system",
+        "machine",
+        "_timed",
+        "_conditional",
+        "_seq",
+        "fired",
+        "skipped",
+    ),
     note="Fault-plan progress is state: the timed heap (remaining "
     "injections), conditional injections, fired/skipped logs, and the "
     "itertools.count sequencer (pickles with its position).  The tick "

@@ -19,6 +19,7 @@ UTIL_HEADROOM = 1.25
 
 
 @snapshot_surface(
+    state=("topology", "freq_mhz", "_ceilings"),
     note="All state: per-cluster frequencies and named ceiling maps."
 )
 class DvfsGovernor:

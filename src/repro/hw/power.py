@@ -46,6 +46,7 @@ class PowerSample:
 
 
 @snapshot_surface(
+    state=("spec", "topology", "_phys_groups"),
     note="Stateless between ticks apart from the static physical-core "
     "grouping, which is derived from the topology and pickles as-is."
 )

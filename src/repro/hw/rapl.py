@@ -83,6 +83,16 @@ class RaplDomain:
 
 @dataclass
 @snapshot_surface(
+    state=(
+        "spec",
+        "package",
+        "cores",
+        "dram",
+        "_avg1_w",
+        "_avg_fast_w",
+        "_scale",
+        "throttle_events",
+    ),
     note="All state: domain energy accumulators, capping-controller "
     "averages and scale, throttle events, and fault modes."
 )

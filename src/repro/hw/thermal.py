@@ -66,6 +66,7 @@ class ThermalZone:
 
 
 @snapshot_surface(
+    state=("spec", "temp_c", "zone", "_scale", "throttle_events"),
     note="All state: integrated temperature, the sysfs-visible zone, "
     "per-cluster throttle scales and the throttle-event count."
 )

@@ -98,6 +98,27 @@ class PerfReadValue:
 
 
 @snapshot_surface(
+    state=(
+        "id",
+        "attr",
+        "pmu",
+        "arch_event",
+        "target_tid",
+        "target_cpu",
+        "enabled",
+        "count",
+        "time_enabled_s",
+        "time_running_s",
+        "group_leader",
+        "siblings",
+        "closed",
+        "parked",
+        "samples",
+        "lost_samples",
+        "_next_overflow",
+        "_sw_base",
+        "_rapl_base",
+    ),
     note="All state: counts, enabled/running clocks, group links, "
     "parked flag, software/RAPL baselines, sample ring and overflow "
     "cursor.  Ids come from the kernel.perf.next_event_id global "

@@ -94,6 +94,21 @@ class _DispatchEntry:
 
 
 @snapshot_surface(
+    state=(
+        "machine",
+        "registry",
+        "cost",
+        "_fds",
+        "_next_fd",
+        "_thread_events",
+        "_cpuwide_events",
+        "_uncore_events",
+        "_rapl_events",
+        "_cpu_pmu_type",
+        "_reserved",
+        "_fault_budgets",
+        "_dispatch_gen",
+    ),
     caches=("_dispatch",),
     rebuild="_init_snapshot_caches",
     note=(

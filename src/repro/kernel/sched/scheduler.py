@@ -37,6 +37,15 @@ class SchedEntry:
 
 
 @snapshot_surface(
+    state=(
+        "topology",
+        "rng",
+        "migrate_jitter",
+        "rebalance_jitter",
+        "total_migrations",
+        "total_switches",
+        "_prev_assignment",
+    ),
     note="All state: the jitter RNG (random.Random pickles its full "
     "Mersenne state), migration/switch totals, and the previous "
     "assignment map that keeps placement sticky across ticks."

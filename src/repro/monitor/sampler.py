@@ -67,6 +67,16 @@ class SampleTrace:
 
 
 @snapshot_surface(
+    state=(
+        "system",
+        "period_s",
+        "trace",
+        "_next_sample_s",
+        "_active",
+        "_t0",
+        "_last_energy_j",
+        "_last_energy_t",
+    ),
     note="All state: the accumulated trace, sampling phase "
     "(_next_sample_s, _t0) and energy baselines.  Snapshot a sampler "
     "together with its system (one composite payload) so the tick-hook "

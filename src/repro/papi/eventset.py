@@ -36,6 +36,15 @@ class EventEntry:
 
 @dataclass
 @snapshot_surface(
+    state=(
+        "esid",
+        "state",
+        "component",
+        "entries",
+        "attached",
+        "multiplexed",
+        "last_status",
+    ),
     note="All state: PAPI state machine position, entries with their "
     "kernel event handles, attach target, multiplex flag, last status."
 )

@@ -33,6 +33,21 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 @snapshot_surface(
+    state=(
+        "system",
+        "mode",
+        "pfm",
+        "_csv_presets",
+        "perf_event",
+        "perf_event_uncore",
+        "components",
+        "rapl",
+        "_eventsets",
+        "_next_esid",
+        "_started",
+        "_overflow_handlers",
+        "_overflow_hook_installed",
+    ),
     note="All state: eventsets (ids, entries, attach targets, "
     "multiplex flags, open fds into the perf subsystem), components "
     "and preset tables.  Snapshot a Papi together with its system in "

@@ -6,6 +6,7 @@ from repro.checkpoint.surface import snapshot_surface
 
 
 @snapshot_surface(
+    state=("dt_s", "ticks", "now_s"),
     note="Pure state (dt_s, ticks, now_s); slots-only class, pickled "
     "via the default slots protocol."
 )

@@ -120,6 +120,33 @@ class SimTimeout(RuntimeError):
 
 
 @snapshot_surface(
+    state=(
+        "spec",
+        "topology",
+        "clock",
+        "scheduler",
+        "governor",
+        "thermal",
+        "rapl",
+        "power_model",
+        "pmus",
+        "llc",
+        "cpuid",
+        "tsc_ghz",
+        "threads",
+        "tick_hooks",
+        "account_hooks",
+        "hotplug_hooks",
+        "last_power",
+        "last_checkpoint_path",
+        "fastpath",
+        "_next_tid",
+        "_tid_index",
+        "_busy",
+        "_spin",
+        "_fastpath_engine",
+        "_fastpath_safe_hooks",
+    ),
     caches=("_rate_vecs_by_id", "_rate_vecs_by_value", "_rec"),
     rebuild="_init_snapshot_caches",
     digest_exclude=("fastpath", "_fastpath_engine", "last_checkpoint_path"),

@@ -63,6 +63,26 @@ class Program:
 
 
 @snapshot_surface(
+    state=(
+        "tid",
+        "name",
+        "source",
+        "state",
+        "cpu",
+        "last_cpu",
+        "affinity",
+        "weight",
+        "vruntime",
+        "wake_at_s",
+        "current_phase",
+        "counters",
+        "runtime_s",
+        "total_runtime_s",
+        "spin_time_s",
+        "nr_switches",
+        "nr_migrations",
+        "_injected",
+    ),
     note="Everything is state: run/ready/blocked status, the in-flight "
     "phase (including closure-captured coordinators and barriers), "
     "per-PMU counters, accrued runtimes, pending control ops."

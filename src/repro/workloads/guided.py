@@ -96,6 +96,7 @@ def profile_job_missrates(
 
         def do_measure(thread, _papi=papi, _m=measured):
             _m["values"] = _papi.stop(_m["es"], caller=thread)
+            _papi.destroy_eventset(_m["es"], caller=thread)
 
         def do_setup(thread, _papi=papi, _m=measured):
             es = _papi.create_eventset()

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""repro-lint launcher.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis`` but runnable
+from anywhere in the repo without environment setup::
+
+    python tools/lint.py [--strict] [--json] [paths...]
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--root" not in argv:
+        argv = ["--root", str(REPO_ROOT), *argv]
+    sys.exit(main(argv))
