@@ -11,6 +11,14 @@ PRs can track the perf trajectory::
 The "before" numbers come from running the same workloads with
 ``fastpath=False`` (the original single-tick engine); "after" uses the
 macro-tick fast path.  Mean wall times in seconds, plus the speedup.
+Each benchmark also reports a ``traced_s`` column (fast path with full
+tracing on) so the cost of observation is tracked alongside.
+
+``--check-trace-overhead`` is the deterministic regression guard: the
+*simulated* completion time of the small HPL run (a pure function of
+the machine and seed, immune to host noise) must stay within 2% of the
+``hpl_sim_time_s`` recorded in ``BENCH_simulator.json``, and tracing
+must not move it at all.
 """
 
 from __future__ import annotations
@@ -37,8 +45,8 @@ RATES = constant_rates(
 MACHINE = "raptor-lake-i7-13700"
 
 
-def _loaded_system(fastpath: bool, with_events: bool) -> System:
-    system = System(MACHINE, dt_s=0.001, fastpath=fastpath)
+def _loaded_system(fastpath: bool, with_events: bool, trace: bool = False) -> System:
+    system = System(MACHINE, dt_s=0.001, fastpath=fastpath, trace=trace)
     threads = [
         system.machine.spawn(
             SimThread(f"w{cpu}", Program([ComputePhase(1e12, RATES)]), affinity={cpu})
@@ -59,9 +67,11 @@ def _loaded_system(fastpath: bool, with_events: bool) -> System:
     return system
 
 
-def bench_tick(fastpath: bool, with_events: bool, rounds: int) -> float:
+def bench_tick(
+    fastpath: bool, with_events: bool, rounds: int, trace: bool = False
+) -> float:
     """Mean cost of one fully loaded ``run_ticks`` tick, in seconds."""
-    system = _loaded_system(fastpath, with_events)
+    system = _loaded_system(fastpath, with_events, trace=trace)
     batch = 50
     times = []
     for _ in range(rounds):
@@ -71,11 +81,11 @@ def bench_tick(fastpath: bool, with_events: bool, rounds: int) -> float:
     return statistics.mean(times)
 
 
-def bench_hpl(fastpath: bool, rounds: int) -> float:
+def bench_hpl(fastpath: bool, rounds: int, trace: bool = False) -> float:
     """Mean wall time of one small full HPL run (16 threads), in seconds."""
     times = []
     for _ in range(rounds):
-        system = System(MACHINE, dt_s=0.01, fastpath=fastpath)
+        system = System(MACHINE, dt_s=0.01, fastpath=fastpath, trace=trace)
         t0 = time.perf_counter()
         result = run_hpl(
             system,
@@ -88,10 +98,23 @@ def bench_hpl(fastpath: bool, rounds: int) -> float:
     return statistics.mean(times)
 
 
+def hpl_sim_time(trace: bool) -> float:
+    """*Simulated* completion time of the small HPL run — deterministic,
+    so usable as a bit-stable regression reference."""
+    system = System(MACHINE, dt_s=0.01, trace=trace)
+    run_hpl(
+        system,
+        HplConfig(n=4608, nb=192),
+        variant="intel",
+        cpus=system.topology.primary_threads(),
+    )
+    return system.machine.now_s
+
+
 BENCHES = {
-    "engine_tick_throughput": lambda fp, r: bench_tick(fp, False, r),
-    "perf_account_hook_overhead": lambda fp, r: bench_tick(fp, True, r),
-    "hpl_simulation_rate": lambda fp, r: bench_hpl(fp, r),
+    "engine_tick_throughput": lambda fp, r, tr=False: bench_tick(fp, False, r, tr),
+    "perf_account_hook_overhead": lambda fp, r, tr=False: bench_tick(fp, True, r, tr),
+    "hpl_simulation_rate": lambda fp, r, tr=False: bench_hpl(fp, r, tr),
 }
 
 #: pytest-benchmark means measured on the pre-fast-path engine (commit
@@ -105,6 +128,30 @@ SEED_BASELINE_S = {
 }
 
 
+def check_trace_overhead(baseline_path: Path, tolerance: float = 0.02) -> int:
+    """Deterministic guard: trace-off HPL *sim* time within ``tolerance``
+    of the recorded baseline, and tracing must not move sim time at all."""
+    baseline = json.loads(baseline_path.read_text()).get("hpl_sim_time_s")
+    if baseline is None:
+        print(f"{baseline_path} has no hpl_sim_time_s; regenerate the baseline")
+        return 1
+    off = hpl_sim_time(trace=False)
+    on = hpl_sim_time(trace=True)
+    drift = abs(off - baseline) / baseline
+    print(
+        f"hpl sim time: baseline {baseline:.6f}s  trace-off {off:.6f}s "
+        f"(drift {drift * 100:.3f}%)  trace-on {on:.6f}s"
+    )
+    ok = True
+    if drift > tolerance:
+        print(f"FAIL: trace-off sim time drifted more than {tolerance * 100:.0f}%")
+        ok = False
+    if on != off:
+        print("FAIL: tracing changed the simulated completion time")
+        ok = False
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", type=Path, default=None)
@@ -114,7 +161,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="single-round CI smoke run; timings are not representative",
     )
+    parser.add_argument(
+        "--check-trace-overhead",
+        action="store_true",
+        help="compare HPL simulated time against BENCH_simulator.json "
+        "(deterministic; fails on >2%% drift or any trace-on divergence)",
+    )
     args = parser.parse_args(argv)
+    if args.check_trace_overhead:
+        baseline = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+        return check_trace_overhead(baseline)
     if args.smoke:
         args.rounds = 1
     if args.rounds < 1:
@@ -128,16 +184,20 @@ def main(argv=None) -> int:
     for name, fn in BENCHES.items():
         before = fn(False, args.rounds)
         after = fn(True, args.rounds)
+        traced = fn(True, args.rounds, True)
         results[name] = {
             "seed_s": SEED_BASELINE_S[name],
             "before_s": before,
             "after_s": after,
+            "traced_s": traced,
             "speedup": before / after,
             "speedup_vs_seed": SEED_BASELINE_S[name] / after,
+            "trace_on_overhead": traced / after - 1.0,
         }
         print(
             f"{name:32s} before {before * 1e3:9.3f} ms   "
-            f"after {after * 1e3:9.3f} ms   {before / after:5.2f}x"
+            f"after {after * 1e3:9.3f} ms   {before / after:5.2f}x   "
+            f"traced {traced * 1e3:9.3f} ms"
         )
 
     payload = {
@@ -145,7 +205,9 @@ def main(argv=None) -> int:
         "unit": "seconds (mean wall time)",
         "before": "Machine(fastpath=False) — original single-tick engine",
         "after": "Machine(fastpath=True) — macro-tick fast path",
+        "traced": "Machine(fastpath=True, trace=True) — full tracing on",
         "rounds": args.rounds,
+        "hpl_sim_time_s": hpl_sim_time(trace=False),
         "results": results,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")

@@ -29,6 +29,7 @@ DETERMINISTIC_SCOPE = (
     "src/repro/hw",
     "src/repro/faults",
     "src/repro/hpl",
+    "src/repro/trace",
 )
 
 #: Dotted call targets that read host wall-clock time.

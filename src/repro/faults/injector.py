@@ -21,6 +21,7 @@ perf, or sensor state is never a steady tick.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import itertools
 from typing import TYPE_CHECKING
@@ -167,8 +168,28 @@ class FaultInjector:
             # The kernel refusing an injection (cpu0 hotplug, ...) is a
             # plan defect, not a reason to crash the simulated workload.
             self.skipped.append((now, fault, str(exc)))
+            self._trace("skipped", fault, reason=str(exc))
             return
         self.fired.append((now, fault))
+        self._trace("fired", fault)
+
+    def _trace(self, name: str, fault, **extra) -> None:
+        """Emit one ("fault", name) event.  Firings always kill a live
+        recorder (a fault tick is never steady), so emission is
+        fastpath-parity-safe."""
+        tr = self.machine.tracer
+        if tr is None or not tr.fault:
+            return
+        detail = {
+            k: list(v) if isinstance(v, tuple) else v
+            for k, v in dataclasses.asdict(fault).items()
+        }
+        tr.emit(
+            "fault",
+            name,
+            args={"fault": type(fault).__name__, **detail, **extra},
+        )
+        tr.metrics.counter(f"faults.{name}", key=type(fault).__name__)
 
     def _sensors(self, name: str) -> list:
         m = self.machine

@@ -19,8 +19,10 @@ UTIL_HEADROOM = 1.25
 
 
 @snapshot_surface(
-    state=("topology", "freq_mhz", "_ceilings"),
-    note="All state: per-cluster frequencies and named ceiling maps."
+    state=("topology", "freq_mhz", "_ceilings", "tracer"),
+    digest_exclude=("tracer",),
+    note="All state: per-cluster frequencies and named ceiling maps.  "
+    "The tracer is a digest-excluded observer set by the machine."
 )
 class DvfsGovernor:
     """Tracks the operating frequency of each cluster.
@@ -38,6 +40,8 @@ class DvfsGovernor:
         ]
         # Constraint ceilings, each a dict constraint-name -> max MHz.
         self._ceilings: list[dict[str, float]] = [dict() for _ in range(n)]
+        #: Trace observer, set by the owning Machine when tracing is on.
+        self.tracer = None
 
     # -- constraints ------------------------------------------------------
 
@@ -66,11 +70,33 @@ class DvfsGovernor:
         """
         if len(cluster_util) != len(self.topology.clusters):
             raise ValueError("one utilization value per cluster required")
+        # The governor runs live on every tick of both engine paths
+        # (macro-tick replay steps it too), so frequency-change events
+        # are emitted at identical sim times under either path.
+        tr = self.tracer
+        if tr is not None and not tr.dvfs:
+            tr = None
         for i, cl in enumerate(self.topology.clusters):
             ct = cl.ctype
             target = ct.max_freq_mhz * min(1.0, cluster_util[i] * UTIL_HEADROOM)
             target = max(target, ct.min_freq_mhz)
             target = min(target, self.ceiling_mhz(i))
+            if tr is not None and target != self.freq_mhz[i]:
+                tr.emit(
+                    "dvfs",
+                    "freq",
+                    args={
+                        "cluster": i,
+                        "core_type": ct.name,
+                        "from_mhz": self.freq_mhz[i],
+                        "to_mhz": target,
+                        "capped": target < ct.max_freq_mhz
+                        and target == self.ceiling_mhz(i),
+                    },
+                )
+                tr.metrics.counter("dvfs.transitions", key=ct.name)
+                tr.metrics.gauge("dvfs.freq_mhz", key=ct.name, value=target)
+                tr.metrics.observe("dvfs.freq_mhz", key=ct.name, value=target)
             # Frequency transitions are effectively instantaneous at our
             # tick granularity (hardware P-state changes take microseconds).
             self.freq_mhz[i] = target

@@ -92,9 +92,12 @@ class RaplDomain:
         "_avg_fast_w",
         "_scale",
         "throttle_events",
+        "tracer",
     ),
+    digest_exclude=("tracer",),
     note="All state: domain energy accumulators, capping-controller "
-    "averages and scale, throttle events, and fault modes."
+    "averages and scale, throttle events, and fault modes.  The tracer "
+    "is a digest-excluded observer set by the machine."
 )
 class RaplPackage:
     """Package-level RAPL: domains plus the PL1/PL2 capping controller."""
@@ -107,6 +110,8 @@ class RaplPackage:
     _avg_fast_w: float = 0.0   # short EWMA the controller acts on
     _scale: float = 1.0        # package frequency-ceiling scale in (0, 1]
     throttle_events: int = 0
+    #: Trace observer, set by the owning Machine when tracing is on.
+    tracer: Optional[object] = None
 
     #: Smoothing window of the control signal, seconds.
     FAST_WINDOW_S = 0.25
@@ -131,6 +136,13 @@ class RaplPackage:
         self.package.accumulate(package_w, dt_s)
         self.cores.accumulate(cores_w, dt_s)
         self.dram.accumulate(dram_w, dt_s)
+        # RAPL steps run live on both engine paths, so the periodic
+        # energy samples land at identical sim times under either path.
+        tr = self.tracer
+        if tr is not None and not tr.rapl:
+            tr = None
+        if tr is not None:
+            tr.rapl_sample(self, package_w)
         if not self.enabled:
             return
         pl1 = self.spec.rapl_pl1_w
@@ -155,7 +167,26 @@ class RaplPackage:
         adj = min(max(ratio, lo), hi)
         if adj < 1.0:
             self.throttle_events += 1
+        prev_scale = self._scale
         self._scale = min(1.0, max(0.05, self._scale * adj))
+        if (
+            tr is not None
+            and (self._scale < 1.0 - 1e-9) != (prev_scale < 1.0 - 1e-9)
+        ):
+            limited = self._scale < 1.0 - 1e-9
+            tr.emit(
+                "rapl",
+                "power_limit_begin" if limited else "power_limit_end",
+                args={
+                    "budget_w": budget,
+                    "avg_w": self._avg1_w,
+                    "scale": self._scale,
+                },
+            )
+            if limited:
+                tr.metrics.counter(
+                    "rapl.power_limit_transitions", key=self.package.name
+                )
 
         for i, cl in enumerate(self.spec.topology.clusters):
             governor.set_ceiling(i, CEILING_NAME, cl.ctype.max_freq_mhz * self._scale)

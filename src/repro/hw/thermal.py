@@ -66,9 +66,11 @@ class ThermalZone:
 
 
 @snapshot_surface(
-    state=("spec", "temp_c", "zone", "_scale", "throttle_events"),
+    state=("spec", "temp_c", "zone", "_scale", "throttle_events", "tracer"),
+    digest_exclude=("tracer",),
     note="All state: integrated temperature, the sysfs-visible zone, "
-    "per-cluster throttle scales and the throttle-event count."
+    "per-cluster throttle scales and the throttle-event count.  The "
+    "tracer is a digest-excluded observer set by the machine."
 )
 class ThermalModel:
     """Integrates package temperature and applies thermal frequency limits."""
@@ -84,6 +86,8 @@ class ThermalModel:
         # Per-cluster throttle scale in (0, 1], 1 = unthrottled.
         self._scale = [1.0] * len(spec.topology.clusters)
         self.throttle_events = 0
+        #: Trace observer, set by the owning Machine when tracing is on.
+        self.tracer = None
 
     @property
     def sustainable_power_w(self) -> float:
@@ -93,15 +97,54 @@ class ThermalModel:
     def step(self, power_w: float, dt_s: float) -> float:
         """Advance the RC model by ``dt_s`` under ``power_w``; returns temp."""
         spec = self.spec
+        prev_c = self.temp_c
         dTdt = (power_w - (self.temp_c - spec.ambient_c) / spec.thermal_r_c_per_w) / spec.thermal_c_j_per_c
         self.temp_c += dTdt * dt_s
         self.temp_c = max(spec.ambient_c, self.temp_c)
         self.zone.temp_c = self.temp_c
+        # Thermal steps run live on both engine paths; trip-crossing
+        # events are therefore emitted at path-identical sim times.
+        tr = self.tracer
+        if tr is not None and tr.thermal:
+            trip = spec.thermal_trip_c
+            if (prev_c < trip) != (self.temp_c < trip):
+                above = self.temp_c >= trip
+                tr.emit(
+                    "thermal",
+                    "trip_above" if above else "trip_below",
+                    args={"temp_c": self.temp_c, "trip_c": trip},
+                )
+                if above:
+                    tr.metrics.counter("thermal.trips", key=self.zone.name)
+            tr.metrics.gauge("thermal.temp_c", key=self.zone.name, value=self.temp_c)
         return self.temp_c
 
     def is_settled(self, target_c: float) -> bool:
         """Whether the package has cooled to ``target_c`` (run-start gate)."""
         return self.temp_c <= target_c
+
+    def _note_scale(self, i: int, new: float) -> None:
+        """Update one cluster's throttle scale, tracing the transitions.
+
+        ``apply_throttling`` runs live on both engine paths (macro-tick
+        replay steps it too), so begin/end events land at identical sim
+        times regardless of the fastpath setting.
+        """
+        old = self._scale[i]
+        tr = self.tracer
+        if (
+            tr is not None
+            and tr.thermal
+            and (old < 1.0 - 1e-9) != (new < 1.0 - 1e-9)
+        ):
+            ct_name = self.spec.topology.clusters[i].ctype.name
+            tr.emit(
+                "thermal",
+                "throttle_begin" if new < 1.0 - 1e-9 else "throttle_end",
+                args={"cluster": i, "scale": new, "temp_c": self.temp_c},
+            )
+            tr.metrics.counter("thermal.throttle_transitions", key=ct_name)
+        self._scale[i] = new
 
     #: Proportional gain of the thermal governor, as a fraction of the
     #: sustainable power per degC of headroom.  Far from the trip point
@@ -164,7 +207,7 @@ class ThermalModel:
             activity = cluster_activity[i]
             if activity <= 1e-6:
                 governor.set_ceiling(i, CEILING_NAME, ct.max_freq_mhz)
-                self._scale[i] = 1.0
+                self._note_scale(i, 1.0)
                 continue
             # Grant this cluster its floor plus a share of the surplus.
             extra_demand = (
@@ -177,6 +220,6 @@ class ThermalModel:
                 per_core, 1.0, ct.min_freq_ghz, ct.max_freq_ghz
             )
             governor.set_ceiling(i, CEILING_NAME, f_ghz * 1000.0)
-            self._scale[i] = f_ghz / ct.max_freq_ghz
+            self._note_scale(i, f_ghz / ct.max_freq_ghz)
             used_extra = ct.power.core_power(f_ghz, 1.0) * activity - floor_w[i]
             remaining -= max(used_extra, 0.0)

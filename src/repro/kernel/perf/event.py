@@ -208,6 +208,7 @@ class KernelPerfEvent:
         now_s: float = 0.0,
         cpu: int = -1,
         rec=None,
+        tracer=None,
     ) -> None:
         """Credit one execution slice of the target thread.
 
@@ -234,15 +235,22 @@ class KernelPerfEvent:
             if self._next_overflow is not None:
                 if rec is not None:
                     rec.unsteady = True  # sample emission is per-tick state
-                self._record_overflows(now_s, cpu)
+                self._record_overflows(now_s, cpu, tracer)
 
-    def _record_overflows(self, now_s: float, cpu: int) -> None:
-        """Emit one sample per period crossing within the slice."""
+    def _record_overflows(self, now_s: float, cpu: int, tracer=None) -> None:
+        """Emit one sample per period crossing within the slice.
+
+        Trace emission is parity-safe by construction: a sampling
+        event's accrual marks the tick recorder unsteady, so ticks that
+        emit samples are never macro-tick-replayed.
+        """
         period = float(self.attr.sample_period)
         while self.count >= self._next_overflow:
             self._next_overflow += period
             if len(self.samples) >= SAMPLE_BUFFER_CAP:
                 self.lost_samples += 1
+                if tracer is not None:
+                    tracer.metrics.counter("perf.lost_samples", key=self.pmu.name)
                 continue
             self.samples.append(
                 PerfSample(
@@ -252,6 +260,15 @@ class KernelPerfEvent:
                     pmu=self.pmu.name,
                 )
             )
+            if tracer is not None:
+                tracer.emit(
+                    "perf",
+                    "overflow",
+                    tid=self.target_tid,
+                    cpu=cpu,
+                    args={"id": self.id, "pmu": self.pmu.name},
+                )
+                tracer.metrics.counter("perf.overflows", key=self.pmu.name)
 
     def read_samples(self) -> list["PerfSample"]:
         """Drain the sample buffer (like reading the mmap ring)."""

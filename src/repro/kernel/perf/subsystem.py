@@ -108,15 +108,22 @@ class _DispatchEntry:
         "_reserved",
         "_fault_budgets",
         "_dispatch_gen",
+        "_mux_traced",
+        "_mismatch_traced",
     ),
     caches=("_dispatch",),
     rebuild="_init_snapshot_caches",
+    digest_exclude=("_mux_traced", "_mismatch_traced"),
     note=(
         "Multiplexing dispatch entries are generation-tagged memos "
         "rebuilt on first use; everything else — fd table, event "
         "contexts with counts and enabled/running clocks, rotation "
         "state via thread runtime, reserved counters, fault budgets, "
-        "the dispatch generation itself — is genuine kernel state."
+        "the dispatch generation itself — is genuine kernel state.  "
+        "The last-traced rotation slots and mismatch flags are "
+        "serialized (a restored run must not re-emit old transitions) "
+        "but digest-excluded: they only exist to deduplicate trace "
+        "emission and must not break trace-on/off digest parity."
     ),
 )
 class PerfSubsystem:
@@ -148,6 +155,12 @@ class PerfSubsystem:
         # Injected transient syscall failures: list of [ops, errno, left]
         # budgets consumed by _maybe_fail (fault-injection hook).
         self._fault_budgets: list[list] = []
+        # Trace-emission dedup state: last emitted rotation slot per
+        # (tid, pmu type) and current PMU-mismatch flag per event id.
+        # Events fire only on transitions, which by construction happen
+        # on ticks the macro-tick engine runs live (see repro.trace).
+        self._mux_traced: dict[tuple[int, int], int] = {}
+        self._mismatch_traced: dict[int, bool] = {}
         machine.account_hooks.append(self._account)
         machine.tick_hooks.append(self._on_tick)
         machine.hotplug_hooks.append(self._on_hotplug)
@@ -296,6 +309,16 @@ class PerfSubsystem:
             self._cpuwide_events.setdefault(target_cpu, []).append(event)
         if not attr.disabled:
             self._arm(event)
+        tr = self.machine.tracer
+        if tr is not None and tr.perf:
+            tr.emit(
+                "perf",
+                "open",
+                tid=target_tid,
+                cpu=target_cpu,
+                args={"fd": fd, "id": event.id, "pmu": pmu.name},
+            )
+            tr.metrics.counter("perf.opens", key=pmu.name)
         return fd
 
     def _resolve(
@@ -395,6 +418,15 @@ class PerfSubsystem:
             elif op is PerfIoctl.RESET:
                 ev.reset()
                 self._rebase(ev)
+        tr = self.machine.tracer
+        if tr is not None and tr.perf:
+            tr.emit(
+                "perf",
+                op.value,
+                tid=event.target_tid,
+                cpu=event.target_cpu,
+                args={"fd": fd, "id": event.id, "group": flag_group},
+            )
 
     def _arm(self, ev: KernelPerfEvent) -> None:
         ev.enable()
@@ -432,11 +464,14 @@ class PerfSubsystem:
         group = event.wants(ReadFormat.GROUP)
         self.cost.charge(caller, "read_group" if group else "read")
         self._maybe_fail("read")
+        tr = self.machine.tracer
+        if tr is not None and not tr.perf:
+            tr = None
         if group:
-            return [self._materialize(ev) for ev in event.group_events()]
-        return self._materialize(event)
+            return [self._materialize(ev, tr) for ev in event.group_events()]
+        return self._materialize(event, tr)
 
-    def _materialize(self, ev: KernelPerfEvent) -> PerfReadValue:
+    def _materialize(self, ev: KernelPerfEvent, tr=None) -> PerfReadValue:
         if ev.pmu.kind is PmuKind.SOFTWARE and ev.target_tid is not None:
             base = ev._sw_base if ev._sw_base is not None else 0.0
             ev.count = self._sw_stat(ev) - base
@@ -447,7 +482,22 @@ class PerfSubsystem:
             except SensorReadError as exc:
                 raise KernelError(Errno.EIO, str(exc)) from exc
             ev.count = joules / RAPL_PERF_UNIT_J
-        return ev.read_value()
+        rv = ev.read_value()
+        if tr is not None:
+            tr.emit(
+                "perf",
+                "read",
+                tid=ev.target_tid,
+                cpu=ev.target_cpu,
+                args={
+                    "id": ev.id,
+                    "pmu": ev.pmu.name,
+                    "value": rv.value,
+                    "enabled_ns": rv.time_enabled_ns,
+                    "running_ns": rv.time_running_ns,
+                },
+            )
+        return rv
 
     def close(self, fd: int, caller: Optional["SimThread"] = None) -> None:
         self.cost.charge(caller, "close")
@@ -457,6 +507,15 @@ class PerfSubsystem:
         event.closed = True
         event.disable()
         self._dispatch_gen += 1
+        tr = self.machine.tracer
+        if tr is not None and tr.perf:
+            tr.emit(
+                "perf",
+                "close",
+                tid=event.target_tid,
+                cpu=event.target_cpu,
+                args={"fd": fd, "id": event.id},
+            )
         # Detach from the group so GROUP reads and hw_counters_needed()
         # stop seeing the closed event; closing a leader upgrades its
         # siblings to singleton events, as Linux's perf_group_detach does.
@@ -498,13 +557,18 @@ class PerfSubsystem:
         if not events and not cpuwide and not uncore:
             return
         rec = self.machine._rec
+        tr = self.machine.tracer
+        if tr is not None and not tr.perf:
+            tr = None
         if events:
             core_pmu_type = self._cpu_pmu_type[cpu_id]
             entry = self._dispatch_entry(thread.tid, core_pmu_type, events)
             active = entry.static_active
             if active is None:
-                active = self._rotated_active(entry, thread, rec)
+                active = self._rotated_active(entry, thread, rec, tr)
             now_s = self.machine.clock.now_s
+            if tr is not None:
+                self._note_pmu_mismatches(events, core_pmu_type, cpu_id, tr)
             for ev in events:
                 ev.accrue(
                     core_pmu_type,
@@ -514,6 +578,7 @@ class PerfSubsystem:
                     now_s=now_s,
                     cpu=cpu_id,
                     rec=rec,
+                    tracer=tr,
                 )
         if cpuwide:
             for ev in cpuwide:
@@ -569,8 +634,37 @@ class PerfSubsystem:
         self._dispatch[key] = entry
         return entry
 
+    def _note_pmu_mismatches(
+        self, events, core_pmu_type: int, cpu_id: int, tr
+    ) -> None:
+        """Emit begin/end events when an enabled event starts/stops being
+        counted on the wrong core-type PMU (enabled-but-not-running).
+
+        Transitions require a migration, enable/disable or hotplug —
+        all of which run on live ticks — so emission is path-identical.
+        """
+        traced = self._mismatch_traced
+        for ev in events:
+            mismatched = (
+                ev.enabled
+                and not ev.closed
+                and ev.pmu.kind is PmuKind.CPU
+                and ev.pmu.type != core_pmu_type
+            )
+            if mismatched != traced.get(ev.id, False):
+                traced[ev.id] = mismatched
+                tr.emit(
+                    "perf",
+                    "pmu_mismatch_begin" if mismatched else "pmu_mismatch_end",
+                    tid=ev.target_tid,
+                    cpu=cpu_id,
+                    args={"id": ev.id, "pmu": ev.pmu.name},
+                )
+                if mismatched:
+                    tr.metrics.counter("perf.pmu_mismatches", key=ev.pmu.name)
+
     def _rotated_active(
-        self, entry: _DispatchEntry, thread: "SimThread", rec=None
+        self, entry: _DispatchEntry, thread: "SimThread", rec=None, tr=None
     ) -> set[KernelPerfEvent]:
         """Active set under rotation, memoized on the rotation slot."""
         rotating = entry.rotating
@@ -578,6 +672,21 @@ class PerfSubsystem:
         slot = int(thread.total_runtime_s / MUX_ROTATION_PERIOD_S) % n
         if rec is not None:
             rec.mux_guard(thread, slot, n)
+        if tr is not None:
+            key = (thread.tid, rotating[0].pmu.type)
+            if self._mux_traced.get(key) != slot:
+                self._mux_traced[key] = slot
+                tr.emit(
+                    "perf",
+                    "mux_rotate",
+                    tid=thread.tid,
+                    args={
+                        "pmu": rotating[0].pmu.name,
+                        "slot": slot,
+                        "groups": n,
+                    },
+                )
+                tr.metrics.counter("perf.mux_rotations", key=rotating[0].pmu.name)
         if slot == entry.last_slot:
             return entry.last_active
         active = set(entry.base_active)

@@ -44,11 +44,14 @@ class SchedEntry:
         "rebalance_jitter",
         "total_migrations",
         "total_switches",
+        "tracer",
         "_prev_assignment",
     ),
+    digest_exclude=("tracer",),
     note="All state: the jitter RNG (random.Random pickles its full "
     "Mersenne state), migration/switch totals, and the previous "
-    "assignment map that keeps placement sticky across ticks."
+    "assignment map that keeps placement sticky across ticks.  The "
+    "tracer is a digest-excluded observer set by the machine."
 )
 class Scheduler:
     """Assigns runnable threads to CPUs once per tick."""
@@ -66,6 +69,8 @@ class Scheduler:
         self.rebalance_jitter = rebalance_jitter
         self.total_migrations = 0
         self.total_switches = 0
+        #: Trace observer, set by the owning Machine when tracing is on.
+        self.tracer = None
         self._prev_assignment: dict[int, list[int]] = {}
 
     # -- helpers -----------------------------------------------------------
@@ -191,7 +196,14 @@ class Scheduler:
                     break
 
         # Build entries with proportional shares, and account switches and
-        # migrations by diffing against the previous tick.
+        # migrations by diffing against the previous tick.  Trace events
+        # fire only on *placement changes* (never on the per-tick
+        # timesharing switch accounting): steady placements must stay
+        # silent so a macro-tick replay — which skips the scheduler —
+        # emits the same event sequence as single-stepping.
+        tr = self.tracer
+        if tr is not None and not tr.sched:
+            tr = None
         result: dict[int, list[SchedEntry]] = {}
         new_assignment: dict[int, list[int]] = {}
         for cpu, ts in placed.items():
@@ -201,6 +213,31 @@ class Scheduler:
             result[cpu] = [SchedEntry(t, t.weight / total_w) for t in ts]
             new_assignment[cpu] = [t.tid for t in ts]
             for t in ts:
+                if tr is not None and t.cpu != cpu:
+                    if t.cpu is not None:
+                        tr.emit("sched", "switch_out", tid=t.tid, cpu=t.cpu)
+                    to_type = self.topology.core(cpu).ctype.name
+                    if t.last_cpu is not None and t.last_cpu != cpu:
+                        from_type = self.topology.core(t.last_cpu).ctype.name
+                        tr.emit(
+                            "sched",
+                            "migrate",
+                            tid=t.tid,
+                            cpu=cpu,
+                            args={
+                                "from_cpu": t.last_cpu,
+                                "to_cpu": cpu,
+                                "from_type": from_type,
+                                "to_type": to_type,
+                            },
+                        )
+                        tr.metrics.counter("sched.migrations", key=to_type)
+                        if from_type != to_type:
+                            tr.metrics.counter(
+                                "sched.cross_type_migrations", key=to_type
+                            )
+                    tr.emit("sched", "switch_in", tid=t.tid, cpu=cpu)
+                    tr.metrics.counter("sched.placements", key=to_type)
                 if t.last_cpu is not None and t.last_cpu != cpu:
                     t.nr_migrations += 1
                     self.total_migrations += 1

@@ -72,3 +72,11 @@ class EventSet:
 
     def names(self) -> list[str]:
         return [e.name for e in self.entries]
+
+    def trace_args(self) -> dict:
+        """Args payload for the ("papi", "start") trace event."""
+        return {
+            "events": self.names(),
+            "component": self.component.name if self.component else None,
+            "multiplexed": self.multiplexed,
+        }

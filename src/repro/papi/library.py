@@ -15,6 +15,7 @@ never the crash).
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence, TYPE_CHECKING
 
 from repro.checkpoint.surface import snapshot_surface
@@ -91,12 +92,44 @@ class Papi:
         self._overflow_handlers: dict[int, tuple] = {}
         self._overflow_hook_installed = False
 
+    # -- tracing --------------------------------------------------------------
+
+    def _trace(self, call: str, esid: Optional[int] = None, tid=None, **args) -> None:
+        """Emit one ``("papi", call)`` event when PAPI tracing is on.
+
+        Values are sanitized for the exporters: non-finite floats (NaN
+        reads after sensor dropouts) become ``None`` so dumps stay
+        strict JSON and compare equal across runs.  PAPI calls happen
+        between ticks (control operations kill any pending macro-tick
+        batch), so emission is fastpath-parity-safe by construction.
+        """
+        tr = self.system.machine.tracer
+        if tr is None or not tr.papi:
+            return
+        payload: dict = {}
+        if esid is not None:
+            payload["esid"] = esid
+        for key, value in args.items():
+            if isinstance(value, float) and not math.isfinite(value):
+                value = None
+            elif isinstance(value, list):
+                value = [
+                    None
+                    if isinstance(v, float) and not math.isfinite(v)
+                    else v
+                    for v in value
+                ]
+            payload[key] = value
+        tr.emit("papi", call, tid=tid, args=payload)
+        tr.metrics.counter("papi.calls", key=call)
+
     # -- EventSet lifecycle ---------------------------------------------------
 
     def create_eventset(self) -> int:
         es = EventSet(esid=self._next_esid)
         self._next_esid += 1
         self._eventsets[es.esid] = es
+        self._trace("create_eventset", esid=es.esid)
         return es.esid
 
     def eventset(self, esid: int) -> EventSet:
@@ -114,6 +147,7 @@ class Papi:
                 "cannot re-attach an EventSet that already has events",
             )
         es.attached = thread
+        self._trace("attach", esid=esid, tid=thread.tid)
 
     def set_multiplex(self, esid: int) -> None:
         es = self.eventset(esid)
@@ -124,6 +158,7 @@ class Papi:
                 "PAPI_set_multiplex must be called before events are added",
             )
         es.multiplexed = True
+        self._trace("set_multiplex", esid=esid)
 
     def cleanup_eventset(self, esid: int, caller: Optional["SimThread"] = None) -> None:
         es = self.eventset(esid)
@@ -133,12 +168,14 @@ class Papi:
         es.entries.clear()
         es.component = None
         self._started.discard(esid)
+        self._trace("cleanup_eventset", esid=esid)
 
     def destroy_eventset(self, esid: int, caller: Optional["SimThread"] = None) -> None:
         es = self.eventset(esid)
         if es.entries:
             self.cleanup_eventset(esid, caller)
         del self._eventsets[esid]
+        self._trace("destroy_eventset", esid=esid)
 
     # -- adding events -----------------------------------------------------------
 
@@ -166,6 +203,7 @@ class Papi:
             self._add_preset(es, name, caller)
         else:
             self._add_native(es, name, caller, component)
+        self._trace("add_event", esid=esid, event=name)
 
     def add_events(
         self, esid: int, names: Sequence[str], caller: Optional["SimThread"] = None
@@ -342,6 +380,7 @@ class Papi:
         es.component.start(es, caller)
         es.state = PapiState.RUNNING
         self._started.add(esid)
+        self._trace("start", esid=esid, **es.trace_args())
 
     def stop(self, esid: int, caller: Optional["SimThread"] = None) -> list[float]:
         es = self.eventset(esid)
@@ -351,7 +390,9 @@ class Papi:
             )
         slot_values = es.component.stop(es, caller)
         es.state = PapiState.STOPPED
-        return self._combine(es, slot_values)
+        values = self._combine(es, slot_values)
+        self._trace("stop", esid=esid, values=values)
+        return values
 
     def read(self, esid: int, caller: Optional["SimThread"] = None) -> list[float]:
         es = self.eventset(esid)
@@ -359,7 +400,9 @@ class Papi:
             raise PapiError(
                 PapiErrorCode.ENOTRUN, f"EventSet #{esid} was never started"
             )
-        return self._combine(es, es.component.read(es, caller))
+        values = self._combine(es, es.component.read(es, caller))
+        self._trace("read", esid=esid, values=values)
+        return values
 
     def last_status(self, esid: int) -> int:
         """Status of the EventSet's most recent read/stop: ``PAPI_OK`` or
@@ -371,6 +414,7 @@ class Papi:
         if es.component is None:
             raise PapiError(PapiErrorCode.EINVAL, "EventSet has no events")
         es.component.reset(es, caller)
+        self._trace("reset", esid=esid)
 
     def accum(
         self,
@@ -388,6 +432,7 @@ class Papi:
             )
         out = [a + b for a, b in zip(values, current)]
         self.reset(esid, caller)
+        self._trace("accum", esid=esid, values=out)
         return out
 
     def _combine(self, es: EventSet, slot_values: list[float]) -> list[float]:
@@ -428,6 +473,7 @@ class Papi:
                 f"{event_name!r} is not in EventSet #{esid}",
             ) from None
         fds = es.component.set_overflow(es, entry_index, threshold, caller)
+        self._trace("overflow", esid=esid, event=event_name, threshold=threshold)
         self._overflow_handlers.pop(esid, None)
         if threshold > 0:
             self._overflow_handlers[esid] = (handler, fds)

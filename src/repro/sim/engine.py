@@ -58,6 +58,7 @@ from repro.hw.topology import Core
 from repro.kernel.sched import Scheduler
 from repro.sim.clock import SimClock
 from repro.sim.task import ControlOp, Program, SimThread, ThreadState
+from repro.trace.tracer import make_tracer
 from repro.sim.workload import (
     ComputePhase,
     SleepPhase,
@@ -140,6 +141,7 @@ class SimTimeout(RuntimeError):
         "last_power",
         "last_checkpoint_path",
         "fastpath",
+        "tracer",
         "_next_tid",
         "_tid_index",
         "_busy",
@@ -149,12 +151,18 @@ class SimTimeout(RuntimeError):
     ),
     caches=("_rate_vecs_by_id", "_rate_vecs_by_value", "_rec"),
     rebuild="_init_snapshot_caches",
-    digest_exclude=("fastpath", "_fastpath_engine", "last_checkpoint_path"),
+    digest_exclude=(
+        "fastpath",
+        "_fastpath_engine",
+        "last_checkpoint_path",
+        "tracer",
+    ),
     note=(
         "Rate-vector caches are identity-keyed memos rebuilt lazily; a "
-        "tick recorder never outlives a tick.  Engine-path selection and "
-        "the checkpoint breadcrumb are configuration, not machine state, "
-        "so they stay out of the digest."
+        "tick recorder never outlives a tick.  Engine-path selection, "
+        "the checkpoint breadcrumb and the tracer (a pure observer that "
+        "must not perturb trace-on/off digest parity) are configuration, "
+        "not machine state, so they stay out of the digest."
     ),
 )
 class Machine:
@@ -168,10 +176,12 @@ class Machine:
         migrate_jitter: float = 0.0,
         rebalance_jitter: float = 0.0,
         fastpath: bool = True,
+        trace=None,
     ):
         self.spec = spec
         self.topology = spec.topology
         self.clock = SimClock(dt_s)
+        self.tracer = make_tracer(trace, self.clock)
         self.governor = DvfsGovernor(self.topology)
         self.power_model = PowerModel(spec)
         self.thermal = ThermalModel(spec)
@@ -185,6 +195,12 @@ class Machine:
             migrate_jitter=migrate_jitter,
             rebalance_jitter=rebalance_jitter,
         )
+        # Hand the observer to the layers that emit from their own step
+        # functions; perf/PAPI/faults reach it through ``machine.tracer``.
+        self.scheduler.tracer = self.tracer
+        self.governor.tracer = self.tracer
+        self.thermal.tracer = self.tracer
+        self.rapl.tracer = self.tracer
 
         self.threads: list[SimThread] = []
         self._next_tid = 1000
@@ -276,13 +292,20 @@ class Machine:
         if not core.online:
             return
         core.online = False
+        tr = self.tracer
+        if tr is not None and not tr.sched:
+            tr = None
         # Threads on the dead CPU lose their placement; the scheduler
         # gives them a fresh capacity-aware placement next tick.
         for t in self.threads:
             if t.cpu == cpu_id:
+                if tr is not None:
+                    tr.emit("sched", "switch_out", tid=t.tid, cpu=cpu_id)
                 t.cpu = None
             if t.last_cpu == cpu_id:
                 t.last_cpu = None
+        if tr is not None:
+            tr.emit("sched", "hotplug_offline", cpu=cpu_id)
         if self._rec is not None:
             self._rec.kill(self)
         for hook in self.hotplug_hooks:
@@ -294,6 +317,9 @@ class Machine:
         if core.online:
             return
         core.online = True
+        tr = self.tracer
+        if tr is not None and tr.sched:
+            tr.emit("sched", "hotplug_online", cpu=cpu_id)
         if self._rec is not None:
             self._rec.kill(self)
         for hook in self.hotplug_hooks:
@@ -444,6 +470,10 @@ class Machine:
                     if buckets:
                         self._flush_slice(thread, core, buckets)
                     thread.state = ThreadState.DONE
+                    tr = self.tracer
+                    if tr is not None and tr.sched:
+                        tr.emit("sched", "switch_out", tid=thread.tid, cpu=core.cpu_id)
+                        tr.emit("sched", "exit", tid=thread.tid, cpu=core.cpu_id)
                     thread.cpu = None
                     break
                 if isinstance(item, ControlOp):
@@ -521,6 +551,9 @@ class Machine:
                 if buckets:
                     self._flush_slice(thread, core, buckets)
                 thread.state = ThreadState.BLOCKED
+                tr = self.tracer
+                if tr is not None and tr.sched:
+                    tr.emit("sched", "switch_out", tid=thread.tid, cpu=core.cpu_id)
                 thread.cpu = None
                 if phase.wake_at_s is not None and thread.wake_at_s is None:
                     thread.wake_at_s = self.now_s + phase.wake_at_s

@@ -29,6 +29,7 @@ class System:
         rebalance_jitter: float = 0.0,
         expose_cpu_types: bool = False,
         fastpath: bool = True,
+        trace=None,
     ):
         if isinstance(spec, str):
             try:
@@ -46,6 +47,7 @@ class System:
             migrate_jitter=migrate_jitter,
             rebalance_jitter=rebalance_jitter,
             fastpath=fastpath,
+            trace=trace,
         )
         self.perf = PerfSubsystem(self.machine)
         self.sysfs = SysFs(self.machine, self.perf, expose_cpu_types=expose_cpu_types)
@@ -54,6 +56,15 @@ class System:
     @property
     def topology(self):
         return self.machine.topology
+
+    @property
+    def tracer(self):
+        """The structured-trace collector, or ``None`` when tracing is off.
+
+        Enable with ``System(..., trace=True)`` (all categories), a list
+        of category names, or a :class:`repro.trace.TraceConfig`.
+        """
+        return self.machine.tracer
 
     # -- checkpoint/restore --------------------------------------------------
 

@@ -1,0 +1,224 @@
+"""Trace exporters: Chrome trace-event JSON and a perf-script-style dump.
+
+``to_chrome`` renders the event tuples into the Chrome trace-event
+format (the JSON array-of-objects flavour), which Perfetto and
+``chrome://tracing`` load directly.  Lanes are organized as synthetic
+processes:
+
+* pid 1 ``sched`` — one track per thread; run intervals are B/E spans
+  named after the CPU, migrations and hotplug are instants;
+* pid 2 ``papi`` — one track per EventSet; start..stop counting windows
+  are B/E spans, other API calls are instants;
+* pid 3 ``hardware`` — DVFS frequencies and RAPL energy as counter
+  (``ph: "C"``) series, thermal/power-limit transitions as instants;
+* pid 4 ``kernel.perf`` — open/close/ioctl/read/rotation/mismatch
+  instants;
+* pid 5 ``faults`` — injector firings.
+
+``to_text`` is the ``perf script`` analogue: one whitespace-delimited
+line per event with a JSON args tail, and ``parse_text`` round-trips it
+exactly (floats via ``repr``, args via ``json``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional
+
+PID_SCHED = 1
+PID_PAPI = 2
+PID_HW = 3
+PID_PERF = 4
+PID_FAULT = 5
+
+_PROCESS_NAMES = {
+    PID_SCHED: "sched",
+    PID_PAPI: "papi",
+    PID_HW: "hardware",
+    PID_PERF: "kernel.perf",
+    PID_FAULT: "faults",
+}
+
+#: Sub-microsecond slack so zero-duration spans still render.
+_MIN_SPAN_US = 0.0
+
+
+def _json_safe(value):
+    """Replace non-finite floats (NaN reads after sensor faults) so the
+    emitted document is strict JSON that Perfetto accepts."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def to_chrome(events, label: str = "repro-trace") -> dict:
+    """Render events into a Chrome trace-event JSON document (dict)."""
+    out: list[dict] = []
+    depth: dict[tuple[int, int], int] = {}
+    last_us = 0.0
+
+    def record(
+        ph: str,
+        ts_us: float,
+        pid: int,
+        tid: int,
+        name: str,
+        cat: str,
+        args: Optional[dict] = None,
+    ) -> None:
+        entry = {
+            "ph": ph,
+            "ts": ts_us,
+            "pid": pid,
+            "tid": tid,
+            "name": name,
+            "cat": cat,
+        }
+        if args is not None:
+            entry["args"] = _json_safe(args)
+        if ph == "i":
+            entry["s"] = "t"  # thread-scoped instant
+        out.append(entry)
+
+    def begin(ts_us: float, pid: int, tid: int, name: str, cat: str, args=None) -> None:
+        record("B", ts_us, pid, tid, name, cat, args)
+        depth[(pid, tid)] = depth.get((pid, tid), 0) + 1
+
+    def end(ts_us: float, pid: int, tid: int, cat: str, args=None) -> None:
+        if depth.get((pid, tid), 0) <= 0:
+            return  # orphan end (span began before the ring's horizon)
+        depth[(pid, tid)] -= 1
+        record("E", ts_us, pid, tid, "", cat, args)
+
+    for ts, cat, name, tid, cpu, args in events:
+        us = ts * 1e6
+        last_us = us
+        if cat == "sched":
+            t = tid if tid is not None else 0
+            if name == "switch_in":
+                begin(us, PID_SCHED, t, f"run cpu{cpu}", cat, args)
+            elif name == "switch_out":
+                end(us, PID_SCHED, t, cat)
+            else:  # migrate / exit / hotplug_*
+                record("i", us, PID_SCHED, t, name, cat, args)
+        elif cat == "papi":
+            esid = (args or {}).get("esid", 0)
+            if name == "start":
+                begin(us, PID_PAPI, esid, "counting", cat, args)
+            elif name == "stop":
+                end(us, PID_PAPI, esid, cat, args)
+            else:
+                record("i", us, PID_PAPI, esid, name, cat, args)
+        elif cat == "dvfs":
+            cluster = (args or {}).get("cluster", 0)
+            record(
+                "C",
+                us,
+                PID_HW,
+                0,
+                f"freq_mhz[{(args or {}).get('core_type', cluster)}]",
+                cat,
+                {"mhz": (args or {}).get("to_mhz", 0.0)},
+            )
+        elif cat == "rapl" and name == "energy":
+            record(
+                "C",
+                us,
+                PID_HW,
+                0,
+                "rapl_energy_j",
+                cat,
+                {
+                    "package": (args or {}).get("package_j", 0.0),
+                    "cores": (args or {}).get("cores_j", 0.0),
+                    "dram": (args or {}).get("dram_j", 0.0),
+                },
+            )
+        elif cat in ("thermal", "rapl"):
+            record("i", us, PID_HW, 0, name, cat, args)
+        elif cat == "perf":
+            record("i", us, PID_PERF, tid if tid is not None else 0, name, cat, args)
+        elif cat == "fault":
+            record("i", us, PID_FAULT, 0, name, cat, args)
+        else:  # future categories degrade to generic instants
+            record("i", us, PID_HW, tid if tid is not None else 0, name, cat, args)
+
+    # Close spans still open at the trace horizon so B/E stay balanced.
+    for (pid, tid), n in sorted(depth.items()):
+        for _ in range(n):
+            record("E", last_us + _MIN_SPAN_US, pid, tid, "", "trace")
+        depth[(pid, tid)] = 0
+
+    for pid, name in _PROCESS_NAMES.items():
+        out.append(
+            {
+                "ph": "M",
+                "ts": 0.0,
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "cat": "__metadata",
+                "args": {"name": name},
+            }
+        )
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": label},
+    }
+
+
+def save_chrome(path: str, events, label: str = "repro-trace") -> None:
+    """Write a Perfetto-loadable ``.trace.json`` file."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome(events, label=label), fh, indent=1)
+        fh.write("\n")
+
+
+# -- text dump ---------------------------------------------------------------
+
+_TEXT_HEADER = "# repro-trace v1: ts category name tid=<n|-> cpu=<n|-> args-json"
+
+
+def to_text(events) -> str:
+    """``perf script``-style dump: one line per event, exact round-trip.
+
+    Timestamps are ``repr`` floats (round-trip exactly), args a compact
+    JSON object or ``-`` when absent.
+    """
+    lines = [_TEXT_HEADER]
+    for ts, cat, name, tid, cpu, args in events:
+        tid_s = "-" if tid is None else str(tid)
+        cpu_s = "-" if cpu is None else str(cpu)
+        args_s = (
+            "-"
+            if args is None
+            else json.dumps(args, separators=(",", ":"))
+        )
+        lines.append(f"{ts!r} {cat} {name} tid={tid_s} cpu={cpu_s} {args_s}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_text(text: str) -> list:
+    """Parse a :func:`to_text` dump back into event tuples."""
+    events = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            ts_s, cat, name, tid_s, cpu_s, args_s = line.split(" ", 5)
+            if not (tid_s.startswith("tid=") and cpu_s.startswith("cpu=")):
+                raise ValueError("malformed tid/cpu fields")
+            tid = None if tid_s == "tid=-" else int(tid_s[4:])
+            cpu = None if cpu_s == "cpu=-" else int(cpu_s[4:])
+            args = None if args_s == "-" else json.loads(args_s)
+            events.append((float(ts_s), cat, name, tid, cpu, args))
+        except ValueError as exc:
+            raise ValueError(f"bad trace line {lineno}: {line!r} ({exc})") from None
+    return events

@@ -100,6 +100,55 @@ class TestRestoreEquivalence:
         assert out.returncode == 0, out.stderr
         assert out.stdout.strip() == d_straight
 
+    def test_traced_restore_stitches_one_seamless_trace(self, tmp_path):
+        """Snapshot mid-run with tracing on, restore in a *fresh process*,
+        finish the run: the stitched trace (prefix carried inside the
+        snapshot + events emitted after restore) must equal the trace of
+        a never-interrupted run, event for event, timestamp for
+        timestamp — and so must the state digest."""
+        from repro.trace import to_text
+
+        def spawn(system):
+            return system.machine.spawn_program(
+                "app", [ComputePhase(3e9, RATES)]
+            )
+
+        g0 = global_counter_state()
+        straight = System(MACHINE, dt_s=0.01, trace=True, migrate_jitter=0.03)
+        spawn(straight)
+        straight.machine.run_until_done(straight.machine.threads, max_s=10)
+        want_digest = straight.state_digest()
+        want_trace = to_text(straight.tracer.events_list())
+
+        set_global_counter_state(g0)
+        snapped = System(MACHINE, dt_s=0.01, trace=True, migrate_jitter=0.03)
+        spawn(snapped)
+        snapped.machine.run_for(0.07)
+        assert snapped.tracer.events_list(), "nothing traced before the snap"
+        path = str(tmp_path / "traced.snap")
+        snapped.save(path)
+
+        script = (
+            "import sys\n"
+            "from repro.system import System\n"
+            "from repro.trace import to_text\n"
+            "system = System.restore(sys.argv[1])\n"
+            "system.machine.run_until_done(system.machine.threads, max_s=10)\n"
+            "print(system.state_digest())\n"
+            "sys.stdout.write(to_text(system.tracer.events_list()))\n"
+        )
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        out = subprocess.run(
+            [sys.executable, "-c", script, path],
+            capture_output=True,
+            text=True,
+            env=dict(os.environ, PYTHONPATH=src),
+        )
+        assert out.returncode == 0, out.stderr
+        got_digest, _, got_trace = out.stdout.partition("\n")
+        assert got_digest == want_digest
+        assert got_trace == want_trace
+
     def test_save_meta_and_describe(self, tmp_path):
         system = System(MACHINE, dt_s=0.01)
         system.machine.run_for(0.1)
@@ -282,6 +331,9 @@ class TestSurfaceRegistry:
             "ThermalModel",
             "RaplPackage",
             "PowerModel",
+            "Tracer",
+            "TraceConfig",
+            "MetricsRegistry",
         ):
             assert name in declared, f"{name} must declare its snapshot surface"
 

@@ -1,0 +1,147 @@
+"""Exporter conformance: Chrome trace-event JSON and the text dump.
+
+The Chrome document must satisfy the trace-event format contract that
+Perfetto / ``chrome://tracing`` enforce: every entry carries ``ph``,
+``ts``, ``pid`` and ``tid``; duration events balance (every ``E`` has a
+matching earlier ``B`` on its (pid, tid) track, and nothing is left open
+at the end); the document is strict JSON even when PAPI reads contain
+NaN after a sensor fault.  The text dump must round-trip exactly
+through ``parse_text``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.papi import Papi
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+from repro.trace import parse_text, save_chrome, to_chrome, to_text
+
+MACHINE = "raptor-lake-i7-13700"
+RATES = PhaseRates(
+    ipc=2.0,
+    flops_per_instr=0.5,
+    llc_refs_per_instr=0.01,
+    llc_miss_rate=0.3,
+    l2_refs_per_instr=0.05,
+    l2_miss_rate=0.2,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_events():
+    system = System(MACHINE, dt_s=0.01, seed=7, migrate_jitter=0.03, trace=True)
+    papi = Papi(system)
+    rates = constant_rates(RATES)
+    threads = [
+        system.machine.spawn(
+            SimThread(f"w{i}", Program([ComputePhase(3e9, rates)]))
+        )
+        for i in range(2)
+    ]
+    es = papi.create_eventset()
+    papi.attach(es, threads[0])
+    papi.add_event(es, "PAPI_TOT_INS")
+    papi.start(es)
+    system.machine.run_for(0.4)
+    papi.stop(es)
+    return system.tracer.events_list()
+
+
+class TestChromeExport:
+    def test_required_fields_present(self, traced_events):
+        doc = to_chrome(traced_events)
+        assert doc["traceEvents"]
+        for entry in doc["traceEvents"]:
+            for field in ("ph", "ts", "pid", "tid", "name", "cat"):
+                assert field in entry, f"missing {field}: {entry}"
+            assert entry["ph"] in ("B", "E", "i", "C", "M")
+            assert isinstance(entry["ts"], float)
+
+    def test_duration_events_balance(self, traced_events):
+        depth: dict[tuple, int] = {}
+        last_b_ts: dict[tuple, float] = {}
+        for entry in to_chrome(traced_events)["traceEvents"]:
+            key = (entry["pid"], entry["tid"])
+            if entry["ph"] == "B":
+                depth[key] = depth.get(key, 0) + 1
+                last_b_ts[key] = entry["ts"]
+            elif entry["ph"] == "E":
+                assert depth.get(key, 0) > 0, f"unmatched E on {key}"
+                assert entry["ts"] >= last_b_ts[key]
+                depth[key] -= 1
+        assert all(n == 0 for n in depth.values()), f"unclosed spans: {depth}"
+
+    def test_truncated_ring_drops_orphan_ends(self, traced_events):
+        # Simulate a ring that lost its oldest events: the exporter must
+        # drop end-events whose begin fell off the horizon, not emit an
+        # unbalanced E.
+        tail = traced_events[len(traced_events) // 2:]
+        depth: dict[tuple, int] = {}
+        for entry in to_chrome(tail)["traceEvents"]:
+            key = (entry["pid"], entry["tid"])
+            if entry["ph"] == "B":
+                depth[key] = depth.get(key, 0) + 1
+            elif entry["ph"] == "E":
+                assert depth.get(key, 0) > 0, f"unmatched E on {key}"
+                depth[key] -= 1
+
+    def test_process_metadata_and_strict_json(self, traced_events, tmp_path):
+        path = str(tmp_path / "out.trace.json")
+        save_chrome(path, traced_events, label="conformance")
+        with open(path) as fh:
+            doc = json.load(fh)
+        # Python's parser accepts NaN/Infinity by default; Perfetto does
+        # not, so re-parse in strict mode.
+        with open(path) as fh:
+            json.loads(fh.read(), parse_constant=lambda c: pytest.fail(
+                f"non-strict JSON constant {c} in exported document"
+            ))
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"sched", "papi", "hardware", "kernel.perf", "faults"}
+        assert doc["otherData"]["generator"] == "conformance"
+
+    def test_nan_args_exported_as_strict_json(self):
+        events = [
+            (0.1, "papi", "read", None, None, {"esid": 1, "values": [float("nan")]}),
+            (0.2, "papi", "stop", None, None, {"esid": 1, "values": [float("inf")]}),
+        ]
+        text = json.dumps(to_chrome(events), allow_nan=False)  # raises if NaN leaks
+        json.loads(text)
+
+    def test_counter_series_for_dvfs_and_rapl(self, traced_events):
+        entries = to_chrome(traced_events)["traceEvents"]
+        counters = [e for e in entries if e["ph"] == "C"]
+        assert any(e["name"].startswith("freq_mhz[") for e in counters)
+        assert any(e["name"] == "rapl_energy_j" for e in counters)
+
+
+class TestTextDump:
+    def test_round_trip_exact(self, traced_events):
+        assert parse_text(to_text(traced_events)) == traced_events
+
+    def test_round_trip_preserves_float_precision(self):
+        events = [
+            (0.30000000000000004, "dvfs", "freq", None, None, {"to_mhz": 5100.0}),
+            (1e-12, "sched", "switch_in", 7, 3, None),
+        ]
+        assert parse_text(to_text(events)) == events
+
+    def test_header_and_comments_skipped(self):
+        text = to_text([(0.0, "sched", "switch_in", 1, 0, None)])
+        assert text.startswith("#")
+        assert parse_text("\n# comment\n\n" + text) == [
+            (0.0, "sched", "switch_in", 1, 0, None)
+        ]
+
+    def test_malformed_line_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_text("# header\n0.0 sched switch_in bogus\n")

@@ -1,0 +1,131 @@
+"""Trace invariants under a 16-seed randomized sweep.
+
+Each seed runs a jittered multi-thread workload with a counting PAPI
+EventSet, periodic reads, and a RAPL sensor dropout, then checks the
+structural invariants any consumer of the trace may rely on:
+
+* timestamps are non-decreasing (the ring preserves emission order);
+* per-event counter samples are monotonic: value, enabled and running
+  never decrease, and enabled >= running at every sample;
+* scheduler in/out events alternate per thread, and every migration is
+  bracketed — its ``from_cpu`` matches the thread's most recent
+  switch-out and a switch-in to ``to_cpu`` follows immediately;
+* RAPL energy samples never decrease, even across sensor dropouts
+  (trace samples carry ground-truth energy, not the faulted reading).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultPlan, SensorDropout
+from repro.papi import Papi
+from repro.sim.task import Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+MACHINE = "raptor-lake-i7-13700"
+RATES = PhaseRates(
+    ipc=2.0,
+    flops_per_instr=0.5,
+    llc_refs_per_instr=0.01,
+    llc_miss_rate=0.3,
+    l2_refs_per_instr=0.05,
+    l2_miss_rate=0.2,
+)
+SEEDS = range(16)
+
+
+def _traced_run(seed: int):
+    rates = constant_rates(RATES)
+    system = System(
+        MACHINE, dt_s=0.01, seed=seed, migrate_jitter=0.04, trace=True
+    )
+    papi = Papi(system)
+    threads = [
+        system.machine.spawn(
+            SimThread(f"w{i}", Program([ComputePhase(4e9, rates)]))
+        )
+        for i in range(3)
+    ]
+    es = papi.create_eventset()
+    papi.attach(es, threads[0])
+    papi.add_event(es, "PAPI_TOT_INS")
+    system.inject_faults(
+        FaultPlan().at(0.1, SensorDropout("rapl", mode="stale", duration_s=0.1))
+    )
+    papi.start(es)
+    for _ in range(8):
+        system.machine.run_for(0.05)
+        papi.read(es)
+    papi.stop(es)
+    tracer = system.tracer
+    assert tracer.dropped == 0, "ring overflowed; invariants would be partial"
+    return tracer.events_list()
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def events(request):
+    return _traced_run(request.param)
+
+
+def test_timestamps_non_decreasing(events):
+    ts = [ev[0] for ev in events]
+    assert all(a <= b for a, b in zip(ts, ts[1:]))
+
+
+def test_counter_samples_monotonic_and_enabled_ge_running(events):
+    last: dict[int, tuple] = {}
+    reads = [ev for ev in events if ev[1] == "perf" and ev[2] == "read"]
+    assert reads, "sweep produced no perf read samples"
+    for _, _, _, _, _, args in reads:
+        eid = args["id"]
+        sample = (args["value"], args["enabled_ns"], args["running_ns"])
+        assert args["enabled_ns"] >= args["running_ns"]
+        prev = last.get(eid)
+        if prev is not None:
+            assert sample[0] >= prev[0], f"event {eid} count went backwards"
+            assert sample[1] >= prev[1], f"event {eid} enabled went backwards"
+            assert sample[2] >= prev[2], f"event {eid} running went backwards"
+        last[eid] = sample
+
+
+def test_migrations_bracketed_by_switch_events(events):
+    sched = [ev for ev in events if ev[1] == "sched" and ev[3] is not None]
+    by_tid: dict[int, list] = {}
+    for ev in sched:
+        by_tid.setdefault(ev[3], []).append(ev)
+    saw_migrate = False
+    for tid, evs in by_tid.items():
+        running_on = None   # cpu while switched in, None while out
+        last_out_cpu = None
+        for i, (_, _, name, _, cpu, args) in enumerate(evs):
+            if name == "switch_in":
+                assert running_on is None, f"tid {tid}: double switch_in"
+                running_on = cpu
+            elif name == "switch_out":
+                assert running_on == cpu, f"tid {tid}: switch_out from wrong cpu"
+                running_on = None
+                last_out_cpu = cpu
+            elif name == "migrate":
+                saw_migrate = True
+                assert running_on is None, f"tid {tid}: migrate while running"
+                assert args["from_cpu"] == last_out_cpu, (
+                    f"tid {tid}: migrate from_cpu {args['from_cpu']} != last "
+                    f"switch_out cpu {last_out_cpu}"
+                )
+                nxt = evs[i + 1]
+                assert nxt[2] == "switch_in" and nxt[4] == args["to_cpu"], (
+                    f"tid {tid}: migrate not followed by switch_in to target"
+                )
+    assert saw_migrate, "jittered sweep produced no migrations"
+
+
+def test_rapl_energy_non_decreasing_across_dropouts(events):
+    samples = [ev[5] for ev in events if ev[1] == "rapl" and ev[2] == "energy"]
+    assert len(samples) >= 2, "sweep produced too few RAPL samples"
+    for domain in ("package_j", "cores_j", "dram_j"):
+        vals = [s[domain] for s in samples]
+        assert all(a <= b for a, b in zip(vals, vals[1:])), (
+            f"{domain} decreased across samples"
+        )

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Trace-capture launcher.
+
+Equivalent to ``PYTHONPATH=src python -m repro.trace`` but runnable from
+anywhere in the repo without environment setup::
+
+    python tools/trace.py run --workload migrate --chrome out.trace.json
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.trace.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
