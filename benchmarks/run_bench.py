@@ -2,23 +2,39 @@
 """Simulator performance tracker.
 
 Times the three substrate microbenchmarks (engine tick throughput,
-perf-account hook overhead, small-HPL simulation rate) on both engine
-paths and writes ``BENCH_simulator.json`` at the repo root so future
-PRs can track the perf trajectory::
+perf-account hook overhead, small-HPL simulation rate) on every engine
+(``ticks``, ``macro``, ``events``) and writes ``BENCH_simulator.json``
+at the repo root so future PRs can track the perf trajectory::
 
     PYTHONPATH=src python benchmarks/run_bench.py
 
-The "before" numbers come from running the same workloads with
-``fastpath=False`` (the original single-tick engine); "after" uses the
-macro-tick fast path.  Mean wall times in seconds, plus the speedup.
-Each benchmark also reports a ``traced_s`` column (fast path with full
-tracing on) so the cost of observation is tracked alongside.
+Each timing is the **median** of ``--rounds`` measured rounds after
+``--warmup`` discarded rounds: the first rounds of a fresh process pay
+for allocator warmup, code-object caching and branch training, and a
+mean over them produced nonsense like *negative* trace overhead in
+earlier baselines.  Within a benchmark the engine variants are timed in
+**interleaved** rounds (ticks, macro, events, traced, repeat) so slow
+host drift — thermal/turbo state, background load — cancels out of the
+cross-engine ratios instead of biasing whichever variant ran last.
 
-``--check-trace-overhead`` is the deterministic regression guard: the
-*simulated* completion time of the small HPL run (a pure function of
-the machine and seed, immune to host noise) must stay within 2% of the
-``hpl_sim_time_s`` recorded in ``BENCH_simulator.json``, and tracing
-must not move it at all.
+Each benchmark also reports a ``traced_s`` column (event engine with
+full tracing on) so the cost of observation is tracked alongside.
+
+Two deterministic CI guards:
+
+``--check-trace-overhead``
+    The *simulated* completion time of the small HPL run (a pure
+    function of the machine and seed, immune to host noise) must stay
+    within 2% of the ``hpl_sim_time_s`` recorded in
+    ``BENCH_simulator.json``, and tracing must not move it at all.
+
+``--check-regression``
+    Re-times ``hpl_simulation_rate`` on the event engine and fails if
+    the speedup vs. the frozen seed baseline drops below the
+    ``floors["hpl_speedup_vs_seed"]`` recorded in
+    ``BENCH_simulator.json`` (with head-room slack for host noise, see
+    ``FLOOR_SLACK``).  This is the gate that keeps engine regressions
+    like the PR 2–5 fastpath erosion from landing silently.
 """
 
 from __future__ import annotations
@@ -44,9 +60,27 @@ RATES = constant_rates(
 )
 MACHINE = "raptor-lake-i7-13700"
 
+#: The engine matrix, slowest first.  "ticks" is the plain single-tick
+#: loop, "macro" the record/replay fast path, "events" the event-driven
+#: core.
+ENGINES = ("ticks", "macro", "events")
 
-def _loaded_system(fastpath: bool, with_events: bool, trace: bool = False) -> System:
-    system = System(MACHINE, dt_s=0.001, fastpath=fastpath, trace=trace)
+#: A measured speedup may sit this fraction below the recorded floor
+#: before --check-regression fails: the floor is set from a quiet-host
+#: median and CI runners are noisier.
+FLOOR_SLACK = 0.25
+
+
+def _median_of(fn, rounds: int, warmup: int) -> float:
+    """Median of ``rounds`` calls to ``fn`` after ``warmup`` discarded
+    calls (first-round allocator/caching costs would skew a mean)."""
+    for _ in range(warmup):
+        fn()
+    return statistics.median(fn() for _ in range(rounds))
+
+
+def _loaded_system(engine: str, with_events: bool, trace: bool = False) -> System:
+    system = System(MACHINE, dt_s=0.001, engine=engine, trace=trace)
     threads = [
         system.machine.spawn(
             SimThread(f"w{cpu}", Program([ComputePhase(1e12, RATES)]), affinity={cpu})
@@ -67,25 +101,24 @@ def _loaded_system(fastpath: bool, with_events: bool, trace: bool = False) -> Sy
     return system
 
 
-def bench_tick(
-    fastpath: bool, with_events: bool, rounds: int, trace: bool = False
-) -> float:
-    """Mean cost of one fully loaded ``run_ticks`` tick, in seconds."""
-    system = _loaded_system(fastpath, with_events, trace=trace)
+def tick_rounds(engine: str, with_events: bool, trace: bool = False):
+    """One-round closure: cost of one fully loaded ``run_ticks`` tick."""
+    system = _loaded_system(engine, with_events, trace=trace)
     batch = 50
-    times = []
-    for _ in range(rounds):
+
+    def one_round() -> float:
         t0 = time.perf_counter()
         system.machine.run_ticks(batch)
-        times.append((time.perf_counter() - t0) / batch)
-    return statistics.mean(times)
+        return (time.perf_counter() - t0) / batch
+
+    return one_round
 
 
-def bench_hpl(fastpath: bool, rounds: int, trace: bool = False) -> float:
-    """Mean wall time of one small full HPL run (16 threads), in seconds."""
-    times = []
-    for _ in range(rounds):
-        system = System(MACHINE, dt_s=0.01, fastpath=fastpath, trace=trace)
+def hpl_rounds(engine: str, trace: bool = False):
+    """One-round closure: wall time of one small full HPL run."""
+
+    def one_round() -> float:
+        system = System(MACHINE, dt_s=0.01, engine=engine, trace=trace)
         t0 = time.perf_counter()
         result = run_hpl(
             system,
@@ -93,9 +126,11 @@ def bench_hpl(fastpath: bool, rounds: int, trace: bool = False) -> float:
             variant="intel",
             cpus=system.topology.primary_threads(),
         )
-        times.append(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
         assert result.gflops > 0
-    return statistics.mean(times)
+        return elapsed
+
+    return one_round
 
 
 def hpl_sim_time(trace: bool) -> float:
@@ -111,16 +146,36 @@ def hpl_sim_time(trace: bool) -> float:
     return system.machine.now_s
 
 
+#: name -> factory(engine, trace) -> zero-arg one-round closure.
 BENCHES = {
-    "engine_tick_throughput": lambda fp, r, tr=False: bench_tick(fp, False, r, tr),
-    "perf_account_hook_overhead": lambda fp, r, tr=False: bench_tick(fp, True, r, tr),
-    "hpl_simulation_rate": lambda fp, r, tr=False: bench_hpl(fp, r, tr),
+    "engine_tick_throughput": lambda eng, tr=False: tick_rounds(eng, False, tr),
+    "perf_account_hook_overhead": lambda eng, tr=False: tick_rounds(eng, True, tr),
+    "hpl_simulation_rate": lambda eng, tr=False: hpl_rounds(eng, tr),
 }
 
+
+def run_bench(factory, rounds: int, warmup: int) -> dict[str, float]:
+    """Interleaved per-variant medians for one benchmark.
+
+    Variants are warmed once each, then timed round-robin so host drift
+    hits every variant equally within a round.
+    """
+    variants = {eng: factory(eng) for eng in ENGINES}
+    variants["traced"] = factory("events", True)
+    for fn in variants.values():
+        for _ in range(warmup):
+            fn()
+    samples: dict[str, list[float]] = {k: [] for k in variants}
+    for _ in range(rounds):
+        for k, fn in variants.items():
+            samples[k].append(fn())
+    return {k: statistics.median(v) for k, v in samples.items()}
+
 #: pytest-benchmark means measured on the pre-fast-path engine (commit
-#: 77ce6b6), for trajectory tracking.  ``fastpath=False`` today is *not*
-#: the seed engine: the vectorized accounting kernel is shared by both
-#: paths, so the slow path also got faster.
+#: 77ce6b6), for trajectory tracking.  ``engine="ticks"`` today is *not*
+#: the seed engine: the vectorized accounting kernel and the bulk
+#: chunk-claim are shared by every engine, so the plain loop also got
+#: faster.
 SEED_BASELINE_S = {
     "engine_tick_throughput": 391e-6,
     "perf_account_hook_overhead": 508e-6,
@@ -152,10 +207,46 @@ def check_trace_overhead(baseline_path: Path, tolerance: float = 0.02) -> int:
     return 0 if ok else 1
 
 
+def check_regression(baseline_path: Path, rounds: int, warmup: int) -> int:
+    """Bench gate: the event engine's HPL speedup vs the frozen seed must
+    not fall below the floor recorded in the baseline (minus slack)."""
+    floors = json.loads(baseline_path.read_text()).get("floors")
+    if not floors or "hpl_speedup_vs_seed" not in floors:
+        print(
+            f"{baseline_path} has no floors.hpl_speedup_vs_seed; "
+            "regenerate the baseline"
+        )
+        return 1
+    floor = floors["hpl_speedup_vs_seed"]
+    gate = floor * (1.0 - FLOOR_SLACK)
+    wall = _median_of(hpl_rounds("events"), rounds, warmup)
+    speedup = SEED_BASELINE_S["hpl_simulation_rate"] / wall
+    print(
+        f"hpl_simulation_rate[events]: {wall * 1e3:.3f} ms  "
+        f"= {speedup:.1f}x vs seed  (floor {floor:.1f}x, "
+        f"gate {gate:.1f}x after {FLOOR_SLACK * 100:.0f}% noise slack)"
+    )
+    if speedup < gate:
+        print(
+            "FAIL: event-engine HPL speedup fell below the recorded floor — "
+            "an engine hot-path regression landed; profile with "
+            "tools/profile.py and either fix it or justify a new floor"
+        )
+        return 1
+    print("OK: speedup holds the recorded floor")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", type=Path, default=None)
-    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--rounds", type=int, default=9)
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=3,
+        help="discarded warmup rounds before the measured ones",
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -167,47 +258,71 @@ def main(argv=None) -> int:
         help="compare HPL simulated time against BENCH_simulator.json "
         "(deterministic; fails on >2%% drift or any trace-on divergence)",
     )
+    parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="fail if the event engine's HPL speedup vs seed drops below "
+        "the floor recorded in BENCH_simulator.json",
+    )
     args = parser.parse_args(argv)
+    baseline = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
     if args.check_trace_overhead:
-        baseline = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
         return check_trace_overhead(baseline)
     if args.smoke:
         args.rounds = 1
+        args.warmup = 1
     if args.rounds < 1:
         parser.error("--rounds must be >= 1")
+    if args.warmup < 0:
+        parser.error("--warmup must be >= 0")
+    if args.check_regression:
+        return check_regression(baseline, args.rounds, args.warmup)
     if args.output is None:
         # Smoke runs must not clobber the tracked perf-trajectory file.
         name = "BENCH_smoke.json" if args.smoke else "BENCH_simulator.json"
         args.output = Path(__file__).resolve().parent.parent / name
 
     results = {}
-    for name, fn in BENCHES.items():
-        before = fn(False, args.rounds)
-        after = fn(True, args.rounds)
-        traced = fn(True, args.rounds, True)
+    for name, factory in BENCHES.items():
+        med = run_bench(factory, args.rounds, args.warmup)
+        best = min(med[eng] for eng in ENGINES)
         results[name] = {
             "seed_s": SEED_BASELINE_S[name],
-            "before_s": before,
-            "after_s": after,
-            "traced_s": traced,
-            "speedup": before / after,
-            "speedup_vs_seed": SEED_BASELINE_S[name] / after,
-            "trace_on_overhead": traced / after - 1.0,
+            "ticks_s": med["ticks"],
+            "macro_s": med["macro"],
+            "events_s": med["events"],
+            "traced_s": med["traced"],
+            "macro_vs_ticks": med["ticks"] / med["macro"],
+            "events_vs_ticks": med["ticks"] / med["events"],
+            "speedup_vs_seed": SEED_BASELINE_S[name] / best,
+            "trace_on_overhead": med["traced"] / med["events"] - 1.0,
         }
         print(
-            f"{name:32s} before {before * 1e3:9.3f} ms   "
-            f"after {after * 1e3:9.3f} ms   {before / after:5.2f}x   "
-            f"traced {traced * 1e3:9.3f} ms"
+            f"{name:28s} ticks {med['ticks'] * 1e3:8.3f} ms  "
+            f"macro {med['macro'] * 1e3:8.3f} ms  "
+            f"events {med['events'] * 1e3:8.3f} ms  "
+            f"traced {med['traced'] * 1e3:8.3f} ms  "
+            f"{results[name]['speedup_vs_seed']:6.1f}x vs seed"
         )
 
+    hpl_speedup = results["hpl_simulation_rate"]["speedup_vs_seed"]
     payload = {
         "machine": MACHINE,
-        "unit": "seconds (mean wall time)",
-        "before": "Machine(fastpath=False) — original single-tick engine",
-        "after": "Machine(fastpath=True) — macro-tick fast path",
-        "traced": "Machine(fastpath=True, trace=True) — full tracing on",
+        "unit": "seconds (median wall time of warmed rounds)",
+        "engines": {
+            "ticks": "Machine(engine='ticks') — plain single-tick loop",
+            "macro": "Machine(engine='macro') — macro-tick record/replay",
+            "events": "Machine(engine='events') — event-driven core",
+        },
+        "traced": "Machine(engine='events', trace=True) — full tracing on",
         "rounds": args.rounds,
+        "warmup": args.warmup,
         "hpl_sim_time_s": hpl_sim_time(trace=False),
+        "floors": {
+            # --check-regression gate: the floor records what this
+            # baseline actually measured (CI applies FLOOR_SLACK).
+            "hpl_speedup_vs_seed": hpl_speedup,
+        },
         "results": results,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")

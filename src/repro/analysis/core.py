@@ -162,6 +162,7 @@ def all_rules(only: Optional[Iterable[str]] = None) -> list[Rule]:
     """Fresh instances of every registered rule (or a named subset)."""
     # Importing the rule modules populates the registry.
     from repro.analysis import rules_determinism  # noqa: F401
+    from repro.analysis import rules_hotpath  # noqa: F401
     from repro.analysis import rules_papi  # noqa: F401
     from repro.analysis import rules_surface  # noqa: F401
 

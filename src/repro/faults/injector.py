@@ -5,10 +5,12 @@ macro-tick engine hinges on when faults fire relative to replayed ticks:
 
 * **Timed injections** fire in the end-of-tick hook of the first tick
   whose end time reaches ``at_s`` — exactly as on the slow path.  During
-  a macro-tick batch hooks do not run, so the injector plants a batch
-  guard (on ``TickRecorder.spin_guards``) that breaks the batch one tick
-  *before* a timed fault comes due; the engine falls back to a full tick
-  and the hook fires the fault there, bit-identically to a slow run.
+  a macro-tick batch hooks do not run, so the injector plants the next
+  due time as an analytic guard (``TickRecorder.time_guards``) that
+  breaks the batch one tick *before* a timed fault comes due; the engine
+  falls back to a full tick and the hook fires the fault there,
+  bit-identically to a slow run.  (With conditional injections also
+  pending, the opaque batch guard below takes over both duties.)
 * **Conditional injections** (``when`` predicates) fire from the batch
   guard itself.  The guard is evaluated between replayed ticks, at
   exactly the machine state the slow path's end-of-tick hook would see,
@@ -111,8 +113,15 @@ class FaultInjector:
             return
         if fired:
             rec.kill(machine)
-        elif self._timed or self._conditional:
+        elif self._conditional:
+            # Opaque predicates must be polled (and fired) per tick.
             rec.spin_guards.append(self._batch_guard)
+        elif self._timed:
+            # Only timed faults left: the next due time is analytic, so
+            # the engines can solve for the batch-breaking tick instead
+            # of polling for it.  The guard semantics are identical to
+            # the batch guard's timed check (same epsilon).
+            rec.time_guard(self._timed[0][0])
 
     def _batch_guard(self) -> bool:
         """Break the batch when a fault is due; fire conditionals here."""

@@ -18,7 +18,13 @@ from repro.hpl.dat import HplConfig
 from repro.hpl.model import HplStep, hpl_flops, hpl_steps
 from repro.hpl.variants import VARIANTS, HplVariant
 from repro.sim.task import SimThread
-from repro.sim.workload import ComputePhase, SpinPhase, WorkPhase
+from repro.sim.workload import (
+    ChunkStream,
+    ComputePhase,
+    SpinPhase,
+    WorkPhase,
+    constant_rates,
+)
 from repro.system import System
 
 
@@ -49,7 +55,12 @@ class HplCoordinator:
         ]
 
     def claim(self, step: int) -> float:
-        """Take one dynamic chunk from the step's pool (0 when drained)."""
+        """Take one dynamic chunk from the step's pool (0 when drained).
+
+        Kept for targeted tests; the HPL threads themselves claim through
+        a fused :class:`~repro.sim.workload.ChunkStream` (same arithmetic,
+        executed inside the engine's slice loop).
+        """
         pool = self._pool[step]
         if pool <= 0.0:
             return 0.0
@@ -85,14 +96,21 @@ class HplThreadSource:
         self._rates = profile.rates(ctype, nb=nb)
         self._panel_rates = profile.panel_rates(ctype)
         self._flops_per_instr = self._rates.flops_per_instr
+        # One rates_fn per source (threads are pinned, so the executing
+        # core type is always this one) instead of a lambda per phase.
+        self._rates_fn = constant_rates(self._rates)
+        self._panel_rates_fn = constant_rates(self._panel_rates)
         self.step = 0
         self.stage = "panel"
         self.flops_done = 0.0
 
-    def _compute(self, flops: float, rates, label: str) -> ComputePhase:
+    def _note_flops(self, flops: float) -> None:
+        self.flops_done += flops
+
+    def _compute(self, flops: float, rates, rates_fn, label: str) -> ComputePhase:
         self.flops_done += flops
         instr = max(1.0, flops / rates.flops_per_instr)
-        return ComputePhase(instr, lambda ctype: rates, label=label)
+        return ComputePhase(instr, rates_fn, label=label)
 
     def next_phase(self, thread: SimThread) -> Optional[WorkPhase]:
         coord = self.coord
@@ -109,7 +127,10 @@ class HplThreadSource:
                 if self.slot == 0 and st.panel_flops > 0:
                     step_idx = self.step
                     phase = self._compute(
-                        st.panel_flops, self._panel_rates, "hpl-panel"
+                        st.panel_flops,
+                        self._panel_rates,
+                        self._panel_rates_fn,
+                        "hpl-panel",
                     )
                     phase.on_complete = (
                         lambda thread, _c=coord, _i=step_idx: _c.panel_done.__setitem__(_i, True)
@@ -121,14 +142,26 @@ class HplThreadSource:
                 self.stage = "dynamic"
                 amount = coord.static_flops[self.step]
                 if amount > 0:
-                    return self._compute(amount, self._rates, "hpl-update")
+                    return self._compute(
+                        amount, self._rates, self._rates_fn, "hpl-update"
+                    )
                 continue
 
             if self.stage == "dynamic":
-                claim = coord.claim(self.step)
-                if claim > 0:
-                    return self._compute(claim, self._rates, "hpl-steal")
                 self.stage = "barrier"
+                if coord._pool[self.step] > 0.0:
+                    # The engine claims grain-sized chunks from the shared
+                    # pool inside its fused slice loop (same arithmetic as
+                    # one ComputePhase per claim, minus the phase churn).
+                    return ChunkStream(
+                        pool=coord._pool,
+                        index=self.step,
+                        grain=coord._grain[self.step],
+                        rates_fn=self._rates_fn,
+                        flops_per_instr=self._flops_per_instr,
+                        on_claimed=self._note_flops,
+                        label="hpl-steal",
+                    )
                 continue
 
             if self.stage == "barrier":

@@ -91,20 +91,38 @@ class PowerModel:
     ) -> PowerSample:
         """Sample from per-CPU busy/spin fraction sequences (indexable by
         cpu id — lists or numpy arrays)."""
+        # Normalize numpy inputs to plain floats once, up front, so the
+        # hot accumulations below stay off the numpy scalar-boxing path
+        # and keep returning builtin floats either way.
+        if type(busy) is not list:
+            busy = [float(v) for v in busy]
+        if type(spin) is not list:
+            spin = [float(v) for v in spin]
         per_cluster = [0.0] * len(self.topology.clusters)
+        ghz = [f / 1000.0 for f in cluster_freq_mhz]
+        spf = SPIN_POWER_FRACTION
         for cluster, ct, cpu_ids in self._phys_groups:
-            freq_ghz = cluster_freq_mhz[cluster] / 1000.0
-            activities = [
-                float(busy[cid]) + SPIN_POWER_FRACTION * float(spin[cid])
-                for cid in cpu_ids
-            ]
-            primary = max(activities)
-            # A busy SMT sibling adds ~20% on top of the shared core power.
-            extra = 0.2 * (sum(activities) - primary) if len(activities) > 1 else 0.0
-            eff_activity = min(1.2, primary + extra)
-            per_cluster[cluster] += ct.power.core_power(freq_ghz, eff_activity)
+            if len(cpu_ids) == 1:
+                c0 = cpu_ids[0]
+                # Single-occupancy core: primary + 0.0 extra, clamped.
+                eff_activity = busy[c0] + spf * spin[c0]
+                if eff_activity > 1.2:
+                    eff_activity = 1.2
+            else:
+                activities = [busy[c] + spf * spin[c] for c in cpu_ids]
+                primary = max(activities)
+                # A busy SMT sibling adds ~20% on top of the shared core
+                # power.
+                extra = 0.2 * (sum(activities) - primary)
+                eff_activity = primary + extra
+                if eff_activity > 1.2:
+                    eff_activity = 1.2
+            per_cluster[cluster] += ct.power.core_power(ghz[cluster], eff_activity)
         n = len(self.topology.cores)
-        avg_util = sum(float(busy[i]) + float(spin[i]) for i in range(n)) / max(1, n)
+        util = 0.0
+        for b, s in zip(busy, spin):
+            util += b + s
+        avg_util = util / max(1, n)
         uncore = self.spec.uncore_base_w
         dram = self.spec.dram_w_per_util * avg_util
         return PowerSample(

@@ -67,10 +67,13 @@ class ThermalZone:
 
 @snapshot_surface(
     state=("spec", "temp_c", "zone", "_scale", "throttle_events", "tracer"),
+    caches=("_ipa",),
+    rebuild="_init_caches",
     digest_exclude=("tracer",),
     note="All state: integrated temperature, the sysfs-visible zone, "
     "per-cluster throttle scales and the throttle-event count.  The "
-    "tracer is a digest-excluded observer set by the machine."
+    "tracer is a digest-excluded observer set by the machine; the IPA "
+    "allocator's per-cluster power constants are a derived cache."
 )
 class ThermalModel:
     """Integrates package temperature and applies thermal frequency limits."""
@@ -88,6 +91,33 @@ class ThermalModel:
         self.throttle_events = 0
         #: Trace observer, set by the owning Machine when tracing is on.
         self.tracer = None
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        self._ipa = None
+
+    def _ipa_constants(self):
+        """Memoized per-cluster allocator inputs, all derived from the
+        static machine spec: min/max-frequency core power at full
+        activity and the most-efficient-first grant order."""
+        ipa = self._ipa
+        if ipa is None:
+            clusters = self.spec.topology.clusters
+            min_w = [
+                cl.ctype.power.core_power(cl.ctype.min_freq_ghz, 1.0)
+                for cl in clusters
+            ]
+            max_w = [
+                cl.ctype.power.core_power(cl.ctype.max_freq_ghz, 1.0)
+                for cl in clusters
+            ]
+            order = sorted(
+                range(len(clusters)),
+                key=lambda i: clusters[i].ctype.capacity / max(max_w[i], 1e-6),
+                reverse=True,
+            )
+            ipa = self._ipa = (min_w, max_w, order)
+        return ipa
 
     @property
     def sustainable_power_w(self) -> float:
@@ -182,25 +212,18 @@ class ThermalModel:
         )
         if margin < 0:
             self.throttle_events += 1
+        min_w, max_w, order = self._ipa_constants()
 
         # Active clusters burn their minimum-frequency power no matter
         # what the allocator decides; take that off the top so granting a
         # cluster zero surplus does not push the package past budget.
         floor_w = {}
-        for i, cl in enumerate(topo.clusters):
+        for i in range(len(topo.clusters)):
             activity = cluster_activity[i]
             if activity > 1e-6:
-                floor_w[i] = cl.ctype.power.core_power(
-                    cl.ctype.min_freq_ghz, 1.0
-                ) * activity
+                floor_w[i] = min_w[i] * activity
         remaining = budget - other_power_w - sum(floor_w.values())
 
-        def efficiency(i: int) -> float:
-            ct = topo.clusters[i].ctype
-            demand = ct.power.core_power(ct.max_freq_ghz, 1.0)
-            return ct.capacity / max(demand, 1e-6)
-
-        order = sorted(range(len(topo.clusters)), key=efficiency, reverse=True)
         for i in order:
             cl = topo.clusters[i]
             ct = cl.ctype
@@ -210,10 +233,7 @@ class ThermalModel:
                 self._note_scale(i, 1.0)
                 continue
             # Grant this cluster its floor plus a share of the surplus.
-            extra_demand = (
-                ct.power.core_power(ct.max_freq_ghz, 1.0)
-                - ct.power.core_power(ct.min_freq_ghz, 1.0)
-            ) * activity
+            extra_demand = (max_w[i] - min_w[i]) * activity
             grant = min(max(remaining, 0.0), extra_demand)
             per_core = (floor_w[i] + grant) / activity
             f_ghz = ct.power.freq_for_power(

@@ -233,9 +233,16 @@ class KernelPerfEvent:
             if rec is not None:
                 rec.scalar(self, "count", inc)
             if self._next_overflow is not None:
-                if rec is not None:
-                    rec.unsteady = True  # sample emission is per-tick state
-                self._record_overflows(now_s, cpu, tracer)
+                if self.count >= self._next_overflow:
+                    # Sample emission is per-tick state: a crossing tick
+                    # is never replayable.
+                    if rec is not None:
+                        rec.unsteady = True
+                    self._record_overflows(now_s, cpu, tracer)
+                elif rec is not None:
+                    # Below threshold: batching may continue, guarded by
+                    # the analytic distance to the crossing.
+                    rec.overflow_step(self, inc)
 
     def _record_overflows(self, now_s: float, cpu: int, tracer=None) -> None:
         """Emit one sample per period crossing within the slice.

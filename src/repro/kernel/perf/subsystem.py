@@ -550,6 +550,8 @@ class PerfSubsystem:
     def _account(
         self, thread: "SimThread", core: Core, values: np.ndarray, time_s: float
     ) -> None:
+        if not self._fds:
+            return  # nothing has ever been opened (or all fds closed)
         cpu_id = core.cpu_id
         events = self._thread_events.get(thread.tid)
         cpuwide = self._cpuwide_events.get(cpu_id)

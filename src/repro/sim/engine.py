@@ -27,15 +27,25 @@ early at every point where other code could observe counters — before a
 the thread blocks or finishes — so the fusion is invisible to measured
 programs.
 
-Fast path
----------
+Engines
+-------
 
-``Machine(fastpath=True)`` (the default) routes :meth:`run_ticks` /
-:meth:`run_until` through the steady-state macro-tick engine in
-:mod:`repro.sim.fastpath`, which batches ticks whose outcome is provably
-identical to single-stepping.  ``fastpath=False`` keeps the plain
-single-tick loop; both paths produce bit-identical counters (gated by the
-parity suite in ``tests/test_fastpath_parity.py``).
+Three interchangeable engines drive the loop (``Machine(engine=...)``):
+
+* ``"ticks"`` — the plain single-tick loop above; the reference.
+* ``"macro"`` — the steady-state macro-tick engine in
+  :mod:`repro.sim.fastpath`: record one tick, replay it while guards
+  hold, polling every guard between replays.
+* ``"events"`` — the event-driven engine in :mod:`repro.sim.events`:
+  the recorded guards become a queue of pending events (phase change,
+  mux rotation, wake-up, timed fault, overflow crossing) and the span
+  leaps straight to the earliest one, plus sticky-placement scheduling
+  reuse and adaptive record back-off.
+
+All three produce bit-identical state (gated by the engine parity
+matrix in ``tests/test_fastpath_parity.py``).  The legacy ``fastpath``
+bool maps True -> "macro", False -> "ticks" when ``engine`` is not
+given.
 """
 
 from __future__ import annotations
@@ -60,6 +70,7 @@ from repro.sim.clock import SimClock
 from repro.sim.task import ControlOp, Program, SimThread, ThreadState
 from repro.trace.tracer import make_tracer
 from repro.sim.workload import (
+    ChunkStream,
     ComputePhase,
     SleepPhase,
     SpinPhase,
@@ -76,6 +87,10 @@ MAX_CONTROL_OPS_PER_SLICE = 100_000
 #: Cap on the identity-keyed rate-vector cache; a workload that builds a
 #: fresh ``PhaseRates`` per call falls back to the value-keyed cache.
 _RATE_VEC_ID_CACHE_CAP = 4096
+
+#: Plain-int index of the time-based event slot patched at flush time
+#: (IntEnum indexing costs a conversion per use on the hot path).
+_REF_CYCLES = int(ArchEvent.REF_CYCLES)
 
 AccountHook = Callable[[SimThread, Core, np.ndarray, float], None]
 TickHook = Callable[["Machine"], None]
@@ -141,6 +156,7 @@ class SimTimeout(RuntimeError):
         "last_power",
         "last_checkpoint_path",
         "fastpath",
+        "engine",
         "tracer",
         "_next_tid",
         "_tid_index",
@@ -149,10 +165,17 @@ class SimTimeout(RuntimeError):
         "_fastpath_engine",
         "_fastpath_safe_hooks",
     ),
-    caches=("_rate_vecs_by_id", "_rate_vecs_by_value", "_rec"),
+    caches=(
+        "_rate_vecs_by_id",
+        "_rate_vecs_by_value",
+        "_rec",
+        "_sched_cache",
+        "_vec_scratch",
+    ),
     rebuild="_init_snapshot_caches",
     digest_exclude=(
         "fastpath",
+        "engine",
         "_fastpath_engine",
         "last_checkpoint_path",
         "tracer",
@@ -176,8 +199,16 @@ class Machine:
         migrate_jitter: float = 0.0,
         rebalance_jitter: float = 0.0,
         fastpath: bool = True,
+        engine: Optional[str] = None,
         trace=None,
     ):
+        if engine is None:
+            engine = "macro" if fastpath else "ticks"
+        if engine not in ("ticks", "macro", "events"):
+            raise ValueError(
+                f"unknown engine {engine!r}; want 'ticks', 'macro' or 'events'"
+            )
+        self.engine = engine
         self.spec = spec
         self.topology = spec.topology
         self.clock = SimClock(dt_s)
@@ -224,11 +255,15 @@ class Machine:
         #: ``System.save``); surfaced by SimTimeout for diagnosability.
         self.last_checkpoint_path: Optional[str] = None
 
-        self.fastpath = fastpath
-        if fastpath:
+        self.fastpath = engine != "ticks"
+        if engine == "macro":
             from repro.sim.fastpath import FastPathEngine
 
             self._fastpath_engine = FastPathEngine(self)
+        elif engine == "events":
+            from repro.sim.events import EventEngine
+
+            self._fastpath_engine = EventEngine(self)
         else:
             self._fastpath_engine = None
 
@@ -237,11 +272,22 @@ class Machine:
 
         Event-rate vector caches are identity-keyed hot memos over a
         value-keyed canonical cache (see ``_rate_vec``); ``_rec`` is the
-        active tick recorder (fast path only; None on every plain tick).
+        active tick recorder (fast path only; None on every plain tick);
+        ``_sched_cache`` replays provably side-effect-free sticky
+        placements (event engine only — the other engines exercise the
+        scheduler every tick, which is what keeps the cache honest under
+        the parity matrix).
         """
         self._rate_vecs_by_id: dict = {}
         self._rate_vecs_by_value: dict = {}
         self._rec = None
+        self._vec_scratch = np.zeros(N_ARCH_EVENTS, dtype=np.float64)
+        if getattr(self, "engine", None) == "events":
+            from repro.sim.events import SchedCache
+
+            self._sched_cache = SchedCache(self.scheduler)
+        else:
+            self._sched_cache = None
 
     # -- thread lifecycle ---------------------------------------------------
 
@@ -340,10 +386,13 @@ class Machine:
     def tick(self) -> None:
         dt = self.clock.dt_s
         rec = self._rec
+        _blocked = ThreadState.BLOCKED
+        _ready = ThreadState.READY
+        _running = ThreadState.RUNNING
 
         # 1. Wake sleepers.
         for t in self.threads:
-            if t.state is not ThreadState.BLOCKED:
+            if t.state is not _blocked:
                 continue
             phase = t.current_phase
             woke = False
@@ -364,39 +413,55 @@ class Machine:
             elif rec is not None:
                 rec.blocked.append((t, phase))
 
-        # 2. Place runnable threads.
+        # 2. Place runnable threads (through the sticky-placement cache
+        # when the event engine installed one and the placement repeats).
         runnable = [
             t
             for t in self.threads
-            if t.state in (ThreadState.READY, ThreadState.RUNNING)
+            if t.state is _ready or t.state is _running
         ]
         if rec is not None:
-            rec.note_pre_schedule(self.scheduler, runnable)
             rec.freq_before = list(self.governor.freq_mhz)
-        assignment = self.scheduler.schedule(runnable)
-        if rec is not None:
-            rec.note_post_schedule(self, self.scheduler, runnable)
-            rec = self._rec  # note_post_schedule kills on migration
+        cache = self._sched_cache
+        assignment = cache.lookup(runnable) if cache is not None else None
+        if assignment is None:
+            if rec is not None:
+                rec.note_pre_schedule(self.scheduler, runnable)
+            assignment = self.scheduler.schedule(runnable)
+            if rec is not None:
+                rec.note_post_schedule(self, self.scheduler, runnable)
+                rec = self._rec  # note_post_schedule kills on migration
+            if cache is not None:
+                cache.store(runnable, assignment)
 
-        # 3. Execute.
-        self._busy[:] = 0.0
-        self._spin[:] = 0.0
+        # 3. Execute.  Per-CPU activity accumulates in plain lists (the
+        # values are bit-identical to numpy scalar accumulation; list
+        # indexing is what keeps the whole-machine reductions below off
+        # the numpy scalar-boxing path) and lands in the persistent
+        # arrays once per tick.
+        n_cpus = self.topology.n_cpus
+        busy_l = [0.0] * n_cpus
+        spin_l = [0.0] * n_cpus
         for t in runnable:
-            t.state = ThreadState.READY  # set RUNNING below if placed
+            t.state = _ready  # set RUNNING below if placed
+        topo_core = self.topology.core
+        freq_mhz = self.governor.freq_mhz
         for cpu_id, entries in assignment.items():
-            core = self.topology.core(cpu_id)
-            freq_ghz = self.governor.freq_of_cpu_ghz(cpu_id)
+            core = topo_core(cpu_id)
+            freq_ghz = freq_mhz[core.cluster] / 1000.0
             for entry in entries:
-                entry.thread.state = ThreadState.RUNNING
+                entry.thread.state = _running
                 busy_s, spin_s = self._execute_slice(
                     entry.thread, core, freq_ghz, dt * entry.share
                 )
-                self._busy[cpu_id] += busy_s / dt
-                self._spin[cpu_id] += spin_s / dt
+                busy_l[cpu_id] += busy_s / dt
+                spin_l[cpu_id] += spin_s / dt
+        self._busy[:] = busy_l
+        self._spin[:] = spin_l
 
         # 4. Power, energy, thermal.
         sample = self.power_model.sample_activity(
-            self._busy, self._spin, self.governor.freq_mhz
+            busy_l, spin_l, self.governor.freq_mhz
         )
         self.last_power = sample
         self.rapl.step(
@@ -408,13 +473,23 @@ class Machine:
         )
         self.thermal.step(sample.package_w, dt)
 
-        cluster_activity = [
-            sum(
-                float(self._busy[c]) + SPIN_POWER_FRACTION * float(self._spin[c])
-                for c in cl.cpu_ids
-            )
-            for cl in self.topology.clusters
-        ]
+        # Per-cluster activity (for throttling) and peak utilization (for
+        # the governor) in one pass; the accumulation order matches the
+        # former sum()/max() reductions term for term.
+        cluster_activity = []
+        cluster_util = []
+        for cl in self.topology.clusters:
+            act = 0.0
+            peak = 0.0
+            for c in cl.cpu_ids:
+                b = busy_l[c]
+                s = spin_l[c]
+                act += b + SPIN_POWER_FRACTION * s
+                u = b + s
+                if u > peak:
+                    peak = u
+            cluster_activity.append(act)
+            cluster_util.append(peak if peak < 1.0 else 1.0)
         self.thermal.apply_throttling(
             self.governor,
             cluster_activity,
@@ -423,13 +498,6 @@ class Machine:
         )
 
         # 5. Governor for next tick.
-        cluster_util = []
-        for cl in self.topology.clusters:
-            u = max(
-                (float(self._busy[c] + self._spin[c]) for c in cl.cpu_ids),
-                default=0.0,
-            )
-            cluster_util.append(min(1.0, u))
         self.governor.update(cluster_util)
 
         rec = self._rec  # a slice may have killed the recorder
@@ -519,6 +587,88 @@ class Machine:
                         phase.on_complete(thread)
                 continue
 
+            if isinstance(phase, ChunkStream):
+                # Fused claim-execute loop: the whole dynamic-chunk
+                # stream advances without per-chunk phase objects.  The
+                # shared pool makes the tick unreplayable.
+                if rec is not None:
+                    rec.kill(self)
+                    rec = None
+                rates = phase.rates_fn(ct)
+                instr_per_s = freq_ghz * 1e9 * rates.ipc
+                pool_list = phase.pool
+                idx = phase.index
+                grain = phase.grain
+                fpi = phase.flops_per_instr
+                pool = pool_list[idx]
+                remaining = phase.remaining
+                claimed = 0.0
+                executed_total = 0.0
+                time_used = 0.0
+                if instr_per_s <= 0:  # pragma: no cover - defensive
+                    time_left = 0.0
+                else:
+                    # Finish the chunk carried over from the last slice.
+                    if remaining > 0.0:
+                        possible = instr_per_s * time_left
+                        executed = remaining if remaining < possible else possible
+                        dt_used = executed / instr_per_s
+                        remaining -= executed
+                        executed_total += executed
+                        time_used += dt_used
+                        time_left -= dt_used
+                    # Claim every whole chunk this slice can retire in one
+                    # bulk step: mid-stream chunks are all grain-sized, so
+                    # their count is the min of what the remaining time
+                    # and the pool admit.
+                    if remaining <= 0.0 and pool > 0.0 and time_left > 1e-15:
+                        x = grain / fpi
+                        chunk_instr = x if x > 1.0 else 1.0
+                        dt_chunk = chunk_instr / instr_per_s
+                        n_time = int(time_left / dt_chunk)
+                        n_pool = int(pool / grain)
+                        n = n_time if n_time < n_pool else n_pool
+                        if n > 0:
+                            bulk = n * grain
+                            pool -= bulk
+                            claimed += bulk
+                            executed_total += n * chunk_instr
+                            t_bulk = n * dt_chunk
+                            time_used += t_bulk
+                            time_left -= t_bulk
+                        # Tail: the final partial chunk / partial tick.
+                        while time_left > 1e-15:
+                            if remaining <= 0.0:
+                                if pool <= 0.0:
+                                    break
+                                take = grain if grain < pool else pool
+                                pool -= take
+                                claimed += take
+                                x = take / fpi
+                                remaining = x if x > 1.0 else 1.0
+                            possible = instr_per_s * time_left
+                            executed = remaining if remaining < possible else possible
+                            dt_used = executed / instr_per_s
+                            remaining -= executed
+                            executed_total += executed
+                            time_used += dt_used
+                            time_left -= dt_used
+                pool_list[idx] = pool
+                phase.remaining = remaining
+                if claimed > 0.0 and phase.on_claimed is not None:
+                    phase.on_claimed(claimed)
+                if executed_total > 0.0:
+                    bucket = buckets.get(id(rates))
+                    if bucket is None:
+                        buckets[id(rates)] = [rates, executed_total, time_used]
+                    else:
+                        bucket[1] += executed_total
+                        bucket[2] += time_used
+                    busy_s += time_used
+                if remaining <= 0.0 and pool_list[idx] <= 0.0:
+                    thread.current_phase = None
+                continue
+
             if isinstance(phase, SpinPhase):
                 if phase.until():
                     thread.current_phase = None
@@ -569,22 +719,33 @@ class Machine:
         return busy_s, spin_s
 
     def _flush_slice(self, thread: SimThread, core: Core, buckets: dict) -> None:
-        """Materialize fused event vectors and credit all consumers."""
+        """Materialize fused event vectors and credit all consumers.
+
+        The event vector handed to consumers is transient: accounting
+        hooks must read it during the call, never retain it.  With no
+        recorder live (nothing retains the vector for replay) it is a
+        reused scratch buffer, so flushing allocates nothing.
+        """
         rec = self._rec
         ct = core.ctype
         pmu_name = ct.pmu_name
         totals = self.pmus[core.cpu_id].totals
         ref_per_s = self.tsc_ghz * 1e9
+        scratch = self._vec_scratch if rec is None else None
+        hooks = self.account_hooks
         for rates, instr, time_s in buckets.values():
             if time_s <= 0:
                 continue
-            v = self._rate_vec(ct, rates) * instr
-            v[ArchEvent.REF_CYCLES] = ref_per_s * time_s
+            if scratch is None:
+                v = self._rate_vec(ct, rates) * instr
+            else:
+                v = np.multiply(self._rate_vec(ct, rates), instr, out=scratch)
+            v[_REF_CYCLES] = ref_per_s * time_s
             thread.account(pmu_name, v, time_s, rec)
             totals += v
             if rec is not None:
                 rec.vec(totals, v)
-            for hook in self.account_hooks:
+            for hook in hooks:
                 hook(thread, core, v, time_s)
         buckets.clear()
 

@@ -1,0 +1,410 @@
+"""Event-driven engine: advance straight to the next state-changing event.
+
+The macro-tick engine (:mod:`repro.sim.fastpath`) replays a recorded
+steady tick while *polling* every guard between replays — each replayed
+tick re-evaluates every spin condition, compute chain, rotation slot and
+fault deadline even though none of them can fire for thousands of ticks.
+The event engine keeps the same record/replay foundation (a replayed
+tick is the identical sequence of float operations, so all engines
+digest equal) but treats the recorded guards as *event sources*, each
+able to report the number of ticks until it next fires:
+
+* **workload phase change** — a compute chain's remaining instructions
+  divided by its per-tick retirement;
+* **multiplex rotation** — runtime to the next rotation-slot boundary;
+* **thread wake-up** — an absolute wake time solved exactly against the
+  tick grid (``now_s`` is ``ticks * dt_s``, so the crossing tick is a
+  pure float comparison, not an accumulation);
+* **fault firing** — the injector's next timed due-time
+  (``TickRecorder.time_guards``), solved the same way;
+* **overflow threshold crossing** — an armed sampling event's distance
+  to ``_next_overflow`` at its recorded per-tick increment;
+* **DVFS/thermal transition** — frequency moves are detected by the
+  replay itself (the hardware recurrence runs live every tick).
+
+A span drains a deterministic queue of these pending events: it leaps
+guard-free to a conservative bound just short of the earliest event,
+then polls tick-by-tick through the boundary so the event fires on
+exactly the same tick as the single-tick engine.  Rate-based bounds
+(compute, mux, overflow) are shaved by ``_SLACK`` to stay provably below
+the crossing despite float rounding in the replayed accumulations;
+grid-time bounds (wake, fault) are exact.  Opaque predicates — spin
+``until`` conditions, conditional faults, ``run_until``'s caller
+condition — cannot report a horizon and degrade that span to the
+macro-tick engine's per-tick polling.
+
+Two further optimizations ride on the event queue, both invisible to
+the digest law:
+
+* **adaptive record back-off** — recording is pure observation, so after
+  a tick whose recorder was killed the engine runs plainly for an
+  exponentially growing number of ticks (capped) before paying for a
+  recorder again.  Unsteady workloads (HPL's work-stealing loop) stop
+  paying recording overhead almost entirely.
+* **cached scheduling** (installed on the machine by this engine only)
+  — see :class:`SchedCache`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.fastpath import (
+    MUX_ROTATION_PERIOD_S,
+    TIME_GUARD_EPS,
+    TickRecorder,
+    _Batch,
+    FastPathEngine,
+)
+from repro.sim.workload import SleepPhase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Machine
+
+#: Relative margin shaved off rate-based event horizons.  A replayed
+#: accumulation drifts from ``k * step`` by at most ~``k`` ulps, so any
+#: horizon below ``true_crossing * (1 - _SLACK)`` is provably on the
+#: safe side for the leap lengths ``_MAX_LEAP`` permits.
+_SLACK = 1e-6
+
+#: Cap on a single guard-free leap (keeps the ``_SLACK`` safety argument
+#: valid for astronomically long horizons; the span just leaps again).
+_MAX_LEAP = 10 ** 9
+
+#: Cap on the record back-off (ticks run plainly after a killed
+#: recorder before the next recording attempt).
+_BACKOFF_CAP = 32
+
+
+class _Span(_Batch):
+    """One recorded steady tick driven by its pending-event queue."""
+
+    def __init__(self, machine: "Machine", rec: TickRecorder):
+        super().__init__(machine, rec)
+        # Opaque predicates force per-tick polling for the whole span.
+        polling = bool(rec.spin_guards)
+        if not polling:
+            for _t, phase in rec.blocked:
+                if not isinstance(phase, SleepPhase) or phase.until is not None:
+                    polling = True
+                    break
+        self.polling = polling
+
+    # -- the pending-event queue --------------------------------------------
+
+    def _wake_crossing(self, wake: float) -> int:
+        """Smallest j >= 0 with ``(ticks+j)*dt >= wake`` — the exact
+        expression the wake guard evaluates (``now_s`` is ``ticks*dt``),
+        so the returned tick index matches per-tick polling bit-for-bit.
+        """
+        clock = self.m.clock
+        dt = clock.dt_s
+        ticks0 = clock.ticks
+        j = int((wake - clock.now_s) / dt) - 2
+        if j < 0:
+            j = 0
+        while (ticks0 + j) * dt < wake:
+            j += 1
+        return j
+
+    def _due_crossing(self, at_s: float) -> int:
+        """Smallest j >= 0 where the time guard fires: the exact float
+        expression ``at_s <= now + dt + eps`` the guard evaluates."""
+        clock = self.m.clock
+        dt = clock.dt_s
+        ticks0 = clock.ticks
+        j = int((at_s - clock.now_s) / dt) - 2
+        if j < 0:
+            j = 0
+        while not (at_s <= (ticks0 + j) * dt + dt + TIME_GUARD_EPS):
+            j += 1
+        return j
+
+    def horizon(self) -> int | None:
+        """Ticks to the earliest pending event (None: nothing pending)."""
+        rec = self.rec
+        nearest: int | None = None
+
+        # Workload phase changes: compute chains exhaust their phase.
+        for chain in self.computes:
+            step = 0.0
+            for e in chain[1:]:
+                step += e
+            if step <= 0.0:
+                continue
+            k = int(chain[0].remaining / (step * (1.0 + _SLACK))) - 2
+            if k < 0:
+                k = 0
+            if nearest is None or k < nearest:
+                nearest = k
+
+        # Multiplex rotation: predicted runtime crosses a slot boundary.
+        for thread, rt_incs, slot, n_rot in rec.mux_guards:
+            if n_rot <= 1:
+                continue
+            step = 0.0
+            v = thread.total_runtime_s
+            for inc in rt_incs:
+                step += inc
+                v = v + inc
+            if step <= 0.0:
+                continue
+            boundary = (int(v / MUX_ROTATION_PERIOD_S) + 1) * MUX_ROTATION_PERIOD_S
+            k = int((boundary - v) / (step * (1.0 + _SLACK))) - 2
+            if k < 0:
+                k = 0
+            if nearest is None or k < nearest:
+                nearest = k
+
+        # Thread wake-ups: exact tick-grid crossing of the wake time.
+        for t, _phase in rec.blocked:
+            wake = t.wake_at_s
+            if wake is None:
+                continue  # sleeps forever (no until: caller's choice)
+            k = self._wake_crossing(wake)
+            if nearest is None or k < nearest:
+                nearest = k
+
+        # Timed faults: the guard fires one tick before the due time.
+        for at_s in rec.time_guards:
+            k = self._due_crossing(at_s)
+            if nearest is None or k < nearest:
+                nearest = k
+
+        # Overflow crossings: counter distance to the armed threshold.
+        for chain in self.overflows:
+            event = chain[0]
+            threshold = event._next_overflow
+            if threshold is None:
+                continue
+            step = 0.0
+            v = event.count
+            for inc in chain[1:]:
+                step += inc
+                v = v + inc
+            if step <= 0.0:
+                continue
+            k = int((threshold - v) / (step * (1.0 + _SLACK))) - 2
+            if k < 0:
+                k = 0
+            if nearest is None or k < nearest:
+                nearest = k
+
+        if nearest is not None and nearest > _MAX_LEAP:
+            nearest = _MAX_LEAP
+        return nearest
+
+    # -- span drivers --------------------------------------------------------
+
+    def drive(self, left: int) -> int:
+        """Replay up to ``left`` ticks; returns the ticks still owed."""
+        if self.polling:
+            while left > 0 and self.guards_hold():
+                left -= 1
+                if not self.apply_tick():
+                    break
+            return left
+        while left > 0:
+            k = self.horizon()
+            k = left if k is None else min(k, left)
+            if k <= 0:
+                # Boundary region: step through it under full polling.
+                if not self.guards_hold():
+                    return left
+                left -= 1
+                if not self.apply_tick():
+                    return left
+                continue
+            while k > 0:
+                k -= 1
+                left -= 1
+                if not self.apply_tick():
+                    return left
+        return left
+
+    def drive_until(self, cond, deadline: float) -> None:
+        """Replay while ``cond`` is false; the caller's condition is
+        opaque, so it is polled every tick even mid-leap."""
+        clock = self.m.clock
+        if self.polling:
+            while (
+                not cond()
+                and clock.now_s < deadline
+                and self.guards_hold()
+            ):
+                if not self.apply_tick():
+                    return
+            return
+        while True:
+            k = self.horizon()
+            if k is not None and k <= 0:
+                if not self.guards_hold():
+                    return
+                if cond() or clock.now_s >= deadline:
+                    return
+                if not self.apply_tick():
+                    return
+                continue
+            n = _MAX_LEAP if k is None else k
+            while n > 0:
+                n -= 1
+                if cond() or clock.now_s >= deadline:
+                    return
+                if not self.apply_tick():
+                    return
+
+
+class SchedCache:
+    """Replays the scheduler's decision for pure-sticky placements.
+
+    Installed on the machine by the event engine only (the other engines
+    call the scheduler every tick, so a caching bug here is caught by
+    the three-way parity matrix).  A placement is cached only when it is
+    provably side-effect-free to repeat: every runnable thread single-
+    occupies the CPU it was already on (``cpu == last_cpu``), so the
+    scheduler's sticky pass would reproduce it with no switch/migration
+    accounting, no trace emission and untouched RNG.  The per-tick
+    validation re-checks identity and order of the runnable set, each
+    thread's current placement, the placed core's hotplug state, and
+    that the thread's affinity is the *same object* it was placed under
+    (``taskset`` installs a new set, invalidating the hit).  Placements
+    reached through the empty-effective-mask fallback are never cached —
+    a hit requires direct affinity membership, checked at store time —
+    so the identity test is strictly conservative against
+    ``Scheduler._usable``.
+    """
+
+    __slots__ = ("scheduler", "assignment", "threads", "cpus", "cores",
+                 "affs", "valid")
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self.assignment = None
+        self.threads: list = []
+        self.cpus: list[int] = []
+        self.cores: list = []
+        self.affs: list = []
+        self.valid = False
+
+    def lookup(self, runnable: list):
+        sched = self.scheduler
+        if (
+            not self.valid
+            or sched.migrate_jitter != 0.0
+            or sched.rebalance_jitter != 0.0
+        ):
+            return None
+        threads = self.threads
+        if len(runnable) != len(threads):
+            return None
+        cpus = self.cpus
+        cores = self.cores
+        affs = self.affs
+        for i, t in enumerate(runnable):
+            if (
+                t is not threads[i]
+                or t.cpu != cpus[i]
+                or t.affinity is not affs[i]
+                or not cores[i].online
+            ):
+                return None
+        return self.assignment
+
+    def store(self, runnable: list, assignment: dict) -> None:
+        self.valid = False
+        if len(assignment) != len(runnable):
+            return  # shared or unplaced: repeating has side effects
+        placement: dict[int, int] = {}
+        for cpu, entries in assignment.items():
+            if len(entries) != 1:
+                return
+            t = entries[0].thread
+            if t.cpu != cpu or t.last_cpu != cpu:
+                return
+            aff = t.affinity
+            if aff is not None and cpu not in aff:
+                return  # fallback-mode placement: never cache
+            placement[id(t)] = cpu
+        threads = []
+        cpus = []
+        cores = []
+        affs = []
+        topo_core = self.scheduler.topology.core
+        for t in runnable:
+            cpu = placement.get(id(t))
+            if cpu is None:
+                return
+            threads.append(t)
+            cpus.append(cpu)
+            cores.append(topo_core(cpu))
+            affs.append(t.affinity)
+        self.assignment = assignment
+        self.threads = threads
+        self.cpus = cpus
+        self.cores = cores
+        self.affs = affs
+        self.valid = True
+
+
+class EventEngine(FastPathEngine):
+    """Routes ``run_ticks``/``run_until`` through event-queue spans."""
+
+    def run_ticks(self, n: int) -> None:
+        m = self.m
+        left = n
+        record_ok = self._record_ok()
+        backoff = 0
+        penalty = 1
+        while left > 0:
+            if left >= 2 and record_ok and backoff == 0:
+                rec = TickRecorder()
+                m._rec = rec
+                try:
+                    m.tick()
+                finally:
+                    m._rec = None
+                left -= 1
+                if not rec.steady():
+                    # Hooks can be registered from inside control ops.
+                    record_ok = self._record_ok()
+                    backoff = penalty
+                    if penalty < _BACKOFF_CAP:
+                        penalty *= 2
+                    continue
+                penalty = 1
+                left = _Span(m, rec).drive(left)
+            else:
+                m.tick()
+                left -= 1
+                if backoff > 0:
+                    backoff -= 1
+
+    def run_until(self, cond, deadline: float) -> bool:
+        m = self.m
+        clock = m.clock
+        record_ok = self._record_ok()
+        backoff = 0
+        penalty = 1
+        while not cond():
+            if clock.now_s >= deadline:
+                return False
+            if record_ok and backoff == 0:
+                rec = TickRecorder()
+                m._rec = rec
+                try:
+                    m.tick()
+                finally:
+                    m._rec = None
+                if not rec.steady():
+                    record_ok = self._record_ok()
+                    backoff = penalty
+                    if penalty < _BACKOFF_CAP:
+                        penalty *= 2
+                    continue
+                penalty = 1
+                _Span(m, rec).drive_until(cond, deadline)
+            else:
+                m.tick()
+                if backoff > 0:
+                    backoff -= 1
+        return True

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.sim.workload import SleepPhase
+from repro.sim.workload import ChunkStream, SleepPhase
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Machine
@@ -44,6 +44,22 @@ if TYPE_CHECKING:  # pragma: no cover
 #: The multiplexing rotation period, duplicated from the perf subsystem
 #: to avoid an import cycle (asserted equal in the test suite).
 MUX_ROTATION_PERIOD_S = 0.004
+
+#: Slack for float time comparisons against tick boundaries (must match
+#: the fault injector's epsilon: time guards reproduce its batch guard).
+TIME_GUARD_EPS = 1e-12
+
+#: Record-attempt backoff cap, in ticks.  Attaching a recorder to a tick
+#: costs real wall time (guard bookkeeping, per-bucket vector copies in
+#: the accounting flush); during sustained churn — e.g. HPL's
+#: dynamic-claim stage, where some phase boundary fires almost every
+#: tick — that cost buys nothing.  After a failed recording the engine
+#: runs plain ticks for a geometrically growing interval before trying
+#: again, so a churn-bound run costs the same as the single-tick engine.
+#: Recording
+#: is purely observational (a recorded tick computes bit-identical state
+#: to a plain one), so the backoff schedule cannot affect results.
+RECORD_BACKOFF_CAP = 32
 
 
 class TickRecorder:
@@ -56,6 +72,8 @@ class TickRecorder:
         "spin_guards",
         "compute_guards",
         "mux_guards",
+        "time_guards",
+        "overflow_guards",
         "power_inputs",
         "freq_before",
         "freq_after",
@@ -73,6 +91,8 @@ class TickRecorder:
         self.spin_guards: list = []             # until() callables
         self.compute_guards: dict = {}          # id(phase) -> [phase, incs...]
         self.mux_guards: list[tuple] = []       # (thread, rt_incs, slot, n_rot)
+        self.time_guards: list[float] = []      # absolute due times (s)
+        self.overflow_guards: dict = {}         # id(event) -> [event, incs...]
         self.power_inputs = None                # (sample, activity, other_w, util)
         self.freq_before: list[float] | None = None
         self.freq_after: list[float] | None = None
@@ -105,6 +125,21 @@ class TickRecorder:
         """The rotation slot seen by this tick's perf dispatch must repeat."""
         incs = tuple(self._rt_incs.get(id(thread), ()))
         self.mux_guards.append((thread, incs, slot, n_rot))
+
+    def time_guard(self, at_s: float) -> None:
+        """The batch must end one tick before absolute time ``at_s``
+        (a timed fault or other scheduled transition comes due there)."""
+        self.time_guards.append(at_s)
+
+    def overflow_step(self, event, inc: float) -> None:
+        """An armed sampling event's count grew without crossing its
+        threshold; replayed ticks repeat ``inc`` and must stop one tick
+        before ``event.count`` reaches ``event._next_overflow``."""
+        guard = self.overflow_guards.get(id(event))
+        if guard is None:
+            self.overflow_guards[id(event)] = [event, inc]
+        else:
+            guard.append(inc)
 
     # -- engine callbacks ----------------------------------------------------
 
@@ -161,13 +196,19 @@ class _Batch:
         self.m = machine
         self.rec = rec
         self.freq_expect = rec.freq_after
-        # Flatten compute guard chains once.
+        # Flatten compute/overflow guard chains once.
         self.computes = list(rec.compute_guards.values())
+        self.overflows = list(rec.overflow_guards.values())
 
     def guards_hold(self) -> bool:
         """True if the next tick would repeat the recorded one exactly."""
         rec = self.rec
         now_s = self.m.clock.now_s
+        if rec.time_guards:
+            due = now_s + self.m.clock.dt_s + TIME_GUARD_EPS
+            for at_s in rec.time_guards:
+                if at_s <= due:
+                    return False
         for t, phase in rec.blocked:
             if isinstance(phase, SleepPhase) and phase.until is not None:
                 if phase.until():
@@ -193,6 +234,16 @@ class _Batch:
                 r = r + inc
             if int(r / MUX_ROTATION_PERIOD_S) % n_rot != slot:
                 return False
+        for chain in self.overflows:
+            event = chain[0]
+            threshold = event._next_overflow
+            if threshold is None:
+                continue
+            c = event.count
+            for inc in chain[1:]:
+                c = c + inc
+            if c >= threshold:
+                return False  # next tick would cross and emit a sample
         return True
 
     def apply_tick(self) -> bool:
@@ -243,12 +294,33 @@ class FastPathEngine:
             and m.hooks_fastpath_safe()
         )
 
+    def _claim_in_flight(self) -> bool:
+        """True while any live thread sits in a dynamic chunk stream.
+
+        A shared-pool claim makes the tick unreplayable by definition
+        (the executing slice kills the recorder anyway), but threads
+        scheduled *before* the claimant would still pay full recording
+        bookkeeping for nothing — so don't attach a recorder at all.
+        """
+        for t in self.m.threads:
+            if isinstance(t.current_phase, ChunkStream):
+                return True
+        return False
+
     def run_ticks(self, n: int) -> None:
         m = self.m
         left = n
         record_ok = self._record_ok()
+        skip = 0      # plain ticks to run before the next record attempt
+        penalty = 1   # backoff length charged for the next failed attempt
         while left > 0:
-            if left >= 2 and record_ok:
+            if left >= 2 and record_ok and skip == 0:
+                if self._claim_in_flight():
+                    m.tick()
+                    left -= 1
+                    skip = penalty
+                    penalty = min(penalty * 4, RECORD_BACKOFF_CAP)
+                    continue
                 rec = TickRecorder()
                 m._rec = rec
                 try:
@@ -259,25 +331,44 @@ class FastPathEngine:
                 if not rec.steady():
                     # Hooks can be registered from inside control ops.
                     record_ok = self._record_ok()
+                    skip = penalty
+                    penalty = min(penalty * 4, RECORD_BACKOFF_CAP)
                     continue
                 batch = _Batch(m, rec)
+                replayed = 0
                 while left > 0 and batch.guards_hold():
                     more = batch.apply_tick()
                     left -= 1
+                    replayed += 1
                     if not more:
                         break
+                if replayed:
+                    skip, penalty = 0, 1
+                else:
+                    # Steady but instantly guarded-out: same as a miss.
+                    skip = penalty
+                    penalty = min(penalty * 4, RECORD_BACKOFF_CAP)
             else:
                 m.tick()
                 left -= 1
+                if skip > 0:
+                    skip -= 1
 
     def run_until(self, cond, deadline: float) -> bool:
         m = self.m
         clock = m.clock
         record_ok = self._record_ok()
+        skip = 0
+        penalty = 1
         while not cond():
             if clock.now_s >= deadline:
                 return False
-            if record_ok:
+            if record_ok and skip == 0:
+                if self._claim_in_flight():
+                    m.tick()
+                    skip = penalty
+                    penalty = min(penalty * 4, RECORD_BACKOFF_CAP)
+                    continue
                 rec = TickRecorder()
                 m._rec = rec
                 try:
@@ -286,15 +377,26 @@ class FastPathEngine:
                     m._rec = None
                 if not rec.steady():
                     record_ok = self._record_ok()
+                    skip = penalty
+                    penalty = min(penalty * 4, RECORD_BACKOFF_CAP)
                     continue
                 batch = _Batch(m, rec)
+                replayed = 0
                 while (
                     not cond()
                     and clock.now_s < deadline
                     and batch.guards_hold()
                 ):
+                    replayed += 1
                     if not batch.apply_tick():
                         break
+                if replayed:
+                    skip, penalty = 0, 1
+                else:
+                    skip = penalty
+                    penalty = min(penalty * 4, RECORD_BACKOFF_CAP)
             else:
                 m.tick()
+                if skip > 0:
+                    skip -= 1
         return True

@@ -35,6 +35,12 @@ class ThreadState(enum.Enum):
 #: branchy, cache-resident).
 OVERHEAD_RATES = PhaseRates(ipc=1.6, branches_per_instr=0.2, branch_miss_rate=0.02)
 
+#: Per-class memo of which work-source protocol applies (``next_item``
+#: vs ``next_phase``).  The protocol is defined by the source's class,
+#: so probing with ``hasattr`` — a raised-and-caught AttributeError on
+#: every miss — is paid once per class, not once per phase boundary.
+_SOURCE_HAS_NEXT_ITEM: dict[type, bool] = {}
+
 
 class ControlOp:
     """An instantaneous action at a phase boundary (e.g. a PAPI call)."""
@@ -140,9 +146,15 @@ class SimThread:
     def take_next(self) -> WorkPhase | ControlOp | None:
         if self._injected:
             return self._injected.popleft()
-        if hasattr(self.source, "next_item"):
-            return self.source.next_item()
-        return self.source.next_phase(self)
+        source = self.source
+        cls = type(source)
+        has_item = _SOURCE_HAS_NEXT_ITEM.get(cls)
+        if has_item is None:
+            has_item = hasattr(source, "next_item")
+            _SOURCE_HAS_NEXT_ITEM[cls] = has_item
+        if has_item:
+            return source.next_item()
+        return source.next_phase(self)
 
     # -- accounting --------------------------------------------------------
 

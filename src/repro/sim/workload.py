@@ -85,6 +85,69 @@ class ComputePhase(WorkPhase):
         return self.remaining <= 0.0
 
 
+class ChunkStream(WorkPhase):
+    """A stream of equal-grain compute chunks claimed from a shared pool.
+
+    Work-stealing runtimes (the dynamic phase of Intel's HPL build) hand
+    out many small chunks from one shared pool.  Modelling each chunk as
+    its own :class:`ComputePhase` makes every claim a phase boundary —
+    thousands of phase objects and closure allocations per simulated
+    second, all on the engine's hot path.  A ``ChunkStream`` instead
+    exposes the pool itself (``pool[index]``), the claim ``grain`` and
+    the flops→instruction conversion, so the engine executes the whole
+    claim-execute loop fused, with the *same* arithmetic a chunk-per-
+    phase run performs: ``take = min(grain, pool)``, ``pool -= take``,
+    ``instructions = max(1.0, take / flops_per_instr)``.
+
+    The pool is shared mutable state across threads, so a tick that
+    claims from it is never macro-tick-replayable; the engine kills the
+    tick recorder when a stream executes.  ``on_claimed`` (if given) is
+    called once per executed slice with the flops claimed in that slice.
+
+    The stream is finished when its current chunk is exhausted and the
+    pool is drained (possibly by other threads).
+    """
+
+    __slots__ = (
+        "pool",
+        "index",
+        "grain",
+        "rates_fn",
+        "flops_per_instr",
+        "on_claimed",
+        "remaining",
+        "label",
+    )
+
+    def __init__(
+        self,
+        pool: list,
+        index: int,
+        grain: float,
+        rates_fn: RatesFn,
+        flops_per_instr: float,
+        on_claimed: Optional[Callable[[float], None]] = None,
+        label: str = "chunk-stream",
+    ):
+        if grain <= 0:
+            raise ValueError("a chunk stream needs a positive grain")
+        if flops_per_instr <= 0:
+            raise ValueError("flops_per_instr must be positive")
+        self.pool = pool
+        self.index = index
+        self.grain = float(grain)
+        self.rates_fn = rates_fn
+        self.flops_per_instr = float(flops_per_instr)
+        self.on_claimed = on_claimed
+        #: Instructions left in the chunk claimed but not yet retired.
+        self.remaining = 0.0
+        self.label = label
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 0.0 and self.pool[self.index] <= 0.0
+
+
 #: Spin loops retire mostly test-and-branch (and pause) instructions;
 #: a tight register-resident loop sustains high retirement rates.
 SPIN_RATES = PhaseRates(

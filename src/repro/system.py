@@ -29,6 +29,7 @@ class System:
         rebalance_jitter: float = 0.0,
         expose_cpu_types: bool = False,
         fastpath: bool = True,
+        engine: Optional[str] = None,
         trace=None,
     ):
         if isinstance(spec, str):
@@ -47,6 +48,7 @@ class System:
             migrate_jitter=migrate_jitter,
             rebalance_jitter=rebalance_jitter,
             fastpath=fastpath,
+            engine=engine,
             trace=trace,
         )
         self.perf = PerfSubsystem(self.machine)
@@ -86,6 +88,7 @@ class System:
             "sim_time_s": self.machine.now_s,
             "ticks": self.machine.clock.ticks,
             "fastpath": self.machine.fastpath,
+            "engine": self.machine.engine,
             "state_digest": self.state_digest(),
         }
         if meta:
@@ -117,8 +120,9 @@ class System:
         """Stable hash over the snapshot surface (see
         :mod:`repro.checkpoint.digest`).  Two systems digest equal iff
         their observable simulated state is bit-identical; engine-path
-        selection (``fastpath``) is excluded, so a fast-path and a
-        slow-path run of one workload must digest equal."""
+        selection (``engine``/``fastpath``) is excluded, so single-tick,
+        macro-tick and event-driven runs of one workload must digest
+        equal."""
         from repro.checkpoint.digest import state_digest
 
         return state_digest(self)

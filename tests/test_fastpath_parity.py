@@ -1,14 +1,17 @@
-"""Parity suite: the macro-tick fast path must be bit-identical to the
-slow path for deterministic workloads.
+"""Engine parity matrix: every engine must be bit-identical on every
+deterministic workload.
 
-Every scenario here runs twice — ``System(..., fastpath=False)`` (the
-plain single-tick loop) and ``fastpath=True`` (steady-state macro-tick
-batching) — and asserts equality of the *whole snapshot surface* via
-``state_digest``: thread counters, perf read values and event clocks,
-scheduler RNG position, RAPL energy, thermal state, everything the
-checkpoint layer declares as state.  The experiments' correctness
-claims rest on the counter semantics, so no tolerance is allowed; any
-new state a layer grows is covered automatically.
+Every scenario here runs once per engine — ``engine="ticks"`` (the
+plain single-tick loop), ``engine="macro"`` (steady-state macro-tick
+batching) and ``engine="events"`` (the event-driven core) — and asserts
+equality of the *whole snapshot surface* via ``state_digest``: thread
+counters, perf read values and event clocks, scheduler RNG position,
+RAPL energy, thermal state, everything the checkpoint layer declares as
+state.  The experiments' correctness claims rest on the counter
+semantics, so no tolerance is allowed; any new state a layer grows is
+covered automatically.  Structured trace streams must match byte for
+byte too, and a mid-run checkpoint/restore under the event engine must
+rejoin the same digest.
 """
 
 from __future__ import annotations
@@ -37,41 +40,49 @@ RATES = PhaseRates(
 )
 
 
-def _run_both(build, **system_kw):
-    """Run ``build(system) -> result`` on the slow and fast paths.
+#: The full engine matrix, in "reference first" order.
+ENGINES = ("ticks", "macro", "events")
+
+
+def _run_matrix(build, **system_kw):
+    """Run ``build(system) -> result`` once per engine.
 
     Process-global counters (the perf event-id allocator) are rewound
-    between the two builds so both systems hand out identical ids —
-    exactly what a checkpoint restore does — making whole-system
-    digests directly comparable.
+    between builds so every system hands out identical ids — exactly
+    what a checkpoint restore does — making whole-system digests
+    directly comparable.  Returns ``[(system, result), ...]`` in
+    :data:`ENGINES` order.
     """
     out = []
     g0 = global_counter_state()
-    for fastpath in (False, True):
+    for engine in ENGINES:
         set_global_counter_state(g0)
-        system = System(MACHINE, fastpath=fastpath, **system_kw)
+        system = System(MACHINE, engine=engine, **system_kw)
         out.append((system, build(system)))
     return out
 
 
-def _assert_threads_identical(threads_slow, threads_fast):
+def _assert_threads_identical(threads_ref, threads_other):
     """Per-thread digest equality (localizes a whole-system mismatch)."""
-    assert len(threads_slow) == len(threads_fast)
-    for a, b in zip(threads_slow, threads_fast):
+    assert len(threads_ref) == len(threads_other)
+    for a, b in zip(threads_ref, threads_other):
         assert state_digest(a) == state_digest(b), (
-            f"{a.name} diverges between slow and fast paths"
+            f"{a.name} diverges between engines"
         )
 
 
-def _assert_systems_identical(ss, sf):
+def _assert_systems_identical(*systems):
     """The tight form: one digest over the full snapshot surface.
 
-    ``fastpath``/engine internals are declared ``digest_exclude`` by the
-    Machine's snapshot surface, so the two engine paths must digest
-    equal — everything else (counters, clocks, RNGs, energies, sample
-    buffers) is covered with zero tolerance.
+    ``fastpath``/``engine`` selection and engine internals are declared
+    ``digest_exclude`` by the Machine's snapshot surface, so all engines
+    must digest equal — everything else (counters, clocks, RNGs,
+    energies, sample buffers) is covered with zero tolerance.
     """
-    assert ss.state_digest() == sf.state_digest()
+    digests = [s.state_digest() for s in systems]
+    assert len(set(digests)) == 1, (
+        f"engine digests diverge: {dict(zip(ENGINES, digests))}"
+    )
 
 
 def _fastpath_batched(machine, run):
@@ -121,34 +132,42 @@ class TestSteadyScenarios:
             assert system.machine.run_until_done(ts, max_s=100)
             return ts
 
-        (ss, ts_slow), (sf, ts_fast) = _run_both(build, dt_s=0.01)
+        (ss, ts_slow), (sf, ts_fast), (se, ts_ev) = _run_matrix(
+            build, dt_s=0.01
+        )
         _assert_threads_identical(ts_slow, ts_fast)
-        _assert_systems_identical(ss, sf)
+        _assert_threads_identical(ts_slow, ts_ev)
+        _assert_systems_identical(ss, sf, se)
 
     def test_idle_cooldown_parity_and_batching(self):
-        """A long idle cooldown must batch and stay identical."""
+        """A long idle cooldown must batch (macro) / leap (events) and
+        stay identical."""
 
         def build(system):
             system.machine.thermal.temp_c = 80.0
             system.machine.thermal.zone.temp_c = 80.0
             return None
 
-        (ss, _), (sf, _) = _run_both(build, dt_s=0.01)
+        (ss, _), (sf, _), (se, _) = _run_matrix(build, dt_s=0.01)
         ss.machine.run_ticks(3000)
-        real, ticks = _fastpath_batched(
+        real_f, ticks_f = _fastpath_batched(
             sf.machine, lambda: sf.machine.run_ticks(3000)
         )
-        assert ticks == 3000
-        assert real < 100  # the vast majority of ticks were replayed
-        _assert_systems_identical(ss, sf)
+        real_e, ticks_e = _fastpath_batched(
+            se.machine, lambda: se.machine.run_ticks(3000)
+        )
+        assert ticks_f == ticks_e == 3000
+        assert real_f < 100  # the vast majority of ticks were replayed
+        assert real_e < 100
+        _assert_systems_identical(ss, sf, se)
 
     def test_run_until_cooldown_parity(self):
-        (ss, _), (sf, _) = _run_both(lambda s: None, dt_s=0.01)
-        for system in (ss, sf):
+        (ss, _), (sf, _), (se, _) = _run_matrix(lambda s: None, dt_s=0.01)
+        for system in (ss, sf, se):
             system.machine.thermal.temp_c = 70.0
             system.machine.thermal.zone.temp_c = 70.0
             assert system.machine.cool_down(target_c=36.0, max_s=600)
-        _assert_systems_identical(ss, sf)
+        _assert_systems_identical(ss, sf, se)
 
 
 class TestPerfAndPapiParity:
@@ -182,12 +201,13 @@ class TestPerfAndPapiParity:
             assert system.machine.run_until_done([t], max_s=10)
             return t, results
 
-        (ss, (t_slow, r_slow)), (sf, (t_fast, r_fast)) = _run_both(
-            build, dt_s=2e-5
+        (ss, (t_slow, r_slow)), (sf, (t_fast, r_fast)), (se, (t_ev, r_ev)) = (
+            _run_matrix(build, dt_s=2e-5)
         )
-        assert r_slow == r_fast
+        assert r_slow == r_fast == r_ev
         _assert_threads_identical([t_slow], [t_fast])
-        _assert_systems_identical(ss, sf)
+        _assert_threads_identical([t_slow], [t_ev])
+        _assert_systems_identical(ss, sf, se)
 
     def test_migration_scenario_parity(self):
         """With scheduler jitter both paths run tick-by-tick; the RNG
@@ -205,13 +225,21 @@ class TestPerfAndPapiParity:
                 _read_fields(system.perf.read(fd_e)),
             )
 
-        (ss, (t_slow, r_slow)), (sf, (t_fast, r_fast)) = _run_both(
-            build, dt_s=1e-4, seed=2, migrate_jitter=0.1, rebalance_jitter=0.1
+        (ss, (t_slow, r_slow)), (sf, (t_fast, r_fast)), (se, (t_ev, r_ev)) = (
+            _run_matrix(
+                build,
+                dt_s=1e-4,
+                seed=2,
+                migrate_jitter=0.1,
+                rebalance_jitter=0.1,
+            )
         )
         assert t_slow.nr_migrations == t_fast.nr_migrations > 0
-        assert r_slow == r_fast
+        assert t_slow.nr_migrations == t_ev.nr_migrations
+        assert r_slow == r_fast == r_ev
         _assert_threads_identical([t_slow], [t_fast])
-        _assert_systems_identical(ss, sf)
+        _assert_threads_identical([t_slow], [t_ev])
+        _assert_systems_identical(ss, sf, se)
 
     def test_perf_read_values_identical_across_batches(self):
         """Per-thread perf events survive macro-tick batching bit-for-bit."""
@@ -229,9 +257,9 @@ class TestPerfAndPapiParity:
             assert system.machine.run_until_done([t], max_s=100)
             return [_read_fields(system.perf.read(fd)) for fd in fds]
 
-        (ss, r_slow), (sf, r_fast) = _run_both(build, dt_s=0.01)
-        assert r_slow == r_fast
-        _assert_systems_identical(ss, sf)
+        (ss, r_slow), (sf, r_fast), (se, r_ev) = _run_matrix(build, dt_s=0.01)
+        assert r_slow == r_fast == r_ev
+        _assert_systems_identical(ss, sf, se)
 
 
 class TestMultiplexedBatching:
@@ -273,12 +301,12 @@ class TestMultiplexedBatching:
             assert system.machine.run_until_done([t], max_s=100)
             return t, [system.perf.read(fd) for fd in fds]
 
-        (ss, (t_slow, r_slow)), (sf, (t_fast, r_fast)) = _run_both(
-            build, dt_s=0.001
+        (ss, (t_slow, r_slow)), (sf, (t_fast, r_fast)), (se, (t_ev, r_ev)) = (
+            _run_matrix(build, dt_s=0.001)
         )
-        assert [_read_fields(r) for r in r_slow] == [
-            _read_fields(r) for r in r_fast
-        ]
+        fields_slow = [_read_fields(r) for r in r_slow]
+        assert fields_slow == [_read_fields(r) for r in r_fast]
+        assert fields_slow == [_read_fields(r) for r in r_ev]
         # The events really were multiplexed, and the scaled estimate
         # still reconstructs the full instruction count.
         for rv in r_fast:
@@ -286,7 +314,8 @@ class TestMultiplexedBatching:
         total_scaled = sum(rv.scaled_value() for rv in r_fast)
         assert abs(total_scaled - 3 * 2e9) / (3 * 2e9) < 0.3
         _assert_threads_identical([t_slow], [t_fast])
-        _assert_systems_identical(ss, sf)
+        _assert_threads_identical([t_slow], [t_ev])
+        _assert_systems_identical(ss, sf, se)
 
     def test_mux_batch_engages_while_rotating(self):
         """Rotation alone must not kill batching: the rotation slot is a
@@ -324,15 +353,17 @@ class TestHplParity:
             )
             return result
 
-        (ss, r_slow), (sf, r_fast) = _run_both(build, dt_s=0.01)
-        assert r_slow.wall_s == r_fast.wall_s
-        assert r_slow.gflops == r_fast.gflops
-        assert r_slow.energy_j == r_fast.energy_j
-        _assert_threads_identical(
-            sorted(ss.machine.threads, key=lambda t: t.tid),
-            sorted(sf.machine.threads, key=lambda t: t.tid),
-        )
-        _assert_systems_identical(ss, sf)
+        (ss, r_slow), (sf, r_fast), (se, r_ev) = _run_matrix(build, dt_s=0.01)
+        for other in (r_fast, r_ev):
+            assert r_slow.wall_s == other.wall_s
+            assert r_slow.gflops == other.gflops
+            assert r_slow.energy_j == other.energy_j
+        ref = sorted(ss.machine.threads, key=lambda t: t.tid)
+        for sx in (sf, se):
+            _assert_threads_identical(
+                ref, sorted(sx.machine.threads, key=lambda t: t.tid)
+            )
+        _assert_systems_identical(ss, sf, se)
 
 
 class TestFaultInjectionParity:
@@ -367,12 +398,13 @@ class TestFaultInjectionParity:
                 _read_fields(system.perf.read(fd)) for fd in fds
             ]
 
-        (ss, (ts_slow, r_slow)), (sf, (ts_fast, r_fast)) = _run_both(
-            build, dt_s=0.001
+        (ss, (ts_slow, r_slow)), (sf, (ts_fast, r_fast)), (se, (ts_ev, r_ev)) = (
+            _run_matrix(build, dt_s=0.001)
         )
-        assert r_slow == r_fast
+        assert r_slow == r_fast == r_ev
         _assert_threads_identical(ts_slow, ts_fast)
-        _assert_systems_identical(ss, sf)
+        _assert_threads_identical(ts_slow, ts_ev)
+        _assert_systems_identical(ss, sf, se)
 
     def test_conditional_injection_parity(self):
         """``when()`` predicates are evaluated inside the batch guard, so
@@ -397,13 +429,14 @@ class TestFaultInjectionParity:
             assert m.run_until_done([t], max_s=10)
             return [t], [(at, type(f).__name__) for at, f in inj.fired]
 
-        (ss, (ts_slow, f_slow)), (sf, (ts_fast, f_fast)) = _run_both(
-            build, dt_s=0.001
+        (ss, (ts_slow, f_slow)), (sf, (ts_fast, f_fast)), (se, (ts_ev, f_ev)) = (
+            _run_matrix(build, dt_s=0.001)
         )
-        assert f_slow == f_fast  # identical fire times, to the tick
+        assert f_slow == f_fast == f_ev  # identical fire times, to the tick
         assert [k for _, k in f_slow] == ["CpuOffline", "CpuOnline"]
         _assert_threads_identical(ts_slow, ts_fast)
-        _assert_systems_identical(ss, sf)
+        _assert_threads_identical(ts_slow, ts_ev)
+        _assert_systems_identical(ss, sf, se)
 
     def test_syscall_storm_parity(self):
         """EBUSY retries charge syscall overhead to the caller; both
@@ -438,12 +471,13 @@ class TestFaultInjectionParity:
             assert system.machine.run_until_done([t], max_s=10)
             return [t], results
 
-        (ss, (ts_slow, r_slow)), (sf, (ts_fast, r_fast)) = _run_both(
-            build, dt_s=2e-5
+        (ss, (ts_slow, r_slow)), (sf, (ts_fast, r_fast)), (se, (ts_ev, r_ev)) = (
+            _run_matrix(build, dt_s=2e-5)
         )
-        assert r_slow == r_fast
+        assert r_slow == r_fast == r_ev
         _assert_threads_identical(ts_slow, ts_fast)
-        _assert_systems_identical(ss, sf)
+        _assert_threads_identical(ts_slow, ts_ev)
+        _assert_systems_identical(ss, sf, se)
 
     def test_sensor_dropout_and_counter_storm_parity(self):
         from repro.faults import CounterStorm, FaultPlan, SensorDropout
@@ -468,12 +502,13 @@ class TestFaultInjectionParity:
             assert inj.pending == 0
             return [t], _read_fields(system.perf.read(fd))
 
-        (ss, (ts_slow, r_slow)), (sf, (ts_fast, r_fast)) = _run_both(
-            build, dt_s=0.001
+        (ss, (ts_slow, r_slow)), (sf, (ts_fast, r_fast)), (se, (ts_ev, r_ev)) = (
+            _run_matrix(build, dt_s=0.001)
         )
-        assert r_slow == r_fast
+        assert r_slow == r_fast == r_ev
         _assert_threads_identical(ts_slow, ts_fast)
-        _assert_systems_identical(ss, sf)
+        _assert_threads_identical(ts_slow, ts_ev)
+        _assert_systems_identical(ss, sf, se)
 
     def test_pending_faults_do_not_kill_batching(self):
         """An armed injector is a replay guard, not a batching veto: an
@@ -491,6 +526,85 @@ class TestFaultInjectionParity:
         assert ticks == 3000
         assert inj.pending == 0  # dropout and auto-restore both fired
         assert real < 100
+
+
+class TestTraceAndCheckpointMatrix:
+    """Structured traces must dump byte-for-byte identically from every
+    engine, and a mid-run checkpoint taken under the event engine must
+    restore and rejoin the uninterrupted run's digest."""
+
+    def test_trace_dumps_byte_identical_across_engines(self):
+        from repro.trace.export import to_text
+
+        def build(system):
+            rates = constant_rates(RATES)
+            system.machine.thermal.temp_c = 80.0
+            system.machine.thermal.zone.temp_c = 80.0
+            t = system.machine.spawn(
+                SimThread(
+                    "app",
+                    Program(
+                        [
+                            ComputePhase(1e9, rates),
+                            SleepPhase(duration_s=0.05),
+                            ComputePhase(5e8, rates),
+                        ]
+                    ),
+                )
+            )
+            fd = _open_counting(system, "cpu_core", t.tid)
+            assert system.machine.run_until_done([t], max_s=10)
+            system.perf.read(fd)
+            return to_text(system.tracer.events_list())
+
+        (ss, txt_slow), (sf, txt_fast), (se, txt_ev) = _run_matrix(
+            build, dt_s=0.001, trace=True
+        )
+        assert txt_slow == txt_fast == txt_ev
+        assert txt_slow.count("\n") > 10  # the trace is non-trivial
+        _assert_systems_identical(ss, sf, se)
+
+    def test_events_engine_midrun_checkpoint_restore(self, tmp_path):
+        """Save mid-run under ``engine="events"``, restore, and continue:
+        the restored system must land on the uninterrupted run's digest
+        tick for tick (and so must the other engines)."""
+
+        def build(system):
+            rates = constant_rates(RATES)
+            system.machine.thermal.temp_c = 75.0
+            system.machine.thermal.zone.temp_c = 75.0
+            ts = [
+                system.machine.spawn(
+                    SimThread(f"w{i}", Program([ComputePhase(3e9, rates)]))
+                )
+                for i in range(2)
+            ]
+            _open_counting(system, "cpu_core", ts[0].tid)
+            system.machine.run_ticks(40)
+            return ts
+
+        path = str(tmp_path / "midrun.ckpt")
+        g0 = global_counter_state()
+        se = System(MACHINE, engine="events", dt_s=0.001)
+        build(se)
+        se.save(path)
+        restored = System.restore(path)
+        assert restored.machine.engine == "events"
+        assert restored.state_digest() == se.state_digest()
+
+        # Continue both to the same tick; they must stay locked together.
+        for system in (se, restored):
+            system.machine.run_ticks(160)
+        assert restored.state_digest() == se.state_digest()
+
+        # And the whole continuation matches the non-event engines
+        # running the same scenario straight through.
+        for engine in ("ticks", "macro"):
+            set_global_counter_state(g0)
+            ref = System(MACHINE, engine=engine, dt_s=0.001)
+            build(ref)
+            ref.machine.run_ticks(160)
+            assert ref.state_digest() == se.state_digest()
 
 
 def _read_fields(read_value):
