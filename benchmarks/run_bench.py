@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -183,6 +184,106 @@ SEED_BASELINE_S = {
 }
 
 
+#: Worker-pool sizes the fleet benchmark sweeps.
+FLEET_SIZES = (1, 2, 4)
+
+
+def fleet_bench(baseline_path: Path, rounds: int, warmup: int) -> int:
+    """Fleet throughput: jobs/s of a 16-job sweep at pool sizes 1/2/4.
+
+    Each round runs the 16-job ``fleet``-preset sweep through the real
+    :class:`~repro.supervisor.Supervisor` (subprocess workers, journal,
+    heartbeats — the full service path) into a throwaway directory, and
+    times the whole sweep.  Results are merged into the ``fleet``
+    section of ``BENCH_simulator.json`` without touching the engine
+    numbers.  Fails if the 4-worker pool is not faster than the
+    single-worker pool — the concurrency must actually buy throughput.
+    """
+    import shutil
+    import tempfile
+
+    from repro.supervisor import RunSpec, Supervisor
+
+    jobs = [
+        RunSpec(
+            f"hpl-{variant}-n{n}",
+            "hpl",
+            {"machine": MACHINE, "n": n, "nb": 128, "variant": variant,
+             "slice_s": 0.02},
+        )
+        for variant in ("openblas", "intel")
+        for n in (800, 900, 1000, 1100, 1200, 1300, 1400, 1500)
+    ]
+    scratch = tempfile.mkdtemp(prefix="fleet-bench-")
+    counter = [0]
+
+    def one_sweep(workers: int) -> float:
+        counter[0] += 1
+        out = Path(scratch) / f"sweep-{counter[0]}"
+        sup = Supervisor(
+            str(out),
+            backoff_s=0.0,
+            checkpoint_every_s=0.04,
+            workers=workers,
+            log=lambda m: None,
+        )
+        t0 = time.perf_counter()
+        manifest = sup.run(list(jobs))
+        elapsed = time.perf_counter() - t0
+        assert all(rec.status == "done" for rec in manifest.runs.values())
+        shutil.rmtree(out, ignore_errors=True)
+        return elapsed
+
+    try:
+        walls = {
+            n: _median_of(lambda: one_sweep(n), rounds, warmup)
+            for n in FLEET_SIZES
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    section = {
+        "jobs": len(jobs),
+        "rounds": rounds,
+        "warmup": warmup,
+        # The pool's wins are host-dependent: on a single-CPU host the
+        # speedup is only startup/IO overlap; on multicore it is real
+        # parallel compute.  Record the host so numbers compare fairly.
+        "host_cpus": os.cpu_count(),
+        "workers": {
+            str(n): {
+                "wall_s": walls[n],
+                "jobs_per_s": len(jobs) / walls[n],
+                "speedup_vs_1": walls[1] / walls[n],
+            }
+            for n in FLEET_SIZES
+        },
+    }
+    for n in FLEET_SIZES:
+        w = section["workers"][str(n)]
+        print(
+            f"fleet N={n}: {w['wall_s']:7.3f} s  "
+            f"{w['jobs_per_s']:6.2f} jobs/s  "
+            f"{w['speedup_vs_1']:5.2f}x vs N=1"
+        )
+
+    # Merge into the tracked baseline without clobbering engine numbers.
+    payload = json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
+    payload["fleet"] = section
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"updated fleet section of {baseline_path}")
+
+    if walls[4] >= walls[1]:
+        print(
+            "FAIL: the 4-worker fleet is not faster than a single worker — "
+            "pool concurrency is buying nothing; check for serialization "
+            "in the poll loop or journal fsync path"
+        )
+        return 1
+    print("OK: 4-worker fleet beats single-worker throughput")
+    return 0
+
+
 def check_trace_overhead(baseline_path: Path, tolerance: float = 0.02) -> int:
     """Deterministic guard: trace-off HPL *sim* time within ``tolerance``
     of the recorded baseline, and tracing must not move sim time at all."""
@@ -264,6 +365,13 @@ def main(argv=None) -> int:
         help="fail if the event engine's HPL speedup vs seed drops below "
         "the floor recorded in BENCH_simulator.json",
     )
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="measure fleet sweep throughput (jobs/s) at pool sizes "
+        "1/2/4 and record it in BENCH_simulator.json; fails unless "
+        "N=4 beats N=1",
+    )
     args = parser.parse_args(argv)
     baseline = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
     if args.check_trace_overhead:
@@ -275,6 +383,8 @@ def main(argv=None) -> int:
         parser.error("--rounds must be >= 1")
     if args.warmup < 0:
         parser.error("--warmup must be >= 0")
+    if args.fleet:
+        return fleet_bench(baseline, args.rounds, args.warmup)
     if args.check_regression:
         return check_regression(baseline, args.rounds, args.warmup)
     if args.output is None:

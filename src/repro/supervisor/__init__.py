@@ -1,13 +1,29 @@
-"""Crash-isolated, resumable experiment supervision.
+"""The fault-tolerant measurement service.
 
-See :mod:`repro.supervisor.supervisor` for the orchestrator,
-:mod:`repro.supervisor.worker` for the per-run subprocess entry, and
-:mod:`repro.supervisor.manifest` for the durable sweep state.
+See :mod:`repro.supervisor.supervisor` for the service front door,
+:mod:`repro.supervisor.pool` for the concurrent worker pool (liveness,
+migration, drain), :mod:`repro.supervisor.journal` for the crash-safe
+append-only journal, :mod:`repro.supervisor.cache` for the deterministic
+result cache, :mod:`repro.supervisor.worker` for the per-run subprocess
+entry, and :mod:`repro.supervisor.manifest` for the materialized sweep
+view.
 """
 
+from repro.supervisor.cache import ResultCache, code_version, spec_digest
+from repro.supervisor.heartbeat import (
+    DEAD,
+    LIVE,
+    SLOW,
+    STUCK,
+    heartbeat_path,
+    read_heartbeat,
+    write_heartbeat,
+)
+from repro.supervisor.journal import Journal, JournalError, JournalState
 from repro.supervisor.manifest import (
     DONE,
     EXIT_PERMANENT,
+    EXIT_PREEMPTED,
     EXIT_TRANSIENT,
     FAILED,
     PENDING,
@@ -15,7 +31,8 @@ from repro.supervisor.manifest import (
     Manifest,
     RunRecord,
 )
-from repro.supervisor.runs import RUN_KINDS, RunContext
+from repro.supervisor.pool import WorkerPool, backoff_delay, default_worker_count
+from repro.supervisor.runs import RUN_KINDS, Preempted, RunContext
 from repro.supervisor.supervisor import RunSpec, Supervisor
 
 __all__ = [
@@ -23,12 +40,30 @@ __all__ = [
     "FAILED",
     "PENDING",
     "RUNNING",
+    "DEAD",
+    "LIVE",
+    "SLOW",
+    "STUCK",
     "Manifest",
     "RunRecord",
     "RUN_KINDS",
     "RunContext",
     "RunSpec",
     "Supervisor",
+    "WorkerPool",
+    "Journal",
+    "JournalError",
+    "JournalState",
+    "Preempted",
+    "ResultCache",
+    "backoff_delay",
+    "code_version",
+    "default_worker_count",
+    "spec_digest",
+    "heartbeat_path",
+    "read_heartbeat",
+    "write_heartbeat",
     "EXIT_PERMANENT",
+    "EXIT_PREEMPTED",
     "EXIT_TRANSIENT",
 ]

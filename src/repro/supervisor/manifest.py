@@ -29,6 +29,10 @@ FAILED = "failed"
 #: exit or death-by-signal is a crash, classified transient).
 EXIT_PERMANENT = 3
 EXIT_TRANSIENT = 4
+#: The worker checkpointed and exited on request (SIGTERM drain /
+#: preemption): not a failure, the run goes back to pending with its
+#: checkpoint and does not burn an attempt.
+EXIT_PREEMPTED = 5
 
 
 def atomic_write_json(path: str, payload: dict) -> None:
@@ -64,6 +68,12 @@ class RunRecord:
     last_error: Optional[dict] = None
     #: Stuck-thread details from the last SimTimeout (cpu + core type).
     stuck: list = field(default_factory=list)
+    #: True when the result came from the deterministic result cache.
+    cached: bool = False
+    #: Times this run was killed as stuck/dead and moved to another slot.
+    migrations: int = 0
+    #: Pool slot of the latest attempt (migrations avoid re-using it).
+    last_slot: Optional[int] = None
 
     def to_json(self) -> dict:
         return {
@@ -76,6 +86,9 @@ class RunRecord:
             "checkpoint_path": self.checkpoint_path,
             "last_error": self.last_error,
             "stuck": self.stuck,
+            "cached": self.cached,
+            "migrations": self.migrations,
+            "last_slot": self.last_slot,
         }
 
     @classmethod
@@ -90,6 +103,9 @@ class RunRecord:
             checkpoint_path=data.get("checkpoint_path"),
             last_error=data.get("last_error"),
             stuck=data.get("stuck", []),
+            cached=bool(data.get("cached", False)),
+            migrations=int(data.get("migrations", 0)),
+            last_slot=data.get("last_slot"),
         )
 
 
@@ -115,8 +131,20 @@ class Manifest:
 
     @classmethod
     def load(cls, path: str) -> "Manifest":
-        with open(path) as fh:
-            data = json.load(fh)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            # Atomic replace means this should be impossible for a
+            # manifest *this* code wrote; say so rather than crash with
+            # a bare decode error (truncated copies, manual edits).
+            raise ValueError(
+                f"manifest {path} is corrupt (not valid JSON: {exc}); "
+                "it was not written by this supervisor's atomic writer — "
+                "restore it or start the sweep fresh"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ValueError(f"manifest {path} is corrupt (not a JSON object)")
         version = data.get("version")
         if version != MANIFEST_VERSION:
             raise ValueError(

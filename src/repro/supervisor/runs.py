@@ -20,14 +20,24 @@ kind owns its payload shape.
 
 from __future__ import annotations
 
+import json
 import os
 import signal
+import subprocess
+import sys
+import time
 from typing import Callable, Optional
 
 from repro.checkpoint.snapshot import save_object
 from repro.hpl.dat import HplConfig
 from repro.hpl.runner import finish_hpl, start_hpl
+from repro.supervisor.heartbeat import write_heartbeat
 from repro.system import System
+
+
+class Preempted(Exception):
+    """Raised by a run kind after checkpointing in response to a drain
+    request; the worker turns it into ``EXIT_PREEMPTED``."""
 
 
 class RunContext:
@@ -40,6 +50,8 @@ class RunContext:
         checkpoint_path: str,
         checkpoint_every_s: float = 0.1,
         restored_payload: Optional[dict] = None,
+        heartbeat_path: Optional[str] = None,
+        preempt: Optional[Callable[[], bool]] = None,
     ):
         self.run_id = run_id
         self.attempt = attempt
@@ -49,7 +61,29 @@ class RunContext:
         #: The payload loaded from the latest checkpoint when resuming,
         #: else None (fresh start).
         self.restored_payload = restored_payload
+        #: Where heartbeats go (None disables them, e.g. in-process tests).
+        self.heartbeat_path = heartbeat_path
+        self._preempt = preempt or (lambda: False)
         self._last_checkpoint_sim_s: Optional[float] = None
+
+    def heartbeat(self, system: System) -> None:
+        """Tell the pool this attempt is alive and how far the *simulated*
+        clock has come — the signal that separates stuck from slow."""
+        if self.heartbeat_path is not None:
+            write_heartbeat(
+                self.heartbeat_path,
+                os.getpid(),
+                self.attempt,
+                system.machine.now_s,
+            )
+
+    def should_preempt(self) -> bool:
+        """True once the pool asked this worker to checkpoint and stop."""
+        return self._preempt()
+
+    def checkpoint_and_preempt(self, system: System, payload: dict) -> None:
+        self.checkpoint(system, payload)
+        raise Preempted(f"{self.run_id}: preempted at sim {system.machine.now_s}s")
 
     def maybe_checkpoint(self, system: System, payload: dict) -> bool:
         """Checkpoint if at least ``checkpoint_every_s`` of *simulated*
@@ -118,7 +152,11 @@ def hpl_run(params: dict, ctx: RunContext) -> dict:
             break
         machine.run_until(done, max_s=slice_s)
         if not handle.done:
+            ctx.heartbeat(system)
+            if ctx.should_preempt():
+                ctx.checkpoint_and_preempt(system, payload)
             ctx.maybe_checkpoint(system, payload)
+            _maybe_stall(params, ctx, system, machine.now_s - handle.t0)
             _maybe_crash(params, ctx, machine.now_s - handle.t0)
 
     result = finish_hpl(system, handle)
@@ -160,6 +198,29 @@ def _maybe_crash(params: dict, ctx: RunContext, elapsed_sim_s: float) -> None:
         os.kill(os.getpid(), signal.SIGKILL)
 
 
+def _maybe_stall(
+    params: dict, ctx: RunContext, system: System, elapsed_sim_s: float
+) -> None:
+    """Deterministic wedge for liveness/migration tests and CI.
+
+    ``stall_at_s`` names a *simulated* time; ``stall_on_attempts`` the
+    attempt numbers that wedge there.  The worker stays alive and keeps
+    heartbeating, but simulated time stops advancing — exactly the
+    signature the pool's stuck detector must catch and migrate.  Keyed
+    to sim time (and placed after the checkpoint cadence check) so the
+    migrated retry resumes from a checkpoint at or before the stall
+    point and converges on the bit-identical calm-run result.
+    """
+    stall_at = params.get("stall_at_s")
+    if stall_at is None:
+        return
+    attempts = params.get("stall_on_attempts", [1])
+    if ctx.attempt in attempts and elapsed_sim_s >= float(stall_at):
+        while True:  # alive, heartbeating, zero sim progress — stuck
+            ctx.heartbeat(system)
+            time.sleep(0.02)
+
+
 def flaky_hpl_run(params: dict, ctx: RunContext) -> dict:
     """An HPL run that SIGKILLs itself mid-run on its first attempt.
 
@@ -175,8 +236,27 @@ def failing_run(params: dict, ctx: RunContext) -> dict:
     raise ValueError(params.get("message", "this run always fails"))
 
 
+def spawner_run(params: dict, ctx: RunContext) -> dict:
+    """A run that spawns a helper child, then wedges without heartbeats.
+
+    The zombie-window regression fixture: the pool must kill the whole
+    worker *process group* on a liveness/timeout kill, so the helper
+    (its pid published in ``child.json``) dies too — no orphan survives
+    the timeout.
+    """
+    run_dir = os.path.dirname(ctx.checkpoint_path)
+    child = subprocess.Popen(
+        [sys.executable, "-c", "import time; time.sleep(600)"]
+    )
+    with open(os.path.join(run_dir, "child.json"), "w") as fh:
+        json.dump({"pid": child.pid}, fh)
+    while True:  # never heartbeats: dead air until the pool kills us
+        time.sleep(float(params.get("spin_sleep_s", 0.02)))
+
+
 RUN_KINDS: dict[str, Callable[[dict, RunContext], dict]] = {
     "hpl": hpl_run,
     "flaky-hpl": flaky_hpl_run,
     "failing": failing_run,
+    "spawner": spawner_run,
 }

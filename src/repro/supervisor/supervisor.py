@@ -1,38 +1,56 @@
-"""Crash-isolated, resumable experiment supervisor.
+"""The fault-tolerant measurement service front door.
 
-Runs a sweep of simulation experiments as subprocess workers
-(:mod:`repro.supervisor.worker`), one process per attempt, so no worker
-failure — Python exception, :class:`~repro.sim.engine.SimTimeout`,
-SIGKILL, OOM — can corrupt the supervisor or the other runs.  Per run it
-enforces a wall-clock timeout, retries transient failures with
-exponential backoff (resuming from the run's latest checkpoint), stops
-immediately on permanent ones, and records every state transition in the
-JSON :class:`~repro.supervisor.manifest.Manifest` so a killed sweep
-resumes where it stopped: completed runs are skipped, in-flight runs
-restart from their last checkpoint.
+:class:`Supervisor` turns a list of :class:`RunSpec`s into finished,
+bit-reproducible results, surviving every failure mode the harness has
+been able to manufacture:
+
+* **worker crashes** (exception, SIGKILL, OOM) — each run executes in a
+  crash-isolated subprocess; transient failures retry from the latest
+  checkpoint with deterministic backoff (seedable jitter, injectable
+  clock/sleep — see :func:`~repro.supervisor.pool.backoff_delay`);
+* **wedged workers** — heartbeats carry simulated time; no progress for
+  ``stuck_after_s`` kills the worker's whole process group and
+  *migrates* the run to a different pool slot;
+* **supervisor death** — every job transition is fsync'd to an
+  append-only journal (:mod:`repro.supervisor.journal`) *before* the
+  supervisor acts on it, so SIGKILL-ing the supervisor mid-fleet and
+  re-running with ``resume=True`` reconstructs the exact
+  pending/in-flight/done sets and finishes with byte-identical results;
+* **repeated work** — an optional deterministic result cache keyed by
+  (spec digest, code version) serves resubmitted identical specs
+  without launching a single worker;
+* **shutdown** — ``request_drain()`` (SIGTERM in ``tools/sweep.py``)
+  stops admission, lets in-flight workers checkpoint and exit, and
+  leaves a journal a later ``--resume`` picks up cleanly.
+
+Service-level observability flows through the shared
+:class:`~repro.trace.tracer.MetricsRegistry` (queue depth, retries,
+migrations, preemptions, cache hits, per-exit-code counts) and is
+written to ``<out>/metrics.json`` next to the materialized
+``manifest.json`` view.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.supervisor.cache import ResultCache
+from repro.supervisor.journal import Journal
 from repro.supervisor.manifest import (
     DONE,
-    EXIT_PERMANENT,
-    EXIT_TRANSIENT,
     FAILED,
     PENDING,
-    RUNNING,
     Manifest,
     RunRecord,
     atomic_write_json,
 )
+from repro.supervisor.pool import WorkerPool, default_worker_count
+from repro.trace.tracer import MetricsRegistry
 
 
 @dataclass
@@ -42,13 +60,6 @@ class RunSpec:
     run_id: str
     kind: str
     params: dict = field(default_factory=dict)
-
-
-def _src_path() -> str:
-    """Directory to put on the worker's PYTHONPATH (the ``src`` root)."""
-    import repro
-
-    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
 
 class Supervisor:
@@ -63,6 +74,13 @@ class Supervisor:
         checkpoint_every_s: float = 0.1,
         python: Optional[str] = None,
         log: Callable[[str], None] = print,
+        workers: Optional[int] = None,
+        stuck_after_s: float = 30.0,
+        poll_interval_s: float = 0.02,
+        jitter_seed: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.out_dir = out_dir
         self.max_attempts = max_attempts
@@ -71,196 +89,261 @@ class Supervisor:
         self.checkpoint_every_s = checkpoint_every_s
         self.python = python or sys.executable
         self.log = log
+        self.workers = workers if workers is not None else default_worker_count()
+        self.stuck_after_s = stuck_after_s
+        self.poll_interval_s = poll_interval_s
+        self.jitter_seed = jitter_seed
+        self.cache_dir = cache_dir
+        self.clock = clock
+        self.sleep = sleep
         self.manifest_path = os.path.join(out_dir, "manifest.json")
+        self.journal_path = os.path.join(out_dir, "journal.jsonl")
+        self.metrics_path = os.path.join(out_dir, "metrics.json")
+        self.metrics = MetricsRegistry()
+        self._pool: Optional[WorkerPool] = None
 
-    # -- manifest lifecycle --------------------------------------------------
+    # -- drain ---------------------------------------------------------------
 
-    def _open_manifest(self, runs: list[RunSpec], resume: bool) -> Manifest:
-        if resume and os.path.exists(self.manifest_path):
-            manifest = Manifest.load(self.manifest_path)
-            known = set(manifest.runs)
-            for spec in runs:
-                if spec.run_id not in known:
-                    manifest.add_run(
-                        RunRecord(run_id=spec.run_id, kind=spec.kind, params=spec.params)
-                    )
-            return manifest
-        if resume:
+    def request_drain(self) -> None:
+        """Graceful shutdown: stop admitting runs, checkpoint in-flight
+        workers, return from :meth:`run` with the rest still pending."""
+        if self._pool is not None:
+            self._pool.request_drain()
+
+    @property
+    def drained(self) -> bool:
+        return self._pool is not None and self._pool.draining
+
+    # -- durable state -------------------------------------------------------
+
+    def _meta(self) -> dict:
+        return {
+            "out_dir": self.out_dir,
+            "max_attempts": self.max_attempts,
+            "checkpoint_every_s": self.checkpoint_every_s,
+            "workers": self.workers,
+        }
+
+    def _open_state(
+        self, runs: list[RunSpec], resume: bool, journal: Journal
+    ) -> dict[str, RunRecord]:
+        """Recover (journal replay, legacy-manifest import, or fresh) and
+        reconcile with the submitted specs.  Leaves ``journal`` open for
+        appending."""
+        if (
+            resume
+            and os.path.exists(self.journal_path)
+            and os.path.getsize(self.journal_path) == 0
+        ):
+            # Killed between creating the journal and fsyncing its
+            # header: nothing was ever durably recorded, so a fresh
+            # start is the correct (and only possible) resume.
             self.log(
-                f"[supervisor] no manifest at {self.manifest_path}; starting fresh"
+                f"[supervisor] journal {self.journal_path} is empty "
+                "(crash before the header was written); starting fresh"
             )
-        manifest = Manifest(
-            self.manifest_path,
-            meta={
-                "out_dir": self.out_dir,
-                "max_attempts": self.max_attempts,
-                "checkpoint_every_s": self.checkpoint_every_s,
-            },
-        )
+            records: dict[str, RunRecord] = {}
+            journal.open_fresh(meta=self._meta())
+        elif resume and os.path.exists(self.journal_path):
+            state = Journal.replay(self.journal_path)
+            if state.torn_tail:
+                self.log(
+                    "[supervisor] journal ended in a torn line "
+                    "(crash debris); dropped it and resuming"
+                )
+            records = state.records
+            journal.open_append(
+                truncate_to=state.valid_bytes if state.torn_tail else None
+            )
+        elif resume and os.path.exists(self.manifest_path):
+            # A pre-journal sweep directory: import the manifest into a
+            # fresh journal and carry on under the new regime.
+            manifest = Manifest.load(self.manifest_path)
+            records = manifest.runs
+            journal.open_fresh(meta=self._meta())
+            for record in records.values():
+                journal.append(self._add_event(record))
+            self.log(
+                f"[supervisor] imported legacy manifest "
+                f"({len(records)} run(s)) into {self.journal_path}"
+            )
+        else:
+            if resume:
+                self.log(
+                    f"[supervisor] no journal at {self.journal_path}; "
+                    "starting fresh"
+                )
+            records = {}
+            journal.open_fresh(meta=self._meta())
+
+        known = set(records)
         for spec in runs:
-            manifest.add_run(
-                RunRecord(run_id=spec.run_id, kind=spec.kind, params=spec.params)
+            if spec.run_id in known:
+                continue
+            record = RunRecord(
+                run_id=spec.run_id, kind=spec.kind, params=spec.params
             )
-        return manifest
+            records[spec.run_id] = record
+            journal.append(self._add_event(record))
 
-    # -- one attempt ---------------------------------------------------------
+        if resume:
+            # A failed run re-queued under --resume gets a fresh attempt
+            # budget; its checkpoint (if any) still applies.
+            for record in records.values():
+                if record.status == FAILED:
+                    record.status = PENDING
+                    record.attempts = 0
+                    record.last_error = None
+                    journal.append(
+                        {
+                            "type": "requeue",
+                            "run_id": record.run_id,
+                            "attempts": 0,
+                        }
+                    )
+        return records
 
-    def _launch(self, record: RunRecord, resume_from: Optional[str]) -> int:
-        """Run one worker attempt; returns its exit code (-N for signal N)."""
-        run_dir = os.path.join(self.out_dir, record.run_id)
-        os.makedirs(run_dir, exist_ok=True)
-        spec = {
+    @staticmethod
+    def _add_event(record: RunRecord) -> dict:
+        event = {
+            "type": "add",
             "run_id": record.run_id,
             "kind": record.kind,
             "params": record.params,
-            "attempt": record.attempts,
-            "out_dir": run_dir,
-            "checkpoint_every_s": self.checkpoint_every_s,
-            "resume_from": resume_from,
         }
-        spec_path = os.path.join(run_dir, "spec.json")
-        atomic_write_json(spec_path, spec)
-
-        env = dict(os.environ)
-        src = _src_path()
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
-
-        proc = subprocess.Popen(
-            [self.python, "-m", "repro.supervisor.worker", "--spec", spec_path],
-            env=env,
-            stdout=subprocess.DEVNULL,
-            stderr=subprocess.PIPE,
-        )
-        try:
-            _, stderr = proc.communicate(timeout=self.wall_timeout_s)
-        except subprocess.TimeoutExpired:
-            proc.kill()
-            proc.communicate()
-            self.log(
-                f"[supervisor] {record.run_id}: wall-clock timeout after "
-                f"{self.wall_timeout_s}s, worker killed"
+        if record.status != PENDING or record.attempts:
+            event.update(
+                {
+                    "status": record.status,
+                    "attempts": record.attempts,
+                    "result_path": record.result_path,
+                    "checkpoint_path": record.checkpoint_path,
+                    "cached": record.cached,
+                }
             )
-            return -9
-        if proc.returncode not in (0, EXIT_PERMANENT, EXIT_TRANSIENT) and stderr:
-            tail = stderr.decode(errors="replace").strip().splitlines()[-3:]
-            for line in tail:
-                self.log(f"[supervisor] {record.run_id}: worker stderr: {line}")
-        return proc.returncode
+        return event
 
-    @staticmethod
-    def _read_error(run_dir: str) -> Optional[dict]:
-        try:
-            with open(os.path.join(run_dir, "error.json")) as fh:
-                return json.load(fh)
-        except (OSError, json.JSONDecodeError):
+    # -- cache ---------------------------------------------------------------
+
+    def _serve_from_cache(
+        self, cache: ResultCache, record: RunRecord, journal: Journal
+    ) -> bool:
+        hit = cache.get(record.kind, record.params)
+        if hit is None:
+            return False
+        run_dir = os.path.join(self.out_dir, record.run_id)
+        os.makedirs(run_dir, exist_ok=True)
+        result_path = os.path.join(run_dir, "result.json")
+        atomic_write_json(result_path, hit)
+        record.status = DONE
+        record.result_path = result_path
+        record.cached = True
+        record.last_error = None
+        journal.append(
+            {
+                "type": "done",
+                "run_id": record.run_id,
+                "attempt": record.attempts,
+                "result_path": result_path,
+                "cached": True,
+            }
+        )
+        self.metrics.counter("fleet.cache_hit")
+        self.log(f"[supervisor] {record.run_id}: served from result cache")
+        return True
+
+    def _make_cache_writer(
+        self, cache: Optional[ResultCache]
+    ) -> Optional[Callable[[RunRecord], None]]:
+        if cache is None:
             return None
 
-    @staticmethod
-    def _describe_stuck(stuck: list) -> str:
-        parts = []
-        for d in stuck or []:
-            parts.append(
-                f"{d.get('name')!r} on cpu {d.get('cpu')} "
-                f"[{d.get('core_type') or 'off-cpu'}]"
-            )
-        return ", ".join(parts) if parts else "none reported"
+        def store(record: RunRecord) -> None:
+            try:
+                with open(record.result_path) as fh:  # type: ignore[arg-type]
+                    result = json.load(fh)
+            except (OSError, TypeError, ValueError):
+                return
+            cache.put(record.kind, record.params, result)
 
-    # -- the sweep loop ------------------------------------------------------
+        return store
+
+    # -- the sweep -----------------------------------------------------------
 
     def run(self, runs: list[RunSpec], resume: bool = False) -> Manifest:
         os.makedirs(self.out_dir, exist_ok=True)
-        manifest = self._open_manifest(runs, resume)
+        journal = Journal(self.journal_path)
+        records = self._open_state(runs, resume, journal)
+
+        manifest = Manifest(self.manifest_path, meta=self._meta())
+        manifest.runs = records
         manifest.save()
 
-        todo = manifest.pending_runs()
-        skipped = len(manifest.runs) - len(todo)
+        todo = [rec for rec in records.values() if rec.status != DONE]
+        skipped = len(records) - len(todo)
         if skipped:
-            self.log(f"[supervisor] resume: {skipped} run(s) already done, skipped")
+            self.log(
+                f"[supervisor] resume: {skipped} run(s) already done, skipped"
+            )
 
+        cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        launchable = []
         for record in todo:
-            self._drive_run(manifest, record)
+            if cache is not None and self._serve_from_cache(
+                cache, record, journal
+            ):
+                continue
+            if record.attempts >= self.max_attempts:
+                # Recovered mid-flight on its last attempt: the budget is
+                # spent (matching the pre-pool retry accounting).
+                record.status = FAILED
+                journal.append(
+                    {
+                        "type": "failed",
+                        "run_id": record.run_id,
+                        "attempt": record.attempts,
+                        "error": record.last_error,
+                    }
+                )
+                self.log(
+                    f"[supervisor] {record.run_id}: attempt budget already "
+                    f"spent ({record.attempts}/{self.max_attempts})"
+                )
+                continue
+            launchable.append(record)
+
+        self._pool = WorkerPool(
+            self.out_dir,
+            journal,
+            workers=self.workers,
+            python=self.python,
+            max_attempts=self.max_attempts,
+            backoff_s=self.backoff_s,
+            jitter_seed=self.jitter_seed,
+            wall_timeout_s=self.wall_timeout_s,
+            stuck_after_s=self.stuck_after_s,
+            checkpoint_every_s=self.checkpoint_every_s,
+            poll_interval_s=self.poll_interval_s,
+            clock=self.clock,
+            sleep=self.sleep,
+            log=self.log,
+            metrics=self.metrics,
+            on_done=self._make_cache_writer(cache),
+        )
+        try:
+            self._pool.run(launchable)
+        finally:
+            snapshot = self.metrics.as_dict()
+            journal.append({"type": "metrics", "metrics": snapshot})
+            journal.append(
+                {"type": "drain" if self.drained else "complete",
+                 "summary": manifest.summary()}
+            )
+            journal.close()
+            manifest.save()
+            atomic_write_json(self.metrics_path, snapshot)
 
         counts = manifest.summary()
-        self.log(f"[supervisor] sweep complete: {counts}")
+        verb = "drained" if self.drained else "complete"
+        self.log(f"[supervisor] sweep {verb}: {counts}")
         return manifest
-
-    def _drive_run(self, manifest: Manifest, record: RunRecord) -> None:
-        run_dir = os.path.join(self.out_dir, record.run_id)
-        checkpoint = os.path.join(run_dir, "checkpoint.snap")
-        if record.status == FAILED:
-            # A failed run re-queued under --resume gets a fresh attempt
-            # budget; its checkpoint (if any) still applies.
-            record.attempts = 0
-
-        while record.attempts < self.max_attempts:
-            record.attempts += 1
-            record.status = RUNNING
-            resume_from = checkpoint if os.path.exists(checkpoint) else None
-            record.checkpoint_path = resume_from
-            manifest.save()
-
-            origin = (
-                f"resuming from {resume_from}" if resume_from else "fresh start"
-            )
-            self.log(
-                f"[supervisor] {record.run_id}: attempt "
-                f"{record.attempts}/{self.max_attempts} ({origin})"
-            )
-            code = self._launch(record, resume_from)
-
-            if code == 0:
-                record.status = DONE
-                record.last_error = None
-                record.result_path = os.path.join(run_dir, "result.json")
-                if os.path.exists(checkpoint):
-                    record.checkpoint_path = checkpoint
-                manifest.save()
-                self.log(f"[supervisor] {record.run_id}: done")
-                return
-
-            error = self._read_error(run_dir)
-            if os.path.exists(checkpoint):
-                record.checkpoint_path = checkpoint
-            record.stuck = (error or {}).get("stuck", [])
-            record.last_error = error or {
-                "type": "WorkerCrash",
-                "message": (
-                    f"worker died with signal {-code}"
-                    if code < 0
-                    else f"worker exited {code} without writing error.json"
-                ),
-                "classification": "transient",
-            }
-
-            permanent = code == EXIT_PERMANENT
-            label = "permanent" if permanent else "transient"
-            ckpt_note = record.checkpoint_path or "no checkpoint taken"
-            self.log(
-                f"[supervisor] {record.run_id}: attempt {record.attempts} failed "
-                f"({label}: {record.last_error.get('type')}: "
-                f"{record.last_error.get('message')}); "
-                f"last checkpoint: {ckpt_note}; "
-                f"stuck: {self._describe_stuck(record.stuck)}"
-            )
-
-            if permanent:
-                record.status = FAILED
-                manifest.save()
-                return
-
-            if record.attempts < self.max_attempts:
-                delay = self.backoff_s * (2 ** (record.attempts - 1))
-                if delay > 0:
-                    self.log(
-                        f"[supervisor] {record.run_id}: retrying in {delay:.1f}s"
-                    )
-                    time.sleep(delay)
-            manifest.save()
-
-        record.status = FAILED
-        manifest.save()
-        self.log(
-            f"[supervisor] {record.run_id}: giving up after "
-            f"{record.attempts} attempts"
-        )

@@ -13,11 +13,21 @@ failure, both atomically, and reports classification via exit code:
   attempt); retrying is pointless;
 * :data:`EXIT_TRANSIENT` (4) — worth retrying: a :class:`SimTimeout`
   (the retry resumes from the last checkpoint and may progress) or an
-  unreadable/corrupt checkpoint (the retry falls back to a fresh start).
+  unreadable/corrupt checkpoint (the retry falls back to a fresh start);
+* :data:`EXIT_PREEMPTED` (5) — the pool asked this worker to stop
+  (SIGTERM during a drain): the run checkpointed at the next slice
+  boundary and exited; not a failure, the supervisor requeues it
+  without burning an attempt.
 
 Anything else — a signal, an OOM kill, an interpreter abort — yields no
 exit code from this table, and the supervisor classifies the bare crash
 as transient.
+
+Alongside the checkpoint cadence the worker writes ``heartbeat.json``
+(pid, attempt, current *simulated* time) every slice; the pool's
+liveness monitor uses it to tell a stuck worker (sim time frozen) from a
+slow one (progressing past its deadline) — see
+:mod:`repro.supervisor.heartbeat`.
 """
 
 from __future__ import annotations
@@ -25,17 +35,33 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 import traceback
 
 from repro.checkpoint.snapshot import SnapshotError, load_object
 from repro.sim.engine import SimTimeout
+from repro.supervisor.heartbeat import heartbeat_path, write_heartbeat
 from repro.supervisor.manifest import (
     EXIT_PERMANENT,
+    EXIT_PREEMPTED,
     EXIT_TRANSIENT,
     atomic_write_json,
 )
-from repro.supervisor.runs import RUN_KINDS, RunContext
+from repro.supervisor.runs import RUN_KINDS, Preempted, RunContext
+
+#: Set by the SIGTERM handler installed in :func:`main`; run kinds poll
+#: it via ``ctx.should_preempt()`` at every slice boundary.
+_PREEMPT_REQUESTED = False
+
+
+def _on_sigterm(signum, frame) -> None:
+    global _PREEMPT_REQUESTED
+    _PREEMPT_REQUESTED = True
+
+
+def _preempt_requested() -> bool:
+    return _PREEMPT_REQUESTED
 
 
 def _write_error(path: str, kind: str, exc: BaseException, **extra) -> None:
@@ -82,16 +108,27 @@ def run_spec(spec: dict) -> int:
             _write_error(error_path, "transient", exc, bad_checkpoint=resume_from)
             return EXIT_TRANSIENT
 
+    attempt = int(spec.get("attempt", 1))
+    # First heartbeat before any simulation: registers this attempt's
+    # pid for the liveness monitor (sim time None = alive, no progress
+    # to report yet).
+    write_heartbeat(heartbeat_path(out_dir), os.getpid(), attempt, None)
+
     ctx = RunContext(
         run_id=run_id,
-        attempt=int(spec.get("attempt", 1)),
+        attempt=attempt,
         checkpoint_path=checkpoint_path,
         checkpoint_every_s=float(spec.get("checkpoint_every_s", 0.1)),
         restored_payload=restored,
+        heartbeat_path=heartbeat_path(out_dir),
+        preempt=_preempt_requested,
     )
 
     try:
         result = fn(spec.get("params", {}), ctx)
+    except Preempted:
+        # The run checkpointed before raising; nothing else to record.
+        return EXIT_PREEMPTED
     except SimTimeout as exc:
         _write_error(
             error_path,
@@ -116,6 +153,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--spec", required=True, help="path to the run-spec JSON")
     args = parser.parse_args(argv)
+    signal.signal(signal.SIGTERM, _on_sigterm)
     with open(args.spec) as fh:
         spec = json.load(fh)
     return run_spec(spec)

@@ -200,19 +200,32 @@ class TestSupervisorSweeps:
 
     def test_resume_skips_done_and_restores_in_flight(self, tmp_path):
         """Simulates a killed sweep: first run done, second was mid-run
-        with a checkpoint on disk when the supervisor died."""
+        with a checkpoint on disk when the supervisor died.  The forged
+        crash state is produced the way a real crash produces it — by
+        cutting the journal after "two" launched but before it finished."""
         sup = _supervisor(tmp_path)
         runs = [
             RunSpec("one", "hpl", dict(HPL_PARAMS)),
             RunSpec("two", "hpl", dict(HPL_PARAMS, n=2000)),
         ]
-        manifest = sup.run(runs)
+        sup.run(runs)
         digest_two = _result(sup, "two")["state_digest"]
 
-        # Forge the post-crash state: "two" back to running (as a dead
-        # supervisor leaves it), its result deleted, checkpoint kept.
-        manifest.runs["two"].status = "running"
-        manifest.save()
+        # Rewind the journal to the instant after "two"'s worker was
+        # launched: exactly what a SIGKILLed supervisor leaves behind
+        # (its "done" was never journaled).
+        with open(sup.journal_path) as fh:
+            lines = fh.read().splitlines(keepends=True)
+        kept = [
+            line
+            for line in lines
+            if not (
+                json.loads(line).get("run_id") == "two"
+                and json.loads(line)["type"] not in ("add", "launch")
+            )
+        ]
+        with open(sup.journal_path, "w") as fh:
+            fh.writelines(kept)
         os.unlink(os.path.join(sup.out_dir, "two", "result.json"))
 
         events = []
@@ -230,4 +243,7 @@ class TestSupervisorSweeps:
         manifest = sup.run([RunSpec("slow", "hpl", dict(HPL_PARAMS, n=20000))])
         rec = manifest.runs["slow"]
         assert rec.status == FAILED
-        assert rec.last_error["type"] == "WorkerCrash"
+        # The pool's liveness monitor names the verdict: past the wall
+        # deadline (a "slow" kill), classified transient.
+        assert rec.last_error["type"] in ("WallTimeout", "StuckWorker")
+        assert rec.last_error["classification"] == "transient"

@@ -1,0 +1,292 @@
+"""Journal, recovery, and result-cache unit tests.
+
+The crash-safety satellite: torn last lines are clean resumes, anything
+worse is a *clear* error — never a crash, never a silent skip.  Plus the
+deterministic result cache: hits must be byte-identical and free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.supervisor import (
+    DONE,
+    PENDING,
+    RUNNING,
+    Journal,
+    JournalError,
+    Manifest,
+    ResultCache,
+    RunSpec,
+    Supervisor,
+    spec_digest,
+)
+
+#: Small, fast HPL point used throughout.
+HPL_PARAMS = {"n": 1000, "nb": 128, "slice_s": 0.02, "dt_s": 0.01}
+
+
+def _journal(tmp_path, events):
+    path = str(tmp_path / "journal.jsonl")
+    j = Journal(path)
+    j.open_fresh(meta={"k": 1})
+    for event in events:
+        j.append(event)
+    j.close()
+    return path
+
+
+ADD_A = {"type": "add", "run_id": "a", "kind": "hpl", "params": {"n": 4}}
+
+
+class TestJournalReplay:
+    def test_fold_roundtrip(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [
+                ADD_A,
+                {"type": "add", "run_id": "b", "kind": "hpl", "params": {}},
+                {"type": "launch", "run_id": "a", "attempt": 1, "slot": 0,
+                 "resume_from": None, "pid": 1234},
+                {"type": "done", "run_id": "a", "attempt": 1,
+                 "result_path": "a/result.json", "cached": False},
+                {"type": "launch", "run_id": "b", "attempt": 1, "slot": 1,
+                 "resume_from": None, "pid": 1235},
+            ],
+        )
+        state = Journal.replay(path)
+        assert state.meta == {"k": 1}
+        assert not state.torn_tail
+        assert state.records["a"].status == DONE
+        assert state.records["a"].result_path == "a/result.json"
+        assert state.records["b"].status == RUNNING
+        assert state.records["b"].attempts == 1
+
+    def test_retry_and_migration_fold(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [
+                ADD_A,
+                {"type": "launch", "run_id": "a", "attempt": 1, "slot": 0,
+                 "resume_from": None, "pid": 1},
+                {"type": "exit", "run_id": "a", "attempt": 1, "code": -9,
+                 "liveness": "stuck", "error": {"type": "StuckWorker"},
+                 "checkpoint_path": "a/checkpoint.snap"},
+                {"type": "retry", "run_id": "a", "next_attempt": 2,
+                 "delay_s": 0.5, "migrated": True, "from_slot": 0},
+            ],
+        )
+        record = Journal.replay(path).records["a"]
+        assert record.status == PENDING
+        assert record.attempts == 1
+        assert record.migrations == 1
+        assert record.checkpoint_path == "a/checkpoint.snap"
+        assert record.last_error["type"] == "StuckWorker"
+
+    def test_torn_last_line_is_clean_resume(self, tmp_path):
+        path = _journal(tmp_path, [ADD_A])
+        good_size = os.path.getsize(path)
+        with open(path, "a") as fh:
+            fh.write('{"type": "done", "run_id": "a", "resu')  # torn append
+        state = Journal.replay(path)
+        assert state.torn_tail
+        assert state.valid_bytes == good_size
+        assert state.records["a"].status == PENDING  # torn done dropped
+
+    def test_torn_middle_line_is_an_error(self, tmp_path):
+        path = _journal(tmp_path, [ADD_A])
+        with open(path, "a") as fh:
+            fh.write('{"type": "done", "run_id": "a", "resu\n')  # torn + newline
+            fh.write(json.dumps({"type": "complete"}) + "\n")
+        with pytest.raises(JournalError, match="not the last line"):
+            Journal.replay(path)
+
+    def test_version_mismatch_is_an_error(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"type": "header", "version": 999}) + "\n")
+        with pytest.raises(JournalError, match="version 999"):
+            Journal.replay(path)
+
+    def test_unknown_run_is_an_error(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [{"type": "done", "run_id": "ghost", "attempt": 1,
+              "result_path": "x", "cached": False}],
+        )
+        with pytest.raises(JournalError, match="unknown run 'ghost'"):
+            Journal.replay(path)
+
+    def test_unknown_event_type_is_an_error(self, tmp_path):
+        path = _journal(tmp_path, [{"type": "frobnicate", "run_id": "a"}])
+        with pytest.raises(JournalError, match="unknown event type"):
+            Journal.replay(path)
+
+    def test_duplicate_add_is_an_error(self, tmp_path):
+        path = _journal(tmp_path, [ADD_A, ADD_A])
+        with pytest.raises(JournalError, match="twice"):
+            Journal.replay(path)
+
+    def test_open_append_truncates_torn_tail(self, tmp_path):
+        path = _journal(tmp_path, [ADD_A])
+        with open(path, "a") as fh:
+            fh.write('{"type": "done"')  # crash debris
+        state = Journal.replay(path)
+        j = Journal(path)
+        j.open_append(truncate_to=state.valid_bytes)
+        j.append({"type": "complete"})
+        j.close()
+        # The re-opened journal replays cleanly: debris gone, new event in.
+        state2 = Journal.replay(path)
+        assert not state2.torn_tail
+        assert state2.events == state.events + 1
+
+
+class TestSupervisorRecovery:
+    """End-to-end: a damaged sweep directory resumes or errors clearly."""
+
+    def _completed_sweep(self, tmp_path):
+        sup = Supervisor(
+            str(tmp_path / "sweep"),
+            backoff_s=0.0,
+            checkpoint_every_s=0.04,
+            workers=1,
+            log=lambda msg: None,
+        )
+        manifest = sup.run([RunSpec("only", "hpl", dict(HPL_PARAMS))])
+        assert manifest.runs["only"].status == DONE
+        return sup
+
+    def test_resume_with_torn_journal_tail(self, tmp_path):
+        sup = self._completed_sweep(tmp_path)
+        with open(sup.journal_path, "a") as fh:
+            fh.write('{"type": "launch", "run_id": "only", "att')
+        events = []
+        sup2 = Supervisor(sup.out_dir, workers=1, log=events.append)
+        manifest = sup2.run([RunSpec("only", "hpl", dict(HPL_PARAMS))], resume=True)
+        assert manifest.runs["only"].status == DONE
+        assert any("torn line" in e for e in events)
+        # The sweep is skipped, not re-run: the done event survived.
+        assert any("skipped" in e for e in events)
+
+    def test_resume_with_corrupt_journal_is_a_clear_error(self, tmp_path):
+        sup = self._completed_sweep(tmp_path)
+        lines = open(sup.journal_path).read().splitlines()
+        lines[1] = '{"type": "add", "run_'  # torn line NOT at the end
+        with open(sup.journal_path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        sup2 = Supervisor(sup.out_dir, workers=1, log=lambda m: None)
+        with pytest.raises(JournalError, match="not the last line"):
+            sup2.run([RunSpec("only", "hpl", dict(HPL_PARAMS))], resume=True)
+
+    def test_resume_with_empty_journal_starts_fresh(self, tmp_path):
+        sup = self._completed_sweep(tmp_path)
+        open(sup.journal_path, "w").close()  # crash before header fsync
+        events = []
+        sup2 = Supervisor(
+            sup.out_dir,
+            backoff_s=0.0,
+            checkpoint_every_s=0.04,
+            workers=1,
+            log=events.append,
+        )
+        manifest = sup2.run([RunSpec("only", "hpl", dict(HPL_PARAMS))], resume=True)
+        assert manifest.runs["only"].status == DONE
+        assert any("starting fresh" in e for e in events)
+
+    def test_resume_from_legacy_manifest_only_dir(self, tmp_path):
+        """A pre-journal sweep directory (manifest.json, no journal)
+        imports cleanly and resumes under the journal regime."""
+        sup = self._completed_sweep(tmp_path)
+        os.unlink(sup.journal_path)
+        events = []
+        sup2 = Supervisor(sup.out_dir, workers=1, log=events.append)
+        manifest = sup2.run([RunSpec("only", "hpl", dict(HPL_PARAMS))], resume=True)
+        assert manifest.runs["only"].status == DONE
+        assert any("legacy manifest" in e for e in events)
+        assert any("skipped" in e for e in events)
+        assert os.path.exists(sup.journal_path)
+
+    def test_corrupt_manifest_is_a_clear_error(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        with open(path, "w") as fh:
+            fh.write('{"version": 1, "runs": {"a"')  # truncated copy
+        with pytest.raises(ValueError, match="corrupt"):
+            Manifest.load(path)
+
+
+class TestResultCache:
+    def test_spec_digest_canonical(self):
+        a = spec_digest("hpl", {"n": 1000, "nb": 128})
+        b = spec_digest("hpl", {"nb": 128, "n": 1000})  # key order irrelevant
+        c = spec_digest("hpl", {"n": 1000, "nb": 64})
+        assert a == b
+        assert a != c
+        assert a != spec_digest("flaky-hpl", {"n": 1000, "nb": 128})
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), version="v1")
+        assert cache.get("hpl", {"n": 4}) is None
+        cache.put("hpl", {"n": 4}, {"gflops": 1.5})
+        assert cache.get("hpl", {"n": 4}) == {"gflops": 1.5}
+
+    def test_code_version_invalidates(self, tmp_path):
+        root = str(tmp_path / "cache")
+        ResultCache(root, version="v1").put("hpl", {"n": 4}, {"gflops": 1.5})
+        assert ResultCache(root, version="v2").get("hpl", {"n": 4}) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), version="v1")
+        path = cache._path(cache.key("hpl", {"n": 4}))
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as fh:
+            fh.write("{garbage")
+        assert cache.get("hpl", {"n": 4}) is None
+
+    def test_cached_resubmission_launches_zero_workers(self, tmp_path):
+        """The acceptance bar: an identical resubmitted sweep is served
+        entirely from cache — zero subprocess launches, byte-identical
+        results."""
+        cache_dir = str(tmp_path / "cache")
+        specs = [
+            RunSpec("r1", "hpl", dict(HPL_PARAMS)),
+            RunSpec("r2", "hpl", dict(HPL_PARAMS, n=2000)),
+        ]
+        sup1 = Supervisor(
+            str(tmp_path / "a"),
+            backoff_s=0.0,
+            checkpoint_every_s=0.04,
+            workers=2,
+            cache_dir=cache_dir,
+            log=lambda m: None,
+        )
+        m1 = sup1.run(specs)
+        assert all(rec.status == DONE for rec in m1.runs.values())
+        assert not any(rec.cached for rec in m1.runs.values())
+
+        sup2 = Supervisor(
+            str(tmp_path / "b"),
+            workers=2,
+            cache_dir=cache_dir,
+            log=lambda m: None,
+        )
+        m2 = sup2.run(specs)
+        assert all(rec.status == DONE for rec in m2.runs.values())
+        assert all(rec.cached for rec in m2.runs.values())
+        # Zero launches: no launch event journaled, no launch counted.
+        launches = [
+            e
+            for e in map(json.loads, open(sup2.journal_path))
+            if e["type"] == "launch"
+        ]
+        assert launches == []
+        assert ("fleet.launch", None) not in sup2.metrics.counters
+        assert sup2.metrics.counters[("fleet.cache_hit", None)] == 2.0
+        # Byte-identical result files.
+        for rid in ("r1", "r2"):
+            a = open(os.path.join(sup1.out_dir, rid, "result.json"), "rb").read()
+            b = open(os.path.join(sup2.out_dir, rid, "result.json"), "rb").read()
+            assert a == b

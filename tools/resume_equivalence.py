@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
 """CI gate: a SIGKILLed-and-resumed sweep equals an uninterrupted one.
 
-Procedure:
+Default mode:
 
 1. run a small sweep start to finish (the reference);
 2. run the identical sweep again, SIGKILL the whole supervisor process
-   group once the manifest shows partial progress (some runs done, some
+   group once the journal shows partial progress (some runs done, some
    not — i.e. mid-sweep, workers possibly mid-run);
 3. resume it with ``--resume``;
 4. compare every ``result.json`` byte for byte against the reference —
@@ -13,13 +13,21 @@ Procedure:
    restored simulations ended in bit-identical states, not just similar
    headline numbers.
 
+``--soak`` escalates to the fleet: a 16-job sweep on a worker pool with
+deterministic chaos injection (crashes + stalls → migrations), where a
+seeded-random *worker* is SIGKILLed mid-fleet, then the *supervisor*
+itself is SIGKILLed, orphaned workers are cleaned up, and the resumed
+sweep must still end byte-identical to the calm reference.
+
 Exits 0 on equivalence, 1 on any difference or failed run.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
+import random
 import shutil
 import signal
 import subprocess
@@ -36,20 +44,124 @@ SWEEP_ARGS = [
     "--backoff-s", "0",
 ]
 
+#: Fleet/soak sweep: 16 jobs on a worker pool with deterministic chaos
+#: (seed 8 draws two self-crashes and two stalls → migrations).
+SOAK_ARGS = [
+    "--preset", "fleet",
+    "--slice-s", "0.02",
+    "--checkpoint-every-s", "0.04",
+    "--backoff-s", "0",
+    "--workers", "4",
+    "--stuck-after-s", "0.8",
+]
+SOAK_CHAOS_ARGS = [*SOAK_ARGS, "--chaos-seed", "8"]
 
-def run_sweep(out_dir: str, resume: bool = False) -> None:
-    cmd = [sys.executable, SWEEP, "--out", out_dir, *SWEEP_ARGS]
+
+# -- journal reading ---------------------------------------------------------
+# The journal is the live record (the manifest is only materialized at
+# start/exit), so mid-flight progress watching reads journal.jsonl.
+# Tolerant by design: a torn tail is expected while the writer is alive.
+
+
+def journal_events(out_dir: str) -> list[dict]:
+    events = []
+    try:
+        with open(os.path.join(out_dir, "journal.jsonl"), "rb") as fh:
+            for line in fh.read().split(b"\n"):
+                if not line.strip():
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    break  # torn tail: the supervisor is mid-append
+    except OSError:
+        pass
+    return events
+
+
+def journal_progress(out_dir: str) -> dict:
+    """Fold the journal into {"total", "done", "running": {run_id: pid}}."""
+    total: set = set()
+    done: set = set()
+    running: dict[str, int] = {}
+    for e in journal_events(out_dir):
+        etype, rid = e.get("type"), e.get("run_id")
+        if etype == "add":
+            total.add(rid)
+        elif etype == "launch":
+            running[rid] = e.get("pid")
+        elif etype == "done":
+            done.add(rid)
+            running.pop(rid, None)
+        elif etype in ("exit", "failed", "preempted"):
+            running.pop(rid, None)
+    return {"total": len(total), "done": len(done), "running": running}
+
+
+def inflight_checkpoint(out_dir: str) -> bool:
+    """True if some not-yet-done run has a checkpoint on disk."""
+    events = journal_events(out_dir)
+    added = {e["run_id"] for e in events if e.get("type") == "add"}
+    done = {e["run_id"] for e in events if e.get("type") == "done"}
+    return any(
+        os.path.exists(os.path.join(out_dir, rid, "checkpoint.snap"))
+        for rid in added - done
+    )
+
+
+def kill_pid(pid: int, sig: int = signal.SIGKILL) -> bool:
+    """Kill a process group (workers lead their own session), falling
+    back to the single pid; True if something was signalled."""
+    for fn in (os.killpg, os.kill):
+        try:
+            fn(pid, sig)
+            return True
+        except (ProcessLookupError, PermissionError, OSError):
+            continue
+    return False
+
+
+def kill_orphan_workers(out_dir: str) -> int:
+    """SIGKILL every worker the journal launched that is still alive.
+
+    Workers run in their own sessions, so killing the supervisor's
+    process group does NOT take them down — exactly the situation a real
+    crashed host leaves behind.  The journal has every launched pid.
+    """
+    killed = 0
+    for e in journal_events(out_dir):
+        if e.get("type") == "launch" and e.get("pid"):
+            if kill_pid(e["pid"]):
+                killed += 1
+    return killed
+
+
+# -- sweep drivers -----------------------------------------------------------
+
+
+def run_sweep(out_dir: str, sweep_args: list[str], resume: bool = False) -> None:
+    cmd = [sys.executable, SWEEP, "--out", out_dir, *sweep_args]
     if resume:
         cmd.append("--resume")
     subprocess.run(cmd, check=True)
 
 
-def run_sweep_and_kill(out_dir: str, max_wait_s: float = 600.0) -> None:
-    """Start the sweep in its own process group; SIGKILL it mid-sweep."""
-    cmd = [sys.executable, SWEEP, "--out", out_dir, *SWEEP_ARGS]
+def run_sweep_and_kill(
+    out_dir: str,
+    sweep_args: list[str],
+    kill_worker_seed: int | None = None,
+    max_wait_s: float = 600.0,
+) -> None:
+    """Start the sweep in its own process group and SIGKILL it mid-sweep.
+
+    With ``kill_worker_seed`` set, first SIGKILL one seeded-random
+    in-flight worker (the soak's worker-death event), wait for the fleet
+    to absorb it (a retry), and only then kill the supervisor.
+    """
+    cmd = [sys.executable, SWEEP, "--out", out_dir, *sweep_args]
     proc = subprocess.Popen(cmd, start_new_session=True)
-    manifest_path = os.path.join(out_dir, "manifest.json")
     deadline = time.monotonic() + max_wait_s
+    worker_killed = False
     try:
         while time.monotonic() < deadline:
             if proc.poll() is not None:
@@ -57,51 +169,51 @@ def run_sweep_and_kill(out_dir: str, max_wait_s: float = 600.0) -> None:
                     "sweep finished before it could be killed; "
                     "shrink --slice-s or grow the sweep"
                 )
-            counts = manifest_counts(manifest_path)
-            done = counts.get("done", 0)
-            total = sum(counts.values())
+            progress = journal_progress(out_dir)
+            if (
+                kill_worker_seed is not None
+                and not worker_killed
+                and progress["done"] >= 1
+                and progress["running"]
+            ):
+                rid, pid = sorted(progress["running"].items())[
+                    random.Random(kill_worker_seed).randrange(
+                        len(progress["running"])
+                    )
+                ]
+                if kill_pid(pid):
+                    worker_killed = True
+                    print(f"[equiv] soak: SIGKILLed worker {pid} ({rid})")
+                continue
             # Mid-sweep: at least one run completed, at least one not —
-            # and the in-flight run has checkpointed, so the resume path
+            # and an in-flight run has checkpointed, so the resume path
             # being exercised is restore-from-checkpoint, not restart.
-            if total and 0 < done < total and inflight_checkpoint(out_dir):
+            mid = (
+                progress["total"]
+                and 0 < progress["done"] < progress["total"]
+                and inflight_checkpoint(out_dir)
+            )
+            if mid and (kill_worker_seed is None or worker_killed):
                 break
             time.sleep(0.02)
         else:
             raise SystemExit("sweep never reached a mid-sweep state")
     finally:
         if proc.poll() is None:
-            # Kill supervisor AND any in-flight worker: the whole group.
+            # Kill the supervisor's whole group...
             os.killpg(proc.pid, signal.SIGKILL)
     proc.wait()
-    print(f"[equiv] killed sweep mid-flight (manifest: {manifest_counts(manifest_path)})")
+    # ...and the workers it orphaned (they lead their own sessions).
+    orphans = kill_orphan_workers(out_dir)
+    progress = journal_progress(out_dir)
+    print(
+        f"[equiv] killed sweep mid-flight "
+        f"(done {progress['done']}/{progress['total']}, "
+        f"{orphans} orphan pid(s) swept)"
+    )
 
 
-def inflight_checkpoint(out_dir: str) -> bool:
-    """True if some not-yet-done run has a checkpoint on disk."""
-    manifest_path = os.path.join(out_dir, "manifest.json")
-    try:
-        with open(manifest_path) as fh:
-            data = json.load(fh)
-    except (OSError, json.JSONDecodeError):
-        return False
-    for rid, rec in data.get("runs", {}).items():
-        if rec["status"] != "done" and os.path.exists(
-            os.path.join(out_dir, rid, "checkpoint.snap")
-        ):
-            return True
-    return False
-
-
-def manifest_counts(path: str) -> dict:
-    try:
-        with open(path) as fh:
-            data = json.load(fh)
-    except (OSError, json.JSONDecodeError):
-        return {}
-    counts: dict[str, int] = {}
-    for rec in data.get("runs", {}).values():
-        counts[rec["status"]] = counts.get(rec["status"], 0) + 1
-    return counts
+# -- comparison --------------------------------------------------------------
 
 
 def collect_results(out_dir: str) -> dict[str, dict]:
@@ -116,25 +228,9 @@ def collect_results(out_dir: str) -> dict[str, dict]:
     return results
 
 
-def main() -> int:
-    base = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else "/tmp/resume-equiv")
-    ref_dir = os.path.join(base, "reference")
-    killed_dir = os.path.join(base, "killed")
-    shutil.rmtree(base, ignore_errors=True)
-    os.makedirs(base)
-
-    print("[equiv] phase 1: reference sweep (uninterrupted)")
-    run_sweep(ref_dir)
-
-    print("[equiv] phase 2: same sweep, SIGKILLed mid-flight")
-    run_sweep_and_kill(killed_dir)
-
-    print("[equiv] phase 3: resume the killed sweep")
-    run_sweep(killed_dir, resume=True)
-
-    print("[equiv] phase 4: compare results")
+def compare(ref_dir: str, res_dir: str) -> int:
     ref = collect_results(ref_dir)
-    res = collect_results(killed_dir)
+    res = collect_results(res_dir)
     if set(ref) != set(res):
         print(f"[equiv] FAIL: run sets differ: {sorted(set(ref) ^ set(res))}")
         return 1
@@ -150,6 +246,46 @@ def main() -> int:
         return 1
     print(f"[equiv] PASS: {len(ref)} run(s) bit-identical after kill+resume")
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", nargs="?", default="/tmp/resume-equiv",
+                        help="scratch directory")
+    parser.add_argument("--soak", action="store_true",
+                        help="fleet soak: chaos sweep + worker SIGKILL "
+                             "+ supervisor SIGKILL + resume")
+    parser.add_argument("--worker-kill-seed", type=int, default=1,
+                        help="seed picking which in-flight worker dies")
+    args = parser.parse_args(argv)
+
+    base = os.path.abspath(args.base)
+    ref_dir = os.path.join(base, "reference")
+    killed_dir = os.path.join(base, "killed")
+    shutil.rmtree(base, ignore_errors=True)
+    os.makedirs(base)
+
+    if args.soak:
+        # The reference is CALM (no chaos): the chaos+kills sweep must
+        # converge on what an undisturbed sequential fleet produces.
+        print("[equiv] soak phase 1: calm reference fleet (uninterrupted)")
+        run_sweep(ref_dir, SOAK_ARGS)
+        print("[equiv] soak phase 2: chaos fleet, worker+supervisor SIGKILL")
+        run_sweep_and_kill(
+            killed_dir, SOAK_CHAOS_ARGS, kill_worker_seed=args.worker_kill_seed
+        )
+        print("[equiv] soak phase 3: resume the killed fleet")
+        run_sweep(killed_dir, SOAK_CHAOS_ARGS, resume=True)
+    else:
+        print("[equiv] phase 1: reference sweep (uninterrupted)")
+        run_sweep(ref_dir, SWEEP_ARGS)
+        print("[equiv] phase 2: same sweep, SIGKILLed mid-flight")
+        run_sweep_and_kill(killed_dir, SWEEP_ARGS)
+        print("[equiv] phase 3: resume the killed sweep")
+        run_sweep(killed_dir, SWEEP_ARGS, resume=True)
+
+    print("[equiv] final phase: compare results")
+    return compare(ref_dir, killed_dir)
 
 
 if __name__ == "__main__":

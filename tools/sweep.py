@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Run an HPL experiment sweep under the crash-isolated supervisor.
+"""Run an HPL experiment sweep under the fault-tolerant measurement service.
 
-Each sweep point runs in its own subprocess worker with periodic
-checkpointing; failures are retried with backoff (transient) or reported
-(permanent), and everything is recorded in ``<out>/manifest.json``.  A
-killed sweep picks up where it stopped::
+Sweep points execute on a pool of N crash-isolated subprocess workers
+(``--workers``, default CPU-derived) with periodic checkpointing and
+heartbeats; failures are retried with deterministic backoff (transient)
+or reported (permanent), wedged workers are killed and migrated, and
+every transition is journaled to ``<out>/journal.jsonl`` before the
+supervisor acts on it.  A killed sweep picks up where it stopped::
 
     python tools/sweep.py --out runs/sweep1
-    # ... SIGKILL at any point ...
+    # ... SIGKILL at any point (workers, supervisor, or both) ...
     python tools/sweep.py --out runs/sweep1 --resume
 
-``--resume`` skips runs already marked done and restarts the rest from
-their latest checkpoint; the results are bit-identical to a sweep that
-was never interrupted (see ``tools/resume_equivalence.py``, which CI
-runs to enforce exactly that).
+``--resume`` replays the journal, skips runs already done, and restarts
+the rest from their latest checkpoint; the results are bit-identical to
+a sweep that was never interrupted (``tools/resume_equivalence.py`` is
+the CI gate that enforces exactly that, including a ``--soak`` mode
+that SIGKILLs a worker *and* the supervisor mid-fleet).
+
+SIGTERM drains instead of dying: in-flight workers checkpoint and exit,
+the rest stay pending in the journal, and the process exits with code 3
+so callers know a ``--resume`` will finish the job.
 """
 
 from __future__ import annotations
@@ -21,18 +28,29 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import random
+import signal
 import sys
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
 
-from repro.supervisor import DONE, RunSpec, Supervisor  # noqa: E402
+from repro.supervisor import DONE, FAILED, RunSpec, Supervisor  # noqa: E402
+
+#: Exit code when the sweep drained on SIGTERM (resume to continue).
+EXIT_DRAINED = 3
 
 #: Sweep presets: problem sizes kept small enough to iterate on quickly.
 PRESETS = {
     "quick": {"n_values": [1000, 2000], "variants": ["openblas"]},
-    "paper": {"n_values": [2000, 4000, 8000], "variants": ["openblas", "blis"]},
+    "paper": {"n_values": [2000, 4000, 8000], "variants": ["openblas", "intel"]},
+    # 16 jobs sized for fleet/soak testing: big enough that a pool shows
+    # real overlap, small enough that CI chews through them in seconds.
+    "fleet": {
+        "n_values": [800, 900, 1000, 1100, 1200, 1300, 1400, 1500],
+        "variants": ["openblas", "intel"],
+    },
 }
 
 
@@ -72,7 +90,52 @@ def build_runs(args: argparse.Namespace) -> list[RunSpec]:
                 },
             )
         )
+    if args.chaos_seed is not None:
+        inject_chaos(runs, args.chaos_seed)
     return runs
+
+
+def inject_chaos(runs: list[RunSpec], seed: int) -> None:
+    """Deterministically seed some runs with first-attempt faults.
+
+    Roughly a fifth of the sweep self-crashes (SIGKILL mid-run) and a
+    tenth wedges (heartbeats with frozen sim time — the stuck/migration
+    path), always on attempt 1 only.  The fault parameters change how a
+    run *executes*, never what it computes, so a chaos sweep must still
+    end byte-identical to a calm one — that is the property the chaos
+    fleet tests assert.
+    """
+    rng = random.Random(f"chaos:{seed}")
+    injected = []
+    for spec in runs:
+        roll = rng.random()
+        if roll < 0.2:
+            spec.params.update(crash_at_s=0.06, crash_on_attempts=[1])
+            injected.append(f"{spec.run_id}:crash")
+        elif roll < 0.3:
+            spec.params.update(stall_at_s=0.06, stall_on_attempts=[1])
+            injected.append(f"{spec.run_id}:stall")
+    print(f"[sweep] chaos seed {seed}: {', '.join(injected) or 'no faults drawn'}")
+
+
+def print_metrics(supervisor: Supervisor) -> None:
+    counters = supervisor.metrics.as_dict()["counters"]
+    keys = (
+        "fleet.launch",
+        "fleet.done",
+        "fleet.retry",
+        "fleet.migration",
+        "fleet.preempt",
+        "fleet.cache_hit",
+        "fleet.failed",
+    )
+    parts = [f"{k.split('.', 1)[1]}={int(counters[k])}" for k in keys if k in counters]
+    kills = [
+        f"{k.split('|', 1)[1]}_kills={int(v)}"
+        for k, v in counters.items()
+        if k.startswith("fleet.liveness_kill|")
+    ]
+    print(f"[sweep] fleet metrics: {' '.join(parts + kills) or 'none'}")
 
 
 def main(argv=None) -> int:
@@ -82,7 +145,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", default="runs/sweep", help="output directory")
     parser.add_argument("--resume", action="store_true",
-                        help="resume from an existing manifest")
+                        help="resume from an existing journal")
     parser.add_argument("--preset", choices=sorted(PRESETS), default="quick")
     parser.add_argument("--machine", default="raptor-lake-i7-13700")
     parser.add_argument("--n", type=int, nargs="*", help="HPL problem sizes")
@@ -95,8 +158,21 @@ def main(argv=None) -> int:
     parser.add_argument("--max-attempts", type=int, default=3)
     parser.add_argument("--backoff-s", type=float, default=0.5,
                         help="base retry backoff (doubles per attempt)")
+    parser.add_argument("--jitter-seed", type=int, default=None,
+                        help="seed for backoff jitter (omit: no jitter)")
     parser.add_argument("--timeout-s", type=float, default=300.0,
                         help="wall-clock kill timeout per worker")
+    parser.add_argument("--stuck-after-s", type=float, default=30.0,
+                        help="kill+migrate a worker whose simulated time "
+                             "stops advancing for this many wall seconds")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker pool size (default: CPU-derived)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="deterministic result cache directory "
+                             "(identical resubmitted specs launch no workers)")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="deterministically inject first-attempt "
+                             "crashes/stalls into the sweep (testing)")
     parser.add_argument("--flaky", action="store_true",
                         help="add a deterministic self-crashing selftest run")
     args = parser.parse_args(argv)
@@ -107,12 +183,22 @@ def main(argv=None) -> int:
         backoff_s=args.backoff_s,
         wall_timeout_s=args.timeout_s,
         checkpoint_every_s=args.checkpoint_every_s,
+        workers=args.workers,
+        stuck_after_s=args.stuck_after_s,
+        jitter_seed=args.jitter_seed,
+        cache_dir=args.cache_dir,
     )
+
+    def on_sigterm(signum, frame):
+        print("[sweep] SIGTERM: draining (checkpoint in-flight, keep journal)")
+        supervisor.request_drain()
+
+    signal.signal(signal.SIGTERM, on_sigterm)
     manifest = supervisor.run(build_runs(args), resume=args.resume)
 
     print()
     print(f"{'run':28s} {'status':8s} {'att':>3s} {'gflops':>9s} {'energy J':>9s}")
-    failed = 0
+    failed = pending = 0
     for rid, rec in sorted(manifest.runs.items()):
         gflops = energy = ""
         if rec.status == DONE and rec.result_path and os.path.exists(rec.result_path):
@@ -120,11 +206,21 @@ def main(argv=None) -> int:
                 result = json.load(fh)
             gflops = f"{result.get('gflops', 0.0):9.2f}"
             energy = f"{result.get('energy_j', 0.0):9.1f}"
-        else:
+        elif rec.status == FAILED:
             failed += 1
+        else:
+            pending += 1
         print(f"{rid:28s} {rec.status:8s} {rec.attempts:3d} {gflops:>9s} {energy:>9s}")
     print(f"\nmanifest: {manifest.path}")
-    return 1 if failed else 0
+    print(f"journal:  {supervisor.journal_path}")
+    print_metrics(supervisor)
+    if failed:
+        return 1
+    if supervisor.drained and pending:
+        print(f"[sweep] drained with {pending} run(s) pending; "
+              f"rerun with --resume to finish")
+        return EXIT_DRAINED
+    return 1 if pending else 0
 
 
 if __name__ == "__main__":
