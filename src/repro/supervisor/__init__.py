@@ -10,6 +10,7 @@ view.
 """
 
 from repro.supervisor.cache import ResultCache, code_version, spec_digest
+from repro.supervisor.client import RetryPolicy, ServiceClient, ServiceError
 from repro.supervisor.heartbeat import (
     DEAD,
     LIVE,
@@ -21,6 +22,7 @@ from repro.supervisor.heartbeat import (
 )
 from repro.supervisor.journal import Journal, JournalError, JournalState
 from repro.supervisor.manifest import (
+    CANCELLED,
     DONE,
     EXIT_PERMANENT,
     EXIT_PREEMPTED,
@@ -28,28 +30,56 @@ from repro.supervisor.manifest import (
     FAILED,
     PENDING,
     RUNNING,
+    TERMINAL,
     Manifest,
     RunRecord,
 )
 from repro.supervisor.pool import WorkerPool, backoff_delay, default_worker_count
+from repro.supervisor.queue import (
+    ADMITTED,
+    CACHED,
+    DUPLICATE,
+    REJECTED,
+    REQUEUED,
+    AdmissionQueue,
+    RunSpec,
+)
 from repro.supervisor.runs import RUN_KINDS, Preempted, RunContext
-from repro.supervisor.supervisor import RunSpec, Supervisor
+from repro.supervisor.service import (
+    MeasurementService,
+    ServiceCore,
+    socket_path_for,
+)
+from repro.supervisor.supervisor import Supervisor
 
 __all__ = [
     "DONE",
     "FAILED",
     "PENDING",
     "RUNNING",
+    "CANCELLED",
+    "TERMINAL",
     "DEAD",
     "LIVE",
     "SLOW",
     "STUCK",
+    "ADMITTED",
+    "CACHED",
+    "DUPLICATE",
+    "REQUEUED",
+    "REJECTED",
+    "AdmissionQueue",
     "Manifest",
     "RunRecord",
     "RUN_KINDS",
     "RunContext",
     "RunSpec",
     "Supervisor",
+    "ServiceCore",
+    "MeasurementService",
+    "ServiceClient",
+    "ServiceError",
+    "RetryPolicy",
     "WorkerPool",
     "Journal",
     "JournalError",
@@ -59,6 +89,7 @@ __all__ = [
     "backoff_delay",
     "code_version",
     "default_worker_count",
+    "socket_path_for",
     "spec_digest",
     "heartbeat_path",
     "read_heartbeat",

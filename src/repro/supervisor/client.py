@@ -1,0 +1,225 @@
+"""Client side of the measurement service's unix-socket protocol.
+
+:class:`ServiceClient` speaks the JSON-lines wire protocol documented
+in :mod:`repro.supervisor.service`: one connection per request/response
+(the daemon is single-threaded; holding connections open buys nothing),
+plus a dedicated long-lived connection for :meth:`ServiceClient.stream`.
+
+:class:`RetryPolicy` is the deterministic client-side retry helper the
+protocol is designed around: a submit whose ack was lost (daemon
+SIGKILLed mid-reply) is indistinguishable from one that was never sent,
+and admission is idempotent by spec digest — so the correct client
+behavior on *any* connection error is to wait and resubmit.  The
+backoff schedule reuses the fleet's own
+:func:`~repro.supervisor.pool.backoff_delay` (exponential + seeded
+jitter) and takes an injectable clock/sleep so tests drive it on a fake
+clock with zero real waiting.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Callable, Iterator, Optional
+
+from repro.supervisor.pool import backoff_delay
+from repro.supervisor.queue import RunSpec
+
+
+class ServiceError(RuntimeError):
+    """The daemon replied ``ok: false`` (a protocol-level refusal, not a
+    transport failure — retrying the identical request will not help)."""
+
+
+#: Transport failures worth retrying: the daemon is not up yet, died, or
+#: the socket is stale.  Everything else propagates.
+RETRYABLE = (ConnectionError, FileNotFoundError, socket.timeout, TimeoutError)
+
+
+class RetryPolicy:
+    """Deterministic retry schedule for client operations.
+
+    ``attempts`` bounds the tries; ``base_s`` seeds the exponential
+    backoff; ``deadline_s`` (optional) caps total elapsed time on the
+    injected clock regardless of attempts left.  The jitter is seeded per
+    ``(jitter_seed, label, attempt)`` so a fleet of clients hammering a
+    restarting daemon desynchronizes without losing reproducibility.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 5,
+        base_s: float = 0.2,
+        jitter_seed: Optional[int] = 0,
+        deadline_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.attempts = max(1, int(attempts))
+        self.base_s = base_s
+        self.jitter_seed = jitter_seed
+        self.deadline_s = deadline_s
+        self.clock = clock
+        self.sleep = sleep
+
+    def delays(self, label: str = "client") -> list[float]:
+        """The full backoff schedule (between-attempt waits)."""
+        return [
+            backoff_delay(self.base_s, attempt, label, self.jitter_seed)
+            for attempt in range(1, self.attempts)
+        ]
+
+    def call(self, fn: Callable[[], dict], label: str = "client") -> dict:
+        """Run ``fn`` under this policy; retries only transport errors.
+
+        Raises the final transport error when attempts (or the deadline)
+        run out — never swallows it into a fake reply.
+        """
+        start = self.clock()
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except RETRYABLE as exc:
+                last = exc
+                if attempt >= self.attempts:
+                    break
+                delay = backoff_delay(
+                    self.base_s, attempt, label, self.jitter_seed
+                )
+                if (
+                    self.deadline_s is not None
+                    and self.clock() - start + delay > self.deadline_s
+                ):
+                    break
+                self.sleep(delay)
+        raise last  # type: ignore[misc]
+
+
+class ServiceClient:
+    """Talks to a :class:`~repro.supervisor.service.MeasurementService`."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        timeout_s: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+        self.retry = retry or RetryPolicy()
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.settimeout(self.timeout_s)
+        conn.connect(self.socket_path)
+        return conn
+
+    @staticmethod
+    def _read_line(conn: socket.socket, buffer: bytearray) -> dict:
+        while b"\n" not in buffer:
+            chunk = conn.recv(1 << 16)
+            if not chunk:
+                raise ConnectionError("service closed the connection")
+            buffer.extend(chunk)
+        line, _, rest = bytes(buffer).partition(b"\n")
+        buffer[:] = rest
+        return json.loads(line)
+
+    def _roundtrip(self, request: dict, label: str) -> dict:
+        def once() -> dict:
+            conn = self._connect()
+            try:
+                conn.sendall((json.dumps(request) + "\n").encode())
+                reply = self._read_line(conn, bytearray())
+            finally:
+                conn.close()
+            if not reply.get("ok"):
+                raise ServiceError(reply.get("error", "service refused"))
+            return reply
+
+        return self.retry.call(once, label=label)
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._roundtrip({"op": "ping"}, "ping")
+
+    def submit(self, specs: list[RunSpec]) -> list[dict]:
+        """Admit a batch; returns per-spec disposition dicts.
+
+        Safe to call again after *any* transport error: admission is
+        idempotent, so the worst case is a DUPLICATE verdict."""
+        reply = self._roundtrip(
+            {"op": "submit", "specs": [s.to_json() for s in specs]}, "submit"
+        )
+        return reply["results"]
+
+    def poll(self, run_ids: Optional[list[str]] = None) -> list[dict]:
+        reply = self._roundtrip(
+            {"op": "poll", "run_ids": run_ids or []}, "poll"
+        )
+        return reply["jobs"]
+
+    def status(self) -> dict:
+        return self._roundtrip({"op": "status"}, "status")["status"]
+
+    def cancel(self, run_id: str) -> dict:
+        return self._roundtrip({"op": "cancel", "run_id": run_id}, "cancel")
+
+    def drain(self) -> dict:
+        return self._roundtrip({"op": "drain"}, "drain")
+
+    def shutdown(self) -> dict:
+        return self._roundtrip({"op": "shutdown"}, "shutdown")
+
+    def wait(
+        self,
+        run_ids: list[str],
+        poll_every_s: float = 0.2,
+        deadline_s: Optional[float] = None,
+    ) -> list[dict]:
+        """Poll until every run id reaches a settled state (done, failed,
+        cancelled, unknown).  Returns the final job dicts."""
+        settled = ("done", "failed", "cancelled", "unknown")
+        clock = self.retry.clock
+        start = clock()
+        while True:
+            jobs = self.poll(run_ids)
+            if all(job["status"] in settled for job in jobs):
+                return jobs
+            if deadline_s is not None and clock() - start > deadline_s:
+                raise TimeoutError(
+                    f"runs not settled after {deadline_s}s: "
+                    + ", ".join(
+                        f"{j['run_id']}={j['status']}"
+                        for j in jobs
+                        if j["status"] not in settled
+                    )
+                )
+            self.retry.sleep(poll_every_s)
+
+    def stream(self, run_id: str) -> Iterator[dict]:
+        """Yield the run's journal events (backlog, then live) until the
+        daemon sends EOF — a dedicated connection, not retried (a broken
+        stream surfaces as ConnectionError; callers re-stream for the
+        full backlog)."""
+        conn = self._connect()
+        try:
+            conn.settimeout(None)
+            conn.sendall(
+                (json.dumps({"op": "stream", "run_id": run_id}) + "\n").encode()
+            )
+            buffer = bytearray()
+            while True:
+                reply = self._read_line(conn, buffer)
+                if not reply.get("ok"):
+                    raise ServiceError(reply.get("error", "stream refused"))
+                if reply.get("eof"):
+                    return
+                yield reply["event"]
+        finally:
+            conn.close()

@@ -10,6 +10,21 @@ journal reconstructs the exact pending/in-flight/done sets; the old
 manifest survives only as a human-readable materialized view written at
 checkpoints and at exit.
 
+Two extensions serve the long-running measurement service:
+
+* **batched appends** — :meth:`Journal.append_many` writes a whole
+  admission batch with a *single* flush+fsync, which is what lets the
+  service admit 10^4 queued specs without 10^4 fsyncs.  The durability
+  contract is batch-granular: the service replies to a submit only
+  after the batch fsync, so an acknowledged job is always replayable
+  (an unacknowledged one may be lost — the client resubmits, and
+  admission is idempotent).
+* **compaction** — :meth:`Journal.compact` atomically rewrites the file
+  from the materialized per-run state (full-fidelity ``add`` events),
+  keeping the old journal as ``.bak``; a daemon that has processed
+  millions of transitions boots from a journal proportional to the
+  number of *runs*, not the number of *events*.
+
 Recovery rules (exercised by ``tests/test_supervisor_journal.py``):
 
 * a torn (half-written) **last** line is expected crash debris and is
@@ -26,9 +41,16 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import IO, Optional
+from typing import IO, Callable, Iterable, Optional
 
-from repro.supervisor.manifest import DONE, FAILED, PENDING, RUNNING, RunRecord
+from repro.supervisor.manifest import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    RunRecord,
+)
 
 JOURNAL_VERSION = 1
 
@@ -42,6 +64,7 @@ EVENT_TYPES = (
     "retry",
     "done",
     "failed",
+    "cancel",
     "preempted",
     "drain",
     "complete",
@@ -52,6 +75,44 @@ EVENT_TYPES = (
 class JournalError(RuntimeError):
     """The journal cannot be trusted: wrong version, corruption mid-file,
     or events referencing runs that were never added."""
+
+
+def add_event(record: RunRecord, full: bool = False) -> dict:
+    """The ``add`` event (re)introducing ``record`` into a journal.
+
+    With ``full=False`` only non-default state is embedded (the shape
+    the live supervisor writes for fresh submissions).  ``full=True``
+    embeds the whole materialized record — what compaction writes, so a
+    replay of the compacted journal reconstructs attempts, errors,
+    migrations and pids, not just statuses.
+    """
+    event = {
+        "type": "add",
+        "run_id": record.run_id,
+        "kind": record.kind,
+        "params": record.params,
+    }
+    if full or record.status != PENDING or record.attempts:
+        event.update(
+            {
+                "status": record.status,
+                "attempts": record.attempts,
+                "result_path": record.result_path,
+                "checkpoint_path": record.checkpoint_path,
+                "cached": record.cached,
+            }
+        )
+    if full:
+        event.update(
+            {
+                "last_error": record.last_error,
+                "stuck": record.stuck,
+                "migrations": record.migrations,
+                "last_slot": record.last_slot,
+                "last_pid": record.last_pid,
+            }
+        )
+    return event
 
 
 @dataclass
@@ -71,11 +132,15 @@ class JournalState:
 
 
 class Journal:
-    """Writer half: append events durably, one fsync per transition."""
+    """Writer half: append events durably, one fsync per transition
+    (or per *batch* via :meth:`append_many`)."""
 
     def __init__(self, path: str):
         self.path = path
         self._fh: Optional[IO[str]] = None
+        #: Called with each event *after* it is durably on disk — the
+        #: service's live-stream tee.  Observers must not raise.
+        self.observers: list[Callable[[dict], None]] = []
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -100,6 +165,13 @@ class Journal:
             self._fh.close()
             self._fh = None
 
+    @property
+    def size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
     # -- writing -------------------------------------------------------------
 
     def append(self, event: dict) -> None:
@@ -109,11 +181,80 @@ class Journal:
         the supervisor acts on a transition, the journal already holds
         it, so replay can never see less than the supervisor did.
         """
+        self.append_many((event,))
+
+    def append_many(self, events: Iterable[dict]) -> int:
+        """Durably append a batch of events with ONE flush+fsync.
+
+        This is the amortized-admission path: the per-event cost is a
+        buffered ``write``; the fsync happens once for the whole batch.
+        Returns the number of events written.
+        """
         if self._fh is None:
             raise JournalError(f"journal {self.path} is not open")
-        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        written = []
+        for event in events:
+            self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+            written.append(event)
+        if not written:
+            return 0
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        for observer in self.observers:
+            for event in written:
+                observer(event)
+        return len(written)
+
+    # -- compaction ----------------------------------------------------------
+
+    @staticmethod
+    def compact(path: str, meta: Optional[dict] = None) -> JournalState:
+        """Atomically rewrite the journal from its materialized state.
+
+        The event history is folded into one full-fidelity ``add`` per
+        run (deterministic order: sorted run id).  Crash-safe sequence:
+
+        1. replay the current journal (refuses corrupt input);
+        2. write ``<path>.tmp`` — header + adds — and fsync it;
+        3. hardlink the current journal to ``<path>.bak`` (the old file
+           stays reachable at *both* names);
+        4. atomically rename the tmp over the journal and fsync the
+           directory, at which point the ``.bak`` is the only copy of
+           the old history.
+
+        A SIGKILL anywhere leaves either the old journal at ``path``
+        (steps 1–3) or the compacted one (step 4 landed) — never
+        neither, never a mix.  The ``.bak`` from the most recent
+        compaction is kept for forensics.  Returns the replayed state
+        the compacted journal encodes.
+        """
+        state = Journal.replay(path)
+        tmp = path + ".tmp"
+        writer = Journal(tmp)
+        writer.open_fresh(meta=meta if meta is not None else state.meta)
+        writer.append_many(
+            add_event(state.records[rid], full=True)
+            for rid in sorted(state.records)
+        )
+        writer.close()
+
+        bak = path + ".bak"
+        try:
+            os.unlink(bak)
+        except OSError:
+            pass
+        os.link(path, bak)
+        os.replace(tmp, path)
+        dir_fd = os.open(os.path.dirname(os.path.abspath(path)) or ".", os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+        compacted = JournalState(meta=state.meta, records=state.records)
+        compacted.events = len(state.records)
+        compacted.valid_bytes = os.path.getsize(path)
+        return compacted
 
     # -- replay --------------------------------------------------------------
 
@@ -199,6 +340,11 @@ class Journal:
                 result_path=event.get("result_path"),
                 checkpoint_path=event.get("checkpoint_path"),
                 cached=bool(event.get("cached", False)),
+                last_error=event.get("last_error"),
+                stuck=event.get("stuck", []),
+                migrations=int(event.get("migrations", 0)),
+                last_slot=event.get("last_slot"),
+                last_pid=event.get("last_pid"),
             )
             return
 
@@ -212,14 +358,17 @@ class Journal:
         if etype == "requeue":
             record.status = PENDING
             record.attempts = int(event.get("attempts", 0))
+            record.last_pid = None
         elif etype == "launch":
             record.status = RUNNING
             record.attempts = int(event["attempt"])
             record.last_slot = event.get("slot")
+            record.last_pid = event.get("pid")
             record.checkpoint_path = event.get("resume_from")
         elif etype == "exit":
             record.last_error = event.get("error")
             record.stuck = (event.get("error") or {}).get("stuck", [])
+            record.last_pid = None
             if event.get("checkpoint_path"):
                 record.checkpoint_path = event["checkpoint_path"]
         elif etype == "retry":
@@ -228,6 +377,7 @@ class Journal:
                 record.migrations += 1
         elif etype == "preempted":
             record.status = PENDING
+            record.last_pid = None
             if "attempt" in event:
                 # Preemption refunds the attempt (the pool decrements);
                 # replay must agree or a resumed run would over-count.
@@ -239,7 +389,12 @@ class Journal:
             record.result_path = event.get("result_path")
             record.cached = bool(event.get("cached", False))
             record.last_error = None
+            record.last_pid = None
+        elif etype == "cancel":
+            record.status = CANCELLED
+            record.last_pid = None
         elif etype == "failed":
             record.status = FAILED
+            record.last_pid = None
             if event.get("error"):
                 record.last_error = event["error"]

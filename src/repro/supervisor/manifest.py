@@ -24,6 +24,12 @@ PENDING = "pending"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+#: Cancelled through the service API before completing; never launched
+#: again (unlike FAILED, which --resume requeues with a fresh budget).
+CANCELLED = "cancelled"
+
+#: States a sweep will not execute (work on them is finished for good).
+TERMINAL = (DONE, CANCELLED)
 
 #: Worker exit codes (the supervisor/worker protocol; any other nonzero
 #: exit or death-by-signal is a crash, classified transient).
@@ -74,6 +80,11 @@ class RunRecord:
     migrations: int = 0
     #: Pool slot of the latest attempt (migrations avoid re-using it).
     last_slot: Optional[int] = None
+    #: Worker pid of the latest launch, cleared when the attempt ends.
+    #: After a journal replay, a RUNNING record's last_pid names the
+    #: (possibly orphaned) worker process group a rebooting service
+    #: must reap before relaunching.
+    last_pid: Optional[int] = None
 
     def to_json(self) -> dict:
         return {
@@ -89,6 +100,7 @@ class RunRecord:
             "cached": self.cached,
             "migrations": self.migrations,
             "last_slot": self.last_slot,
+            "last_pid": self.last_pid,
         }
 
     @classmethod
@@ -106,6 +118,7 @@ class RunRecord:
             cached=bool(data.get("cached", False)),
             migrations=int(data.get("migrations", 0)),
             last_slot=data.get("last_slot"),
+            last_pid=data.get("last_pid"),
         )
 
 
@@ -168,10 +181,11 @@ class Manifest:
 
         A run found in state ``running`` was in flight when the previous
         supervisor died — it is resumed, not skipped: its checkpoint (if
-        any) is recorded and its result was never written.
+        any) is recorded and its result was never written.  Cancelled
+        runs are terminal: never re-executed.
         """
         return [
-            rec for rec in self.runs.values() if rec.status not in (DONE,)
+            rec for rec in self.runs.values() if rec.status not in TERMINAL
         ]
 
     def summary(self) -> dict:

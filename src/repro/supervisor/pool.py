@@ -30,6 +30,7 @@ remaining runs still pending in the journal, ready for ``--resume``.
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 import random
@@ -46,6 +47,7 @@ from repro.supervisor.heartbeat import (
 )
 from repro.supervisor.journal import Journal
 from repro.supervisor.manifest import (
+    CANCELLED,
     DONE,
     EXIT_PERMANENT,
     EXIT_PREEMPTED,
@@ -156,6 +158,37 @@ class WorkerPool:
         self._draining = False
         self._drain_started: Optional[float] = None
         self._seq = 0
+        #: Ready-queue heap entries: (not-before on self.clock, admission
+        #: seq, record).  The seq keeps admission deterministic among
+        #: simultaneously-ready runs and makes heap entries comparable.
+        self._queue: list[tuple[float, int, RunRecord]] = []
+        self._jobs: dict[int, _Job] = {}
+        self._free_slots: list[int] = list(range(self.workers))
+
+    # -- live state ----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Distinct launchable runs waiting in the ready queue (stale
+        heap entries from cancel/resubmit cycles are not counted)."""
+        return len(
+            {rec.run_id for _, _, rec in self._queue if rec.status == PENDING}
+        )
+
+    @property
+    def in_flight(self) -> dict[str, int]:
+        """``{run_id: pid}`` of currently-running workers."""
+        return {
+            job.record.run_id: job.proc.pid for job in self._jobs.values()
+        }
+
+    @property
+    def busy(self) -> bool:
+        """True while a :meth:`step` could still make progress: jobs in
+        flight, or queued runs that a non-draining pool will launch."""
+        return bool(self._jobs) or (
+            self.queue_depth > 0 and not self._draining
+        )
 
     # -- drain ---------------------------------------------------------------
 
@@ -172,50 +205,84 @@ class WorkerPool:
 
     # -- the fleet loop ------------------------------------------------------
 
-    def run(self, records: list[RunRecord]) -> None:
-        #: ready queue entries: (not-before on self.clock, admission seq,
-        #: record) — the seq keeps admission deterministic among ready runs.
-        queue: list[tuple[float, int, RunRecord]] = []
+    def enqueue(self, records: list[RunRecord]) -> None:
+        """Admit runs into the ready queue (launchable immediately)."""
+        now = self.clock()
         for record in records:
-            queue.append((self.clock(), self._seq, record))
+            heapq.heappush(self._queue, (now, self._seq, record))
             self._seq += 1
-        jobs: dict[int, _Job] = {}
-        free_slots = list(range(self.workers))
 
-        while (queue and not self._draining) or jobs:
-            now = self.clock()
-            if not self._draining:
-                queue.sort(key=lambda entry: (entry[0], entry[1]))
-                while free_slots and queue and queue[0][0] <= now:
-                    _, _, record = queue.pop(0)
-                    slot = self._pick_slot(free_slots, record)
-                    free_slots.remove(slot)
-                    jobs[slot] = self._launch(record, slot, now)
-            self.metrics.gauge("fleet.queue_depth", value=float(len(queue)))
-            self.metrics.gauge("fleet.in_flight", value=float(len(jobs)))
+    def cancel(self, run_id: str) -> Optional[str]:
+        """Cancel a queued or in-flight run.
 
-            for slot in sorted(jobs):
-                job = jobs[slot]
-                code = job.proc.poll()
-                if code is not None:
-                    del jobs[slot]
-                    free_slots.append(slot)
-                    self._finish(job, code, queue, now)
+        Queued runs are marked :data:`CANCELLED` and lazily skipped when
+        they surface from the heap; in-flight runs have their worker
+        group killed.  Returns ``"pending"`` / ``"running"`` for what
+        was cancelled, or None if the run is not under pool control
+        (already finished, or never enqueued)."""
+        for slot, job in list(self._jobs.items()):
+            if job.record.run_id == run_id:
+                self._kill_group(job, signal.SIGKILL)
+                job.proc.wait()
+                del self._jobs[slot]
+                self._free_slots.append(slot)
+                job.record.status = CANCELLED
+                job.record.last_pid = None
+                self.metrics.counter("fleet.cancel", key="running")
+                return "running"
+        for _, _, record in self._queue:
+            if record.run_id == run_id and record.status != CANCELLED:
+                record.status = CANCELLED
+                self.metrics.counter("fleet.cancel", key="pending")
+                return "pending"
+        return None
+
+    def step(self) -> bool:
+        """One scheduling round: admit ready runs into free slots, reap
+        dead workers, enforce liveness, drive a drain.  Never sleeps —
+        the caller owns pacing (and, in the daemon, interleaves socket
+        traffic between steps).  Returns :attr:`busy`."""
+        now = self.clock()
+        if not self._draining:
+            while self._free_slots and self._queue and self._queue[0][0] <= now:
+                _, _, record = heapq.heappop(self._queue)
+                if record.status != PENDING:
+                    # Cancelled while queued, or a stale entry from a
+                    # cancel→resubmit cycle (the record was re-enqueued
+                    # and its newer entry already launched): skip.
                     continue
-                verdict = self._liveness(job, now)
-                if verdict is not None:
-                    self._kill_group(job, signal.SIGKILL)
-                    job.proc.wait()
-                    del jobs[slot]
-                    free_slots.append(slot)
-                    self._finish_killed(job, verdict, queue, now)
+                slot = self._pick_slot(self._free_slots, record)
+                self._free_slots.remove(slot)
+                self._jobs[slot] = self._launch(record, slot, now)
+        self.metrics.gauge("fleet.queue_depth", value=float(self.queue_depth))
+        self.metrics.gauge("fleet.in_flight", value=float(len(self._jobs)))
 
-            if self._draining and jobs:
-                self._drive_drain(jobs, now)
-            if (queue and not self._draining) or jobs:
-                self.sleep(self.poll_interval_s)
+        for slot in sorted(self._jobs):
+            job = self._jobs[slot]
+            code = job.proc.poll()
+            if code is not None:
+                del self._jobs[slot]
+                self._free_slots.append(slot)
+                self._finish(job, code, now)
+                continue
+            verdict = self._liveness(job, now)
+            if verdict is not None:
+                self._kill_group(job, signal.SIGKILL)
+                job.proc.wait()
+                del self._jobs[slot]
+                self._free_slots.append(slot)
+                self._finish_killed(job, verdict, now)
 
-        self.metrics.gauge("fleet.queue_depth", value=float(len(queue)))
+        if self._draining and self._jobs:
+            self._drive_drain(self._jobs, now)
+        return self.busy
+
+    def run(self, records: list[RunRecord]) -> None:
+        """One-shot mode: enqueue and step until idle (or drained)."""
+        self.enqueue(records)
+        while self.step():
+            self.sleep(self.poll_interval_s)
+        self.metrics.gauge("fleet.queue_depth", value=float(self.queue_depth))
         self.metrics.gauge("fleet.in_flight", value=0.0)
 
     # -- admission -----------------------------------------------------------
@@ -291,6 +358,7 @@ class WorkerPool:
             }
         )
         self.metrics.counter("fleet.launch")
+        record.last_pid = proc.pid
         return _Job(
             record=record,
             slot=slot,
@@ -364,10 +432,9 @@ class WorkerPool:
         except OSError:
             return []
 
-    def _finish(
-        self, job: _Job, code: int, queue: list, now: float
-    ) -> None:
+    def _finish(self, job: _Job, code: int, now: float) -> None:
         record = job.record
+        record.last_pid = None
         checkpoint = os.path.join(job.run_dir, "checkpoint.snap")
         if os.path.exists(checkpoint):
             record.checkpoint_path = checkpoint
@@ -412,7 +479,7 @@ class WorkerPool:
                 f"(checkpoint: {record.checkpoint_path or 'none'})"
             )
             if not self._draining:
-                queue.append((now, self._seq, record))
+                heapq.heappush(self._queue, (now, self._seq, record))
                 self._seq += 1
             return
 
@@ -454,13 +521,12 @@ class WorkerPool:
         if permanent:
             self._fail(record)
             return
-        self._retry_or_fail(record, queue, now, migrated=False)
+        self._retry_or_fail(record, now, migrated=False)
 
-    def _finish_killed(
-        self, job: _Job, verdict: str, queue: list, now: float
-    ) -> None:
+    def _finish_killed(self, job: _Job, verdict: str, now: float) -> None:
         """A liveness kill: STUCK migrates, SLOW plain-retries."""
         record = job.record
+        record.last_pid = None
         checkpoint = os.path.join(job.run_dir, "checkpoint.snap")
         if os.path.exists(checkpoint):
             record.checkpoint_path = checkpoint
@@ -500,10 +566,10 @@ class WorkerPool:
             }
         )
         self.log(f"[fleet] {record.run_id}: {verdict}: {message}")
-        self._retry_or_fail(record, queue, now, migrated=(verdict == STUCK))
+        self._retry_or_fail(record, now, migrated=(verdict == STUCK))
 
     def _retry_or_fail(
-        self, record: RunRecord, queue: list, now: float, migrated: bool
+        self, record: RunRecord, now: float, migrated: bool
     ) -> None:
         if record.attempts >= self.max_attempts:
             self._fail(record)
@@ -540,7 +606,7 @@ class WorkerPool:
         if not self._draining:
             # Draining pools don't requeue: the retry stays journaled as
             # pending for --resume.
-            queue.append((now + delay, self._seq, record))
+            heapq.heappush(self._queue, (now + delay, self._seq, record))
             self._seq += 1
 
     def _fail(self, record: RunRecord) -> None:

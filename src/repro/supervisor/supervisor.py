@@ -1,65 +1,43 @@
-"""The fault-tolerant measurement service front door.
+"""The one-shot front door of the measurement service.
 
-:class:`Supervisor` turns a list of :class:`RunSpec`s into finished,
-bit-reproducible results, surviving every failure mode the harness has
-been able to manufacture:
+:class:`Supervisor` is now a thin client of the same
+:class:`~repro.supervisor.service.ServiceCore` that powers the
+long-running daemon (:mod:`repro.supervisor.service`): ``run()`` opens
+the core (journal recovery, orphan reaping, result cache), admits the
+submitted specs through the durable
+:class:`~repro.supervisor.queue.AdmissionQueue` — idempotent by spec
+digest, one fsync per batch — steps the
+:class:`~repro.supervisor.pool.WorkerPool` until idle, and seals the
+journal.  Everything the PR 3–7 supervisor guaranteed still holds and
+is still covered by the same tests:
 
-* **worker crashes** (exception, SIGKILL, OOM) — each run executes in a
-  crash-isolated subprocess; transient failures retry from the latest
-  checkpoint with deterministic backoff (seedable jitter, injectable
-  clock/sleep — see :func:`~repro.supervisor.pool.backoff_delay`);
-* **wedged workers** — heartbeats carry simulated time; no progress for
-  ``stuck_after_s`` kills the worker's whole process group and
-  *migrates* the run to a different pool slot;
-* **supervisor death** — every job transition is fsync'd to an
-  append-only journal (:mod:`repro.supervisor.journal`) *before* the
-  supervisor acts on it, so SIGKILL-ing the supervisor mid-fleet and
-  re-running with ``resume=True`` reconstructs the exact
-  pending/in-flight/done sets and finishes with byte-identical results;
-* **repeated work** — an optional deterministic result cache keyed by
-  (spec digest, code version) serves resubmitted identical specs
-  without launching a single worker;
-* **shutdown** — ``request_drain()`` (SIGTERM in ``tools/sweep.py``)
-  stops admission, lets in-flight workers checkpoint and exit, and
-  leaves a journal a later ``--resume`` picks up cleanly.
+* **worker crashes** — crash-isolated subprocess per run, checkpointed
+  retries with deterministic backoff (seedable jitter, injectable
+  clock/sleep);
+* **wedged workers** — heartbeat liveness, process-group kills, slot
+  migration;
+* **supervisor death** — every transition journaled before acted on;
+  SIGKILL + ``resume=True`` reconstructs the exact
+  pending/in-flight/done sets and finishes byte-identically;
+* **repeated work** — the deterministic result cache (now bounded, LRU)
+  serves identical specs with zero launches;
+* **shutdown** — ``request_drain()`` checkpoints in-flight workers and
+  leaves a journal ``--resume`` picks up cleanly.
 
-Service-level observability flows through the shared
-:class:`~repro.trace.tracer.MetricsRegistry` (queue depth, retries,
-migrations, preemptions, cache hits, per-exit-code counts) and is
-written to ``<out>/metrics.json`` next to the materialized
-``manifest.json`` view.
+The difference is purely architectural: the sweep path and the daemon
+path can no longer drift, because they are the same code.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import sys
 import time
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.supervisor.cache import ResultCache
-from repro.supervisor.journal import Journal
-from repro.supervisor.manifest import (
-    DONE,
-    FAILED,
-    PENDING,
-    Manifest,
-    RunRecord,
-    atomic_write_json,
-)
-from repro.supervisor.pool import WorkerPool, default_worker_count
-from repro.trace.tracer import MetricsRegistry
+from repro.supervisor.manifest import Manifest
+from repro.supervisor.queue import RunSpec
+from repro.supervisor.service import ServiceCore
 
-
-@dataclass
-class RunSpec:
-    """One run the caller wants executed."""
-
-    run_id: str
-    kind: str
-    params: dict = field(default_factory=dict)
+__all__ = ["RunSpec", "Supervisor"]
 
 
 class Supervisor:
@@ -79,270 +57,74 @@ class Supervisor:
         poll_interval_s: float = 0.02,
         jitter_seed: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        cache_max_entries: Optional[int] = None,
+        cache_max_bytes: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ):
+        self.core = ServiceCore(
+            out_dir,
+            max_attempts=max_attempts,
+            backoff_s=backoff_s,
+            wall_timeout_s=wall_timeout_s,
+            checkpoint_every_s=checkpoint_every_s,
+            python=python,
+            log=log,
+            workers=workers,
+            stuck_after_s=stuck_after_s,
+            poll_interval_s=poll_interval_s,
+            jitter_seed=jitter_seed,
+            cache_dir=cache_dir,
+            cache_max_entries=cache_max_entries,
+            cache_max_bytes=cache_max_bytes,
+            clock=clock,
+            sleep=sleep,
+        )
         self.out_dir = out_dir
-        self.max_attempts = max_attempts
-        self.backoff_s = backoff_s
-        self.wall_timeout_s = wall_timeout_s
-        self.checkpoint_every_s = checkpoint_every_s
-        self.python = python or sys.executable
         self.log = log
-        self.workers = workers if workers is not None else default_worker_count()
-        self.stuck_after_s = stuck_after_s
-        self.poll_interval_s = poll_interval_s
-        self.jitter_seed = jitter_seed
-        self.cache_dir = cache_dir
-        self.clock = clock
-        self.sleep = sleep
-        self.manifest_path = os.path.join(out_dir, "manifest.json")
-        self.journal_path = os.path.join(out_dir, "journal.jsonl")
-        self.metrics_path = os.path.join(out_dir, "metrics.json")
-        self.metrics = MetricsRegistry()
-        self._pool: Optional[WorkerPool] = None
 
-    # -- drain ---------------------------------------------------------------
+    # -- passthroughs (the public surface the CLI and tests rely on) ---------
+
+    @property
+    def journal_path(self) -> str:
+        return self.core.journal_path
+
+    @property
+    def manifest_path(self) -> str:
+        return self.core.manifest_path
+
+    @property
+    def metrics_path(self) -> str:
+        return self.core.metrics_path
+
+    @property
+    def metrics(self):
+        return self.core.metrics
+
+    @property
+    def workers(self) -> int:
+        return self.core.workers
 
     def request_drain(self) -> None:
         """Graceful shutdown: stop admitting runs, checkpoint in-flight
         workers, return from :meth:`run` with the rest still pending."""
-        if self._pool is not None:
-            self._pool.request_drain()
+        self.core.request_drain()
 
     @property
     def drained(self) -> bool:
-        return self._pool is not None and self._pool.draining
-
-    # -- durable state -------------------------------------------------------
-
-    def _meta(self) -> dict:
-        return {
-            "out_dir": self.out_dir,
-            "max_attempts": self.max_attempts,
-            "checkpoint_every_s": self.checkpoint_every_s,
-            "workers": self.workers,
-        }
-
-    def _open_state(
-        self, runs: list[RunSpec], resume: bool, journal: Journal
-    ) -> dict[str, RunRecord]:
-        """Recover (journal replay, legacy-manifest import, or fresh) and
-        reconcile with the submitted specs.  Leaves ``journal`` open for
-        appending."""
-        if (
-            resume
-            and os.path.exists(self.journal_path)
-            and os.path.getsize(self.journal_path) == 0
-        ):
-            # Killed between creating the journal and fsyncing its
-            # header: nothing was ever durably recorded, so a fresh
-            # start is the correct (and only possible) resume.
-            self.log(
-                f"[supervisor] journal {self.journal_path} is empty "
-                "(crash before the header was written); starting fresh"
-            )
-            records: dict[str, RunRecord] = {}
-            journal.open_fresh(meta=self._meta())
-        elif resume and os.path.exists(self.journal_path):
-            state = Journal.replay(self.journal_path)
-            if state.torn_tail:
-                self.log(
-                    "[supervisor] journal ended in a torn line "
-                    "(crash debris); dropped it and resuming"
-                )
-            records = state.records
-            journal.open_append(
-                truncate_to=state.valid_bytes if state.torn_tail else None
-            )
-        elif resume and os.path.exists(self.manifest_path):
-            # A pre-journal sweep directory: import the manifest into a
-            # fresh journal and carry on under the new regime.
-            manifest = Manifest.load(self.manifest_path)
-            records = manifest.runs
-            journal.open_fresh(meta=self._meta())
-            for record in records.values():
-                journal.append(self._add_event(record))
-            self.log(
-                f"[supervisor] imported legacy manifest "
-                f"({len(records)} run(s)) into {self.journal_path}"
-            )
-        else:
-            if resume:
-                self.log(
-                    f"[supervisor] no journal at {self.journal_path}; "
-                    "starting fresh"
-                )
-            records = {}
-            journal.open_fresh(meta=self._meta())
-
-        known = set(records)
-        for spec in runs:
-            if spec.run_id in known:
-                continue
-            record = RunRecord(
-                run_id=spec.run_id, kind=spec.kind, params=spec.params
-            )
-            records[spec.run_id] = record
-            journal.append(self._add_event(record))
-
-        if resume:
-            # A failed run re-queued under --resume gets a fresh attempt
-            # budget; its checkpoint (if any) still applies.
-            for record in records.values():
-                if record.status == FAILED:
-                    record.status = PENDING
-                    record.attempts = 0
-                    record.last_error = None
-                    journal.append(
-                        {
-                            "type": "requeue",
-                            "run_id": record.run_id,
-                            "attempts": 0,
-                        }
-                    )
-        return records
-
-    @staticmethod
-    def _add_event(record: RunRecord) -> dict:
-        event = {
-            "type": "add",
-            "run_id": record.run_id,
-            "kind": record.kind,
-            "params": record.params,
-        }
-        if record.status != PENDING or record.attempts:
-            event.update(
-                {
-                    "status": record.status,
-                    "attempts": record.attempts,
-                    "result_path": record.result_path,
-                    "checkpoint_path": record.checkpoint_path,
-                    "cached": record.cached,
-                }
-            )
-        return event
-
-    # -- cache ---------------------------------------------------------------
-
-    def _serve_from_cache(
-        self, cache: ResultCache, record: RunRecord, journal: Journal
-    ) -> bool:
-        hit = cache.get(record.kind, record.params)
-        if hit is None:
-            return False
-        run_dir = os.path.join(self.out_dir, record.run_id)
-        os.makedirs(run_dir, exist_ok=True)
-        result_path = os.path.join(run_dir, "result.json")
-        atomic_write_json(result_path, hit)
-        record.status = DONE
-        record.result_path = result_path
-        record.cached = True
-        record.last_error = None
-        journal.append(
-            {
-                "type": "done",
-                "run_id": record.run_id,
-                "attempt": record.attempts,
-                "result_path": result_path,
-                "cached": True,
-            }
-        )
-        self.metrics.counter("fleet.cache_hit")
-        self.log(f"[supervisor] {record.run_id}: served from result cache")
-        return True
-
-    def _make_cache_writer(
-        self, cache: Optional[ResultCache]
-    ) -> Optional[Callable[[RunRecord], None]]:
-        if cache is None:
-            return None
-
-        def store(record: RunRecord) -> None:
-            try:
-                with open(record.result_path) as fh:  # type: ignore[arg-type]
-                    result = json.load(fh)
-            except (OSError, TypeError, ValueError):
-                return
-            cache.put(record.kind, record.params, result)
-
-        return store
+        return self.core.drained
 
     # -- the sweep -----------------------------------------------------------
 
     def run(self, runs: list[RunSpec], resume: bool = False) -> Manifest:
-        os.makedirs(self.out_dir, exist_ok=True)
-        journal = Journal(self.journal_path)
-        records = self._open_state(runs, resume, journal)
-
-        manifest = Manifest(self.manifest_path, meta=self._meta())
-        manifest.runs = records
-        manifest.save()
-
-        todo = [rec for rec in records.values() if rec.status != DONE]
-        skipped = len(records) - len(todo)
-        if skipped:
-            self.log(
-                f"[supervisor] resume: {skipped} run(s) already done, skipped"
-            )
-
-        cache = ResultCache(self.cache_dir) if self.cache_dir else None
-        launchable = []
-        for record in todo:
-            if cache is not None and self._serve_from_cache(
-                cache, record, journal
-            ):
-                continue
-            if record.attempts >= self.max_attempts:
-                # Recovered mid-flight on its last attempt: the budget is
-                # spent (matching the pre-pool retry accounting).
-                record.status = FAILED
-                journal.append(
-                    {
-                        "type": "failed",
-                        "run_id": record.run_id,
-                        "attempt": record.attempts,
-                        "error": record.last_error,
-                    }
-                )
-                self.log(
-                    f"[supervisor] {record.run_id}: attempt budget already "
-                    f"spent ({record.attempts}/{self.max_attempts})"
-                )
-                continue
-            launchable.append(record)
-
-        self._pool = WorkerPool(
-            self.out_dir,
-            journal,
-            workers=self.workers,
-            python=self.python,
-            max_attempts=self.max_attempts,
-            backoff_s=self.backoff_s,
-            jitter_seed=self.jitter_seed,
-            wall_timeout_s=self.wall_timeout_s,
-            stuck_after_s=self.stuck_after_s,
-            checkpoint_every_s=self.checkpoint_every_s,
-            poll_interval_s=self.poll_interval_s,
-            clock=self.clock,
-            sleep=self.sleep,
-            log=self.log,
-            metrics=self.metrics,
-            on_done=self._make_cache_writer(cache),
-        )
+        """Execute ``runs`` to completion (or drain) and return the
+        materialized manifest view."""
+        self.core.open(resume=resume)
         try:
-            self._pool.run(launchable)
+            self.core.submit(runs)
+            self.core.run_until_idle()
         finally:
-            snapshot = self.metrics.as_dict()
-            journal.append({"type": "metrics", "metrics": snapshot})
-            journal.append(
-                {"type": "drain" if self.drained else "complete",
-                 "summary": manifest.summary()}
-            )
-            journal.close()
-            manifest.save()
-            atomic_write_json(self.metrics_path, snapshot)
-
+            manifest = self.core.close()
         counts = manifest.summary()
         verb = "drained" if self.drained else "complete"
         self.log(f"[supervisor] sweep {verb}: {counts}")

@@ -19,6 +19,16 @@ seeded-random *worker* is SIGKILLed mid-fleet, then the *supervisor*
 itself is SIGKILLed, orphaned workers are cleaned up, and the resumed
 sweep must still end byte-identical to the calm reference.
 
+``--daemon`` runs the same chaos fleet through the long-running
+measurement service instead of the one-shot path: jobs are submitted
+over the unix socket, a seeded-random worker is SIGKILLed, then the
+*daemon* is SIGKILLed mid-fleet — deliberately leaving its workers
+orphaned, because reaping them is the rebooted daemon's own job.  The
+daemon is restarted, the identical batch is resubmitted (admission is
+idempotent — every verdict must be a duplicate or requeue, never a
+fresh add), drained, and the results must be byte-identical to the calm
+one-shot reference.
+
 Exits 0 on equivalence, 1 on any difference or failed run.
 """
 
@@ -55,6 +65,20 @@ SOAK_ARGS = [
     "--stuck-after-s", "0.8",
 ]
 SOAK_CHAOS_ARGS = [*SOAK_ARGS, "--chaos-seed", "8"]
+
+#: Daemon soak: the same fleet sweep split across the service CLI —
+#: pool tuning goes to ``serve``, the job batch goes to ``submit``.
+DAEMON_SERVE_ARGS = [
+    "--workers", "4",
+    "--stuck-after-s", "0.8",
+    "--checkpoint-every-s", "0.04",
+    "--backoff-s", "0",
+]
+DAEMON_SUBMIT_ARGS = [
+    "--preset", "fleet",
+    "--slice-s", "0.02",
+    "--chaos-seed", "8",
+]
 
 
 # -- journal reading ---------------------------------------------------------
@@ -146,58 +170,67 @@ def run_sweep(out_dir: str, sweep_args: list[str], resume: bool = False) -> None
     subprocess.run(cmd, check=True)
 
 
+def _watch_until_mid_sweep(
+    proc: subprocess.Popen,
+    out_dir: str,
+    kill_worker_seed: int | None,
+    max_wait_s: float,
+) -> None:
+    """Block until the journal shows a kill-worthy mid-sweep state.
+
+    With ``kill_worker_seed`` set, first SIGKILL one seeded-random
+    in-flight worker (the soak's worker-death event), wait for the fleet
+    to absorb it (a retry), and only then return.
+    """
+    deadline = time.monotonic() + max_wait_s
+    worker_killed = False
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                "sweep finished (or died) before it could be killed; "
+                "shrink --slice-s or grow the sweep"
+            )
+        progress = journal_progress(out_dir)
+        if (
+            kill_worker_seed is not None
+            and not worker_killed
+            and progress["done"] >= 1
+            and progress["running"]
+        ):
+            rid, pid = sorted(progress["running"].items())[
+                random.Random(kill_worker_seed).randrange(
+                    len(progress["running"])
+                )
+            ]
+            if kill_pid(pid):
+                worker_killed = True
+                print(f"[equiv] soak: SIGKILLed worker {pid} ({rid})")
+            continue
+        # Mid-sweep: at least one run completed, at least one not —
+        # and an in-flight run has checkpointed, so the resume path
+        # being exercised is restore-from-checkpoint, not restart.
+        mid = (
+            progress["total"]
+            and 0 < progress["done"] < progress["total"]
+            and inflight_checkpoint(out_dir)
+        )
+        if mid and (kill_worker_seed is None or worker_killed):
+            return
+        time.sleep(0.02)
+    raise SystemExit("sweep never reached a mid-sweep state")
+
+
 def run_sweep_and_kill(
     out_dir: str,
     sweep_args: list[str],
     kill_worker_seed: int | None = None,
     max_wait_s: float = 600.0,
 ) -> None:
-    """Start the sweep in its own process group and SIGKILL it mid-sweep.
-
-    With ``kill_worker_seed`` set, first SIGKILL one seeded-random
-    in-flight worker (the soak's worker-death event), wait for the fleet
-    to absorb it (a retry), and only then kill the supervisor.
-    """
+    """Start the sweep in its own process group and SIGKILL it mid-sweep."""
     cmd = [sys.executable, SWEEP, "--out", out_dir, *sweep_args]
     proc = subprocess.Popen(cmd, start_new_session=True)
-    deadline = time.monotonic() + max_wait_s
-    worker_killed = False
     try:
-        while time.monotonic() < deadline:
-            if proc.poll() is not None:
-                raise SystemExit(
-                    "sweep finished before it could be killed; "
-                    "shrink --slice-s or grow the sweep"
-                )
-            progress = journal_progress(out_dir)
-            if (
-                kill_worker_seed is not None
-                and not worker_killed
-                and progress["done"] >= 1
-                and progress["running"]
-            ):
-                rid, pid = sorted(progress["running"].items())[
-                    random.Random(kill_worker_seed).randrange(
-                        len(progress["running"])
-                    )
-                ]
-                if kill_pid(pid):
-                    worker_killed = True
-                    print(f"[equiv] soak: SIGKILLed worker {pid} ({rid})")
-                continue
-            # Mid-sweep: at least one run completed, at least one not —
-            # and an in-flight run has checkpointed, so the resume path
-            # being exercised is restore-from-checkpoint, not restart.
-            mid = (
-                progress["total"]
-                and 0 < progress["done"] < progress["total"]
-                and inflight_checkpoint(out_dir)
-            )
-            if mid and (kill_worker_seed is None or worker_killed):
-                break
-            time.sleep(0.02)
-        else:
-            raise SystemExit("sweep never reached a mid-sweep state")
+        _watch_until_mid_sweep(proc, out_dir, kill_worker_seed, max_wait_s)
     finally:
         if proc.poll() is None:
             # Kill the supervisor's whole group...
@@ -211,6 +244,83 @@ def run_sweep_and_kill(
         f"(done {progress['done']}/{progress['total']}, "
         f"{orphans} orphan pid(s) swept)"
     )
+
+
+# -- daemon drivers ----------------------------------------------------------
+
+
+def start_daemon(out_dir: str, boot_wait_s: float = 60.0) -> subprocess.Popen:
+    """Start ``sweep.py serve`` in its own group; wait for its socket."""
+    proc = subprocess.Popen(
+        [sys.executable, SWEEP, "serve", "--out", out_dir, *DAEMON_SERVE_ARGS],
+        start_new_session=True,
+    )
+    sock = os.path.join(out_dir, "service.sock")
+    deadline = time.monotonic() + boot_wait_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"daemon exited {proc.returncode} during boot")
+        if os.path.exists(sock):
+            return proc
+        time.sleep(0.05)
+    raise SystemExit("daemon never bound its socket")
+
+
+def run_daemon_and_kill(out_dir: str, kill_worker_seed: int, max_wait_s: float = 600.0) -> None:
+    """Submit the chaos fleet to a daemon, SIGKILL a worker, then SIGKILL
+    the daemon mid-fleet — leaving its surviving workers orphaned (the
+    rebooted daemon must reap them itself)."""
+    daemon = start_daemon(out_dir)
+    try:
+        subprocess.run(
+            [sys.executable, SWEEP, "submit", "--out", out_dir,
+             *DAEMON_SUBMIT_ARGS],
+            check=True,
+        )
+        _watch_until_mid_sweep(daemon, out_dir, kill_worker_seed, max_wait_s)
+    finally:
+        if daemon.poll() is None:
+            os.killpg(daemon.pid, signal.SIGKILL)
+    daemon.wait()
+    # Deliberately do NOT sweep orphans here: boot-time orphan reaping
+    # is part of the daemon contract under test.
+    orphans = 0
+    for e in journal_events(out_dir):
+        if e.get("type") == "launch" and e.get("pid"):
+            try:
+                os.kill(e["pid"], 0)
+            except (ProcessLookupError, PermissionError, OSError):
+                continue
+            orphans += 1
+    progress = journal_progress(out_dir)
+    print(
+        f"[equiv] SIGKILLed daemon mid-fleet "
+        f"(done {progress['done']}/{progress['total']}, "
+        f"{orphans} worker(s) left orphaned for the reboot to reap)"
+    )
+
+
+def finish_daemon(out_dir: str) -> None:
+    """Reboot the daemon, resubmit the identical batch (idempotent),
+    wait for completion, and drain it down cleanly."""
+    daemon = start_daemon(out_dir)
+    try:
+        subprocess.run(
+            [sys.executable, SWEEP, "submit", "--out", out_dir,
+             *DAEMON_SUBMIT_ARGS, "--wait"],
+            check=True,
+        )
+        subprocess.run(
+            [sys.executable, SWEEP, "shutdown", "--out", out_dir],
+            check=True,
+        )
+        code = daemon.wait(timeout=120)
+        if code != 0:
+            raise SystemExit(f"rebooted daemon exited {code}, expected 0")
+    finally:
+        if daemon.poll() is None:
+            os.killpg(daemon.pid, signal.SIGKILL)
+            daemon.wait()
 
 
 # -- comparison --------------------------------------------------------------
@@ -255,6 +365,10 @@ def main(argv=None) -> int:
     parser.add_argument("--soak", action="store_true",
                         help="fleet soak: chaos sweep + worker SIGKILL "
                              "+ supervisor SIGKILL + resume")
+    parser.add_argument("--daemon", action="store_true",
+                        help="daemon soak: the chaos fleet through the "
+                             "service socket, SIGKILL worker + daemon, "
+                             "reboot, idempotent resubmit, drain")
     parser.add_argument("--worker-kill-seed", type=int, default=1,
                         help="seed picking which in-flight worker dies")
     args = parser.parse_args(argv)
@@ -265,7 +379,17 @@ def main(argv=None) -> int:
     shutil.rmtree(base, ignore_errors=True)
     os.makedirs(base)
 
-    if args.soak:
+    if args.daemon:
+        # The reference is the CALM ONE-SHOT fleet: the daemon path must
+        # converge on exactly what the classic path produces.
+        print("[equiv] daemon phase 1: calm reference fleet (one-shot)")
+        run_sweep(ref_dir, SOAK_ARGS)
+        print("[equiv] daemon phase 2: chaos fleet via the service, "
+              "worker+daemon SIGKILL")
+        run_daemon_and_kill(killed_dir, args.worker_kill_seed)
+        print("[equiv] daemon phase 3: reboot, idempotent resubmit, drain")
+        finish_daemon(killed_dir)
+    elif args.soak:
         # The reference is CALM (no chaos): the chaos+kills sweep must
         # converge on what an undisturbed sequential fleet produces.
         print("[equiv] soak phase 1: calm reference fleet (uninterrupted)")
