@@ -8,6 +8,7 @@ fails on errors only.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -15,7 +16,7 @@ from typing import Optional, Sequence
 from repro.analysis.baseline import Baseline
 from repro.analysis.core import RULE_REGISTRY, all_rules
 from repro.analysis.driver import DEFAULT_PATHS, run_analysis
-from repro.analysis.report import render_human, render_json
+from repro.analysis.report import render_human, render_json, render_sarif
 
 DEFAULT_BASELINE = "lint-baseline.json"
 
@@ -44,7 +45,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail on warnings too, not only errors",
     )
-    parser.add_argument("--json", action="store_true", help="JSON report")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="JSON report (alias for --format json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default=None,
+        dest="fmt",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report only on files changed vs git HEAD (plus untracked); "
+            "whole-program rules still read the full program, so their "
+            "findings on touched files match a full run"
+        ),
+    )
     parser.add_argument(
         "--baseline",
         default=None,
@@ -71,6 +92,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="list rules and exit"
     )
     return parser
+
+
+def changed_files(root: Path) -> Optional[list[str]]:
+    """Root-relative ``.py`` files changed vs HEAD, plus untracked ones.
+
+    Covers staged and unstaged modifications (``git diff HEAD``) and
+    new files not yet tracked; deletions drop out naturally because the
+    driver only reports on files it can still discover on disk.
+    Returns None when git is unavailable (callers fall back to a full
+    run rather than silently reporting nothing).
+    """
+    out: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True, check=False
+            )
+        except OSError:
+            return None
+        if proc.returncode != 0:
+            return None
+        out.update(
+            line.strip() for line in proc.stdout.splitlines() if line.strip()
+        )
+    return sorted(p for p in out if p.endswith(".py"))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -107,8 +156,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
+    report_paths: Optional[list[str]] = None
+    if args.changed_only:
+        report_paths = changed_files(root)
+        if report_paths is None:
+            print(
+                "warning: --changed-only needs git; running on everything",
+                file=sys.stderr,
+            )
+        elif not report_paths:
+            print("repro-lint: ok — no changed files")
+            return 0
+
     result = run_analysis(
-        root, paths=args.paths, baseline=baseline, only_rules=args.rules
+        root,
+        paths=args.paths,
+        baseline=baseline,
+        only_rules=args.rules,
+        report_paths=report_paths,
     )
 
     if args.write_baseline:
@@ -121,11 +186,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
-    report = (
-        render_json(result, strict=args.strict)
-        if args.json
-        else render_human(result, strict=args.strict)
-    )
+    fmt = args.fmt or ("json" if args.json else "human")
+    if fmt == "json":
+        report = render_json(result, strict=args.strict)
+    elif fmt == "sarif":
+        report = render_sarif(result)
+    else:
+        report = render_human(result, strict=args.strict)
     print(report)
     return 1 if result.failed(strict=args.strict) else 0
 

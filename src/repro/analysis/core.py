@@ -52,10 +52,14 @@ class Finding:
     def fingerprint(self) -> str:
         """Location-drift-tolerant identity used by the baseline file.
 
-        Deliberately excludes the line number so that unrelated edits
-        above a baselined finding do not invalidate the baseline.
+        Deliberately excludes the line number *and the file path*: a
+        baselined finding survives unrelated edits above it and — since
+        the enclosing symbol and message already pin it down — survives
+        the file being renamed or moved.  The (accepted) cost is that
+        two byte-identical findings in different files share one
+        fingerprint, so baselining one accepts both.
         """
-        raw = "|".join((self.rule, self.path, self.symbol, self.message))
+        raw = "|".join((self.rule, self.symbol, self.message))
         return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
 
     def render(self) -> str:
@@ -79,6 +83,7 @@ class SourceModule:
         self.lines = text.splitlines()
         self.tree: Optional[ast.Module] = None
         self.parse_error: Optional[SyntaxError] = None
+        self._origins: Optional[dict[str, str]] = None
         try:
             self.tree = ast.parse(text, filename=path)
         except SyntaxError as exc:
@@ -90,6 +95,16 @@ class SourceModule:
             if m:
                 rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
                 self.suppressions[lineno] = rules
+
+    @property
+    def origins(self) -> dict[str, str]:
+        """Cached :func:`import_origins` of this module (empty when the
+        module failed to parse)."""
+        if self._origins is None:
+            self._origins = (
+                import_origins(self.tree) if self.tree is not None else {}
+            )
+        return self._origins
 
     def is_suppressed(self, finding: Finding) -> bool:
         rules = self.suppressions.get(finding.line)
@@ -144,6 +159,41 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """A rule that sees the whole program at once.
+
+    Per-module :meth:`check` is a no-op; the driver calls
+    :meth:`check_program` exactly once with every parsed module.  The
+    ``scope`` attribute still gates which files the rule *reports on*
+    (via :meth:`applies_to`), but a program rule may read any module to
+    build its call graph or protocol tables.
+    """
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_program(self, modules: list[SourceModule]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        path: str,
+        node: ast.AST,
+        message: str,
+        symbol: str = "",
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=severity or self.severity,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=symbol,
+        )
+
+
 #: rule id -> rule class
 RULE_REGISTRY: dict[str, type[Rule]] = {}
 
@@ -161,10 +211,14 @@ def register(cls: type[Rule]) -> type[Rule]:
 def all_rules(only: Optional[Iterable[str]] = None) -> list[Rule]:
     """Fresh instances of every registered rule (or a named subset)."""
     # Importing the rule modules populates the registry.
+    from repro.analysis import interproc  # noqa: F401
+    from repro.analysis import protocol  # noqa: F401
+    from repro.analysis import rules_concurrency  # noqa: F401
     from repro.analysis import rules_determinism  # noqa: F401
     from repro.analysis import rules_hotpath  # noqa: F401
     from repro.analysis import rules_papi  # noqa: F401
     from repro.analysis import rules_surface  # noqa: F401
+    from repro.analysis import taint  # noqa: F401
 
     wanted = set(only) if only is not None else None
     rules = []

@@ -7,7 +7,14 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.core import Finding, Rule, Severity, SourceModule, all_rules
+from repro.analysis.core import (
+    Finding,
+    ProgramRule,
+    Rule,
+    Severity,
+    SourceModule,
+    all_rules,
+)
 
 #: Default analysis roots, relative to the repo root.  tests/ is
 #: deliberately excluded: tests exercise bad lifecycles on purpose.
@@ -67,32 +74,77 @@ def run_analysis(
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
     only_rules: Optional[Sequence[str]] = None,
+    report_paths: Optional[Sequence[str]] = None,
 ) -> AnalysisResult:
-    """Analyze every file under ``paths`` (relative to ``root``)."""
+    """Analyze every file under ``paths`` (relative to ``root``).
+
+    ``report_paths`` restricts which files findings are *reported* for
+    (the ``--changed-only`` fast path): per-module rules run only on
+    those files, while whole-program rules still parse and see the
+    entire program (their tables are global), with findings filtered to
+    the reported set afterwards.  Stale-baseline accounting is skipped
+    in filtered runs — only a full run sees every finding a baseline
+    entry could match.
+    """
     active = list(rules) if rules is not None else all_rules(only_rules)
     result = AnalysisResult(rules_run=[r.id for r in active])
     baseline = baseline or Baseline()
 
-    raw: list[Finding] = []
+    per_module = [r for r in active if not isinstance(r, ProgramRule)]
+    program = [r for r in active if isinstance(r, ProgramRule)]
+    report = {Path(p).as_posix() for p in report_paths} if report_paths is not None else None
+
+    modules: dict[str, SourceModule] = {}
     for relpath in discover_files(root, paths):
-        applicable = [r for r in active if r.applies_to(relpath)]
-        if not applicable:
-            continue
         module = SourceModule.load(root, relpath)
-        result.files_checked += 1
-        if module.parse_error is not None:
+        modules[relpath] = module
+        if module.parse_error is not None and (
+            report is None or relpath in report
+        ):
             result.parse_errors.append((relpath, str(module.parse_error)))
+
+    raw: list[Finding] = []
+
+    def classify(module: Optional[SourceModule], finding: Finding) -> None:
+        raw.append(finding)
+        if module is not None and module.is_suppressed(finding):
+            result.suppressed.append(finding)
+        elif baseline.contains(finding):
+            result.baselined.append(finding)
+        else:
+            result.new_findings.append(finding)
+
+    for relpath, module in modules.items():
+        if module.parse_error is not None:
             continue
+        if report is not None and relpath not in report:
+            continue
+        applicable = [r for r in per_module if r.applies_to(relpath)]
+        if not applicable and not program:
+            continue
+        result.files_checked += 1
         for rule in applicable:
             for finding in rule.check(module):
-                raw.append(finding)
-                if module.is_suppressed(finding):
-                    result.suppressed.append(finding)
-                elif baseline.contains(finding):
-                    result.baselined.append(finding)
-                else:
-                    result.new_findings.append(finding)
+                classify(module, finding)
 
-    result.stale_baseline = baseline.stale_entries(raw)
+    parsed = [m for m in modules.values() if m.parse_error is None]
+    if report is not None:
+        # A program rule can only report inside its scope; when none of
+        # the changed files are in it, the whole (comparatively costly)
+        # pass is skipped — this is what keeps --changed-only fast.
+        program = [
+            r for r in program if any(r.applies_to(p) for p in report)
+        ]
+    if parsed:
+        for rule in program:
+            for finding in rule.check_program(parsed):
+                if not rule.applies_to(finding.path):
+                    continue
+                if report is not None and finding.path not in report:
+                    continue
+                classify(modules.get(finding.path), finding)
+
+    if report is None:
+        result.stale_baseline = baseline.stale_entries(raw)
     result.new_findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return result

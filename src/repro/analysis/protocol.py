@@ -1,0 +1,493 @@
+"""Protocol-exhaustiveness passes over the measurement service.
+
+The service's correctness contracts live *between* components:
+
+* the **journal state machine** — every record kind any code path
+  appends must be understood by replay (``Journal._apply`` raises
+  ``JournalError`` on unknown kinds, so an unmatched producer is a
+  latent crash on resume), every declared kind must actually be
+  consumed, and a declared-but-never-produced kind is dead protocol;
+* the **wire protocol** — every ``op`` the client can send needs a
+  ``_handle_request`` branch, every reply key the client subscripts
+  must be present in that branch's replies, and error replies must
+  echo the request's correlation fields (``op``/``id``) so a client
+  can match replies to requests.
+
+These are whole-program properties: producers live in ``pool.py`` /
+``queue.py`` / ``service.py``, the consumer in ``journal.py``, the two
+wire endpoints in different modules.  The passes below extract both
+sides syntactically (dict literals, list-append accumulation,
+generator-over-helper-call, ``IfExp`` kinds, helper-returned records)
+and report the asymmetries as ``PROTO-*`` findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    build_call_graph,
+    walk_shallow,
+)
+from repro.analysis.core import (
+    Finding,
+    ProgramRule,
+    Severity,
+    SourceModule,
+    register,
+)
+
+# -- shared dict-literal resolution ------------------------------------------
+
+
+@dataclass
+class _FuncEnv:
+    """Per-function name bindings used to resolve record expressions."""
+
+    assigns: dict[str, list[ast.expr]] = field(default_factory=dict)
+    list_appends: dict[str, list[ast.expr]] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, func: ast.AST) -> "_FuncEnv":
+        env = cls()
+        for node in walk_shallow(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                if isinstance(node.targets[0], ast.Name):
+                    env.assigns.setdefault(node.targets[0].id, []).append(node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    env.assigns.setdefault(node.target.id, []).append(node.value)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Name)
+                and len(node.args) == 1
+            ):
+                env.list_appends.setdefault(node.func.value.id, []).append(
+                    node.args[0]
+                )
+        return env
+
+
+def _dict_key_values(d: ast.Dict, key: str) -> list[tuple[Optional[str], ast.AST]]:
+    """Constant string value(s) of ``d[key]``; ``(None, node)`` when the
+    key is present but not a resolvable constant."""
+    for k, v in zip(d.keys, d.values):
+        if isinstance(k, ast.Constant) and k.value == key:
+            if isinstance(v, ast.Constant) and isinstance(v.value, str):
+                return [(v.value, d)]
+            if isinstance(v, ast.IfExp):
+                out: list[tuple[Optional[str], ast.AST]] = []
+                for branch in (v.body, v.orelse):
+                    if isinstance(branch, ast.Constant) and isinstance(
+                        branch.value, str
+                    ):
+                        out.append((branch.value, d))
+                if out:
+                    return out
+            return [(None, d)]
+    return []
+
+
+def resolve_record_kinds(
+    expr: ast.expr,
+    env: _FuncEnv,
+    graph: CallGraph,
+    module: SourceModule,
+    caller: Optional[FunctionInfo],
+    key: str = "type",
+    depth: int = 0,
+) -> list[tuple[str, ast.AST]]:
+    """All constant ``key`` values of the record dict(s) ``expr`` may
+    denote — the event(s) flowing into one journal append site.
+    Unresolvable shapes yield nothing (conservative silence)."""
+    if depth > 4:
+        return []
+    out: list[tuple[str, ast.AST]] = []
+    if isinstance(expr, ast.Dict):
+        for value, node in _dict_key_values(expr, key):
+            if value is not None:
+                out.append((value, node))
+        return out
+    if isinstance(expr, ast.Name):
+        for bound in env.assigns.get(expr.id, []):
+            out.extend(
+                resolve_record_kinds(bound, env, graph, module, caller, key, depth + 1)
+            )
+        for elem in env.list_appends.get(expr.id, []):
+            out.extend(
+                resolve_record_kinds(elem, env, graph, module, caller, key, depth + 1)
+            )
+        return out
+    if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+        for elem in expr.elts:
+            out.extend(
+                resolve_record_kinds(elem, env, graph, module, caller, key, depth + 1)
+            )
+        return out
+    if isinstance(expr, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return resolve_record_kinds(
+            expr.elt, env, graph, module, caller, key, depth + 1
+        )
+    if isinstance(expr, ast.IfExp):
+        for branch in (expr.body, expr.orelse):
+            out.extend(
+                resolve_record_kinds(branch, env, graph, module, caller, key, depth + 1)
+            )
+        return out
+    if isinstance(expr, ast.Call):
+        for callee in graph.resolve_call(module, caller, expr):
+            callee_env = _FuncEnv.of(callee.node)
+            for node in walk_shallow(callee.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    out.extend(
+                        resolve_record_kinds(
+                            node.value,
+                            callee_env,
+                            graph,
+                            callee.module,
+                            callee,
+                            key,
+                            depth + 1,
+                        )
+                    )
+        return out
+    return []
+
+
+# -- journal exhaustiveness --------------------------------------------------
+
+
+def _journal_append_receiver(call: ast.Call, cls: Optional[str]) -> bool:
+    """Is this ``X.append(...)`` / ``X.append_many(...)`` a *journal*
+    append?  Receivers recognized: any attribute chain ending in
+    ``journal``, a local/parameter literally named ``journal`` or
+    assigned from a ``*Journal(...)`` constructor, and ``self`` inside a
+    class whose name contains ``Journal``."""
+    assert isinstance(call.func, ast.Attribute)
+    recv = call.func.value
+    if isinstance(recv, ast.Attribute) and recv.attr == "journal":
+        return True
+    if isinstance(recv, ast.Name):
+        if recv.id == "journal":
+            return True
+        if recv.id == "self" and cls is not None and "Journal" in cls:
+            return True
+    return False
+
+
+def _declared_event_types(module: SourceModule) -> Optional[tuple[ast.AST, list[str]]]:
+    if module.tree is None:
+        return None
+    for stmt in module.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "EVENT_TYPES"
+            and isinstance(stmt.value, (ast.Tuple, ast.List))
+        ):
+            kinds = [
+                e.value
+                for e in stmt.value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            ]
+            if kinds:
+                return stmt, kinds
+    return None
+
+
+def _compare_strings(func: ast.AST) -> set[str]:
+    """Constant strings an ``==``/``in`` comparison tests against."""
+    out: set[str] = set()
+    for node in walk_shallow(func):
+        if not isinstance(node, ast.Compare):
+            continue
+        for side in [node.left, *node.comparators]:
+            if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                out.add(side.value)
+            elif isinstance(side, (ast.Tuple, ast.List, ast.Set)):
+                for e in side.elts:
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str):
+                        out.add(e.value)
+    return out
+
+
+@register
+class JournalProtocolRule(ProgramRule):
+    id = "PROTO-JOURNAL"
+    severity = Severity.ERROR
+    description = (
+        "every journal record kind appended anywhere must be declared in "
+        "EVENT_TYPES and consumed by replay (_apply), and every declared "
+        "kind must be produced somewhere — asymmetries crash or rot"
+    )
+
+    def check_program(self, modules: list[SourceModule]) -> Iterator[Finding]:
+        declared: list[str] = []
+        decl_site: Optional[tuple[str, ast.AST]] = None
+        consumed: Optional[set[str]] = None
+        for mod in modules:
+            found = _declared_event_types(mod)
+            if found is None:
+                continue
+            node, kinds = found
+            declared.extend(k for k in kinds if k not in declared)
+            decl_site = (mod.path, node)
+            assert mod.tree is not None
+            for func in ast.walk(mod.tree):
+                if (
+                    isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and func.name == "_apply"
+                ):
+                    consumed = (consumed or set()) | _compare_strings(func)
+        if decl_site is None:
+            return  # no journal protocol in this program
+
+        graph = build_call_graph(modules)
+        produced: dict[str, tuple[str, ast.AST]] = {}
+        for info in graph.functions.values():
+            env = _FuncEnv.of(info.node)
+            for node in walk_shallow(info.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("append", "append_many")
+                    and node.args
+                    and _journal_append_receiver(node, info.cls)
+                ):
+                    continue
+                for kind, at in resolve_record_kinds(
+                    node.args[0], env, graph, info.module, info
+                ):
+                    produced.setdefault(kind, (info.path, at))
+
+        declared_set = set(declared)
+        for kind in sorted(set(produced) - declared_set):
+            path, at = produced[kind]
+            yield self.finding_at(
+                path,
+                at,
+                f"journal record kind {kind!r} is appended but not declared "
+                "in EVENT_TYPES; replay raises JournalError on it",
+            )
+        if consumed is not None:
+            for kind in sorted(declared_set - consumed):
+                yield self.finding_at(
+                    decl_site[0],
+                    decl_site[1],
+                    f"journal record kind {kind!r} is declared in EVENT_TYPES "
+                    "but never consumed by replay (_apply ignores it)",
+                )
+        for kind in sorted(declared_set - set(produced)):
+            yield self.finding_at(
+                decl_site[0],
+                decl_site[1],
+                f"journal record kind {kind!r} is declared but no code path "
+                "ever appends it (dead protocol)",
+                severity=Severity.WARNING,
+            )
+
+
+# -- wire-protocol exhaustiveness --------------------------------------------
+
+
+@dataclass
+class _Branch:
+    op: str
+    test: ast.expr
+    reply_keys: set[str]
+    has_open_reply: bool
+
+
+def _handler_branches(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[_Branch]:
+    """The ``op == "..."`` if/elif chain of a ``_handle_request``."""
+    branches: list[_Branch] = []
+
+    def op_of(test: ast.expr) -> Optional[str]:
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and isinstance(test.comparators[0].value, str)
+            and isinstance(test.left, ast.Name)
+        ):
+            return test.comparators[0].value
+        return None
+
+    def reply_shape(body: list[ast.stmt]) -> tuple[set[str], bool]:
+        keys: set[str] = set()
+        has_open = False
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Dict):
+                    for k in node.keys:
+                        if k is None:
+                            has_open = True
+                        elif isinstance(k, ast.Constant) and isinstance(
+                            k.value, str
+                        ):
+                            keys.add(k.value)
+        return keys, has_open
+
+    def chase(stmt: ast.stmt) -> None:
+        if not isinstance(stmt, ast.If):
+            return
+        op = op_of(stmt.test)
+        if op is not None:
+            keys, has_open = reply_shape(stmt.body)
+            branches.append(_Branch(op, stmt.test, keys, has_open))
+        if len(stmt.orelse) == 1:
+            chase(stmt.orelse[0])
+
+    for stmt in func.body:
+        chase(stmt)
+    return branches
+
+
+@dataclass
+class _ClientOp:
+    op: str
+    node: ast.AST
+    path: str
+    method: str
+    required_keys: set[str]
+
+
+def _client_ops(graph: CallGraph) -> list[_ClientOp]:
+    """Every ``{"op": <const>}`` request a ``*Client`` method can send,
+    with the reply keys the method subscripts (its required shape)."""
+    ops: list[_ClientOp] = []
+    for info in graph.functions.values():
+        if info.cls is None or "Client" not in info.cls:
+            continue
+        sent: list[tuple[str, ast.AST]] = []
+        subscripted: set[str] = set()
+        for node in walk_shallow(info.node):
+            if isinstance(node, ast.Dict):
+                for value, at in _dict_key_values(node, "op"):
+                    if value is not None:
+                        sent.append((value, at))
+            elif (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                subscripted.add(node.slice.value)
+        required = subscripted - {"ok", "error", "op", "id"}
+        for op, at in sent:
+            ops.append(_ClientOp(op, at, info.path, info.qualname, required))
+    return ops
+
+
+@register
+class WireProtocolRule(ProgramRule):
+    id = "PROTO-WIRE"
+    severity = Severity.ERROR
+    description = (
+        "every op a *Client class sends must have a _handle_request "
+        "branch, every branch should have a sender, and every reply key "
+        "the client subscripts must appear in that branch's replies"
+    )
+
+    def check_program(self, modules: list[SourceModule]) -> Iterator[Finding]:
+        graph = build_call_graph(modules)
+        handlers = [
+            info
+            for info in graph.functions.values()
+            if info.name == "_handle_request" and info.cls is not None
+        ]
+        clients = _client_ops(graph)
+        if not handlers or not clients:
+            return  # need both endpoints to compare them
+
+        branches: dict[str, tuple[str, _Branch]] = {}
+        for info in handlers:
+            for branch in _handler_branches(info.node):
+                branches.setdefault(branch.op, (info.path, branch))
+
+        client_op_names = {c.op for c in clients}
+        for client in clients:
+            if client.op not in branches:
+                yield self.finding_at(
+                    client.path,
+                    client.node,
+                    f"client sends op {client.op!r} but no _handle_request "
+                    "branch handles it; the server will reply unknown-op",
+                    symbol=client.method,
+                )
+                continue
+            path, branch = branches[client.op]
+            if branch.has_open_reply:
+                continue
+            for key in sorted(client.required_keys - branch.reply_keys):
+                yield self.finding_at(
+                    path,
+                    branch.test,
+                    f"op {client.op!r} replies never carry key {key!r}, "
+                    f"which {client.method} subscripts unconditionally",
+                )
+        for op in sorted(set(branches) - client_op_names):
+            path, branch = branches[op]
+            yield self.finding_at(
+                path,
+                branch.test,
+                f"server handles op {op!r} but no client method ever sends "
+                "it (dead wire protocol)",
+                severity=Severity.WARNING,
+            )
+
+
+@register
+class WireCorrelationRule(ProgramRule):
+    id = "PROTO-WIRE-CORR"
+    severity = Severity.ERROR
+    description = (
+        "error replies sent over the wire must echo the request's "
+        "correlation fields (op/id) — a bare {ok: false} reply cannot be "
+        "matched to its request by the client"
+    )
+
+    def check_program(self, modules: list[SourceModule]) -> Iterator[Finding]:
+        graph = build_call_graph(modules)
+        for info in graph.functions.values():
+            for node in walk_shallow(info.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "_send"
+                    and len(node.args) >= 2
+                    and isinstance(node.args[1], ast.Dict)
+                ):
+                    continue
+                payload = node.args[1]
+                keys = {
+                    k.value
+                    for k in payload.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                }
+                is_open = any(k is None for k in payload.keys)
+                ok_false = any(
+                    isinstance(k, ast.Constant)
+                    and k.value == "ok"
+                    and isinstance(v, ast.Constant)
+                    and v.value is False
+                    for k, v in zip(payload.keys, payload.values)
+                )
+                if ok_false and not is_open and not (keys & {"op", "id"}):
+                    yield self.finding_at(
+                        info.path,
+                        payload,
+                        "error reply does not echo the request's correlation "
+                        "fields (op/id); route it through a helper that "
+                        "merges them so the client can match the reply",
+                        symbol=info.qualname,
+                    )

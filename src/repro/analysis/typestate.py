@@ -47,6 +47,12 @@ class Protocol:
     #: states that constitute a leak if still possible at normal exit
     leak_states: frozenset[str]
     leak_message: str
+    #: *function* (not method) call extensions, derived by the
+    #: interprocedural pass: ``make_es()`` -> initial state,
+    #: ``cleanup(es)`` -> resulting state, ``probe(es)`` -> no change.
+    func_creators: dict[str, str] = field(default_factory=dict)
+    func_closers: dict[str, str] = field(default_factory=dict)
+    func_neutral: frozenset[str] = frozenset()
 
     def tracked_methods(self) -> set[str]:
         out = set(self.neutral)
@@ -86,14 +92,34 @@ def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
             stack.append(child)
 
 
-def _creator_call(node: ast.expr, protocol: Protocol) -> Optional[str]:
-    """The creator method name when ``node`` is ``<recv>.creator(...)``."""
+def _call_name(node: ast.expr) -> Optional[str]:
+    """Bare callee name of ``f(...)`` or ``mod.f(...)`` (last component)."""
+    if not isinstance(node, ast.Call):
+        return None
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _creation_state(node: ast.expr, protocol: Protocol) -> Optional[str]:
+    """Initial state when ``node`` is a creator call, else ``None``.
+
+    Matches both ``<recv>.creator(...)`` method calls (the base
+    protocol) and ``make_handle(...)`` function calls registered by the
+    interprocedural pass in ``func_creators``.
+    """
     if (
         isinstance(node, ast.Call)
         and isinstance(node.func, ast.Attribute)
         and node.func.attr in protocol.creators
     ):
-        return node.func.attr
+        return protocol.creators[node.func.attr]
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        state = protocol.func_creators.get(node.func.id)
+        if state is not None:
+            return state
     return None
 
 
@@ -113,7 +139,7 @@ def _find_creations(
             target is not None
             and value is not None
             and isinstance(target, ast.Name)
-            and _creator_call(value, protocol)
+            and _creation_state(value, protocol) is not None
         ):
             tracked.setdefault(target.id, _Tracked(creation=node))
     return tracked
@@ -167,6 +193,11 @@ def _mark_escapes(
         elif isinstance(node, ast.Call):
             is_attr = isinstance(node.func, ast.Attribute)
             method = node.func.attr if is_attr else None
+            is_name = isinstance(node.func, ast.Name)
+            fname = node.func.id if is_name else None
+            known_func = fname is not None and (
+                fname in protocol.func_closers or fname in protocol.func_neutral
+            )
             first_pos_is_resource = bool(
                 node.args
                 and isinstance(node.args[0], ast.Name)
@@ -175,9 +206,12 @@ def _mark_escapes(
             for i, arg in enumerate(node.args):
                 if not (isinstance(arg, ast.Name) and arg.id in names):
                     continue
-                # <recv>.known_method(res, ...) keeps ownership local;
-                # anything else may stash the handle.
+                # <recv>.known_method(res, ...) and summarized helper
+                # functions (interproc closers/neutral) keep ownership
+                # local; anything else may stash the handle.
                 if is_attr and method in known and i == 0 and first_pos_is_resource:
+                    continue
+                if known_func and i == 0 and first_pos_is_resource:
                     continue
                 tracked[arg.id].escaped = True
             for kw in node.keywords:
@@ -291,6 +325,22 @@ def analyze_function(
                             Violation(node, msgs[0].format(var=var), "protocol")
                         )
                 env[var] = frozenset(next_states)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                # Summarized helper functions from the interprocedural
+                # pass: ``cleanup(res)`` transitions the resource into
+                # the closer's final state; neutral helpers leave it.
+                fname = node.func.id
+                if fname not in protocol.func_closers:
+                    continue
+                if not (
+                    node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in tracked
+                ):
+                    continue
+                var = node.args[0].id
+                if env.get(var):
+                    env[var] = frozenset({protocol.func_closers[fname]})
         # (Re)creation and rebinding, after uses inside the value expr.
         target: Optional[ast.expr] = None
         value: Optional[ast.expr] = None
@@ -300,9 +350,9 @@ def analyze_function(
             target, value = stmt.target, stmt.value
         if isinstance(target, ast.Name) and target.id in tracked and value is not None:
             var = target.id
-            creator = _creator_call(value, protocol)
-            if creator is not None:
-                env[var] = frozenset({protocol.creators[creator]})
+            state = _creation_state(value, protocol)
+            if state is not None:
+                env[var] = frozenset({state})
             else:
                 env[var] = frozenset()  # rebound to something else
         return env

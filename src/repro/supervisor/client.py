@@ -109,6 +109,7 @@ class ServiceClient:
         self.socket_path = socket_path
         self.timeout_s = timeout_s
         self.retry = retry or RetryPolicy()
+        self._next_id = 0
 
     # -- transport -----------------------------------------------------------
 
@@ -130,6 +131,13 @@ class ServiceClient:
         return json.loads(line)
 
     def _roundtrip(self, request: dict, label: str) -> dict:
+        # Tag every request with a client-local correlation id; the
+        # daemon echoes it (plus the op) on every direct reply, errors
+        # included.  A retried attempt reuses the id — it is the same
+        # logical request, just retransmitted.
+        self._next_id += 1
+        request = dict(request, id=self._next_id)
+
         def once() -> dict:
             conn = self._connect()
             try:
@@ -137,6 +145,12 @@ class ServiceClient:
                 reply = self._read_line(conn, bytearray())
             finally:
                 conn.close()
+            reply_id = reply.get("id")
+            if reply_id is not None and reply_id != request["id"]:
+                raise ServiceError(
+                    f"correlation mismatch: sent id {request['id']}, "
+                    f"reply carries id {reply_id!r}"
+                )
             if not reply.get("ok"):
                 raise ServiceError(reply.get("error", "service refused"))
             return reply

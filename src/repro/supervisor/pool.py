@@ -156,6 +156,7 @@ class WorkerPool:
         self.on_done = on_done
         self.drain_grace_s = drain_grace_s
         self._draining = False
+        self._drain_unannounced = False
         self._drain_started: Optional[float] = None
         self._seq = 0
         #: Ready-queue heap entries: (not-before on self.clock, admission
@@ -194,10 +195,14 @@ class WorkerPool:
 
     def request_drain(self) -> None:
         """Stop admitting; in-flight workers are asked to checkpoint and
-        exit (the poll loop delivers the SIGTERMs)."""
+        exit (the poll loop delivers the SIGTERMs).
+
+        Async-signal-safe by design — the service's SIGTERM handler
+        lands here, so this only sets flags.  The log line is emitted by
+        the next :meth:`step` from the main loop."""
         if not self._draining:
             self._draining = True
-            self.log("[fleet] drain requested: no new runs will start")
+            self._drain_unannounced = True
 
     @property
     def draining(self) -> bool:
@@ -242,6 +247,9 @@ class WorkerPool:
         dead workers, enforce liveness, drive a drain.  Never sleeps —
         the caller owns pacing (and, in the daemon, interleaves socket
         traffic between steps).  Returns :attr:`busy`."""
+        if self._drain_unannounced:
+            self._drain_unannounced = False
+            self.log("[fleet] drain requested: no new runs will start")
         now = self.clock()
         if not self._draining:
             while self._free_slots and self._queue and self._queue[0][0] <= now:

@@ -245,7 +245,9 @@ def spawner_run(params: dict, ctx: RunContext) -> dict:
     the timeout.
     """
     run_dir = os.path.dirname(ctx.checkpoint_path)
-    child = subprocess.Popen(
+    # The helper must share the worker's process group — escaping it is
+    # exactly the orphan scenario the group-kill test closes over.
+    child = subprocess.Popen(  # repro-lint: disable=FORK-SAFETY
         [sys.executable, "-c", "import time; time.sleep(600)"]
     )
     with open(os.path.join(run_dir, "child.json"), "w") as fh:

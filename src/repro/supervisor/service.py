@@ -611,18 +611,30 @@ class MeasurementService:
 
     # -- request dispatch ----------------------------------------------------
 
+    def _reply(self, client: _Client, request: dict, payload: dict) -> bool:
+        """Direct reply to one request, echoing its correlation fields.
+
+        Every reply — error replies *especially* — carries the request's
+        ``op`` and ``id`` back, so a client can match the refusal to
+        what it sent instead of guessing from connection framing."""
+        out: dict = {"op": request.get("op"), "id": request.get("id")}
+        out.update(payload)
+        return self._send(client, out)
+
     def _handle_request(self, client: _Client, request: dict) -> None:
         op = request.get("op")
         core = self.core
         if op == "ping":
-            self._send(
+            self._reply(
                 client,
+                request,
                 {"ok": True, "pid": os.getpid(), "out_dir": core.out_dir},
             )
         elif op == "submit":
             if core.drained:
-                self._send(
+                self._reply(
                     client,
+                    request,
                     {"ok": False, "error": "draining: not admitting new runs"},
                 )
                 return
@@ -631,31 +643,40 @@ class MeasurementService:
                     RunSpec.from_json(s) for s in request.get("specs", [])
                 ]
             except (KeyError, TypeError, AttributeError) as exc:
-                self._send(
-                    client, {"ok": False, "error": f"malformed spec: {exc}"}
+                self._reply(
+                    client,
+                    request,
+                    {"ok": False, "error": f"malformed spec: {exc}"},
                 )
                 return
             results = core.submit(specs)
-            self._send(client, {"ok": True, "results": results})
+            self._reply(client, request, {"ok": True, "results": results})
         elif op == "poll":
-            self._send(
+            self._reply(
                 client,
+                request,
                 {"ok": True, "jobs": core.job_status(request.get("run_ids"))},
             )
         elif op == "status":
-            self._send(client, {"ok": True, "status": core.status()})
+            self._reply(client, request, {"ok": True, "status": core.status()})
         elif op == "cancel":
             rid = request.get("run_id")
             if not rid:
-                self._send(client, {"ok": False, "error": "cancel needs run_id"})
+                self._reply(
+                    client,
+                    request,
+                    {"ok": False, "error": "cancel needs run_id"},
+                )
                 return
-            self._send(client, {"ok": True, **core.cancel(rid)})
+            self._reply(client, request, {"ok": True, **core.cancel(rid)})
         elif op == "stream":
             rid = request.get("run_id")
             record = core.records.get(rid)
             if record is None:
-                self._send(
-                    client, {"ok": False, "error": f"unknown run {rid!r}"}
+                self._reply(
+                    client,
+                    request,
+                    {"ok": False, "error": f"unknown run {rid!r}"},
                 )
                 return
             # Backlog first (tolerant tail read), then live events.
@@ -669,13 +690,15 @@ class MeasurementService:
                 self._streams.append((client, rid))
         elif op == "drain":
             core.request_drain()
-            self._send(client, {"ok": True, "draining": True})
+            self._reply(client, request, {"ok": True, "draining": True})
         elif op == "shutdown":
             self._shutdown = True
             core.request_drain()
-            self._send(client, {"ok": True, "shutting_down": True})
+            self._reply(client, request, {"ok": True, "shutting_down": True})
         else:
-            self._send(client, {"ok": False, "error": f"unknown op {op!r}"})
+            self._reply(
+                client, request, {"ok": False, "error": f"unknown op {op!r}"}
+            )
 
     def _journal_backlog(self, run_id: str) -> list[dict]:
         events = []
@@ -713,7 +736,13 @@ class MeasurementService:
             try:
                 request = json.loads(line)
             except (json.JSONDecodeError, UnicodeDecodeError):
-                self._send(client, {"ok": False, "error": "malformed JSON line"})
+                # The request never parsed, so there is no id to echo —
+                # _reply sends explicit null correlation fields, which
+                # clients treat as "uncorrelatable" rather than a
+                # mismatch.
+                self._reply(
+                    client, {}, {"ok": False, "error": "malformed JSON line"}
+                )
                 continue
             self._handle_request(client, request)
 
@@ -762,9 +791,13 @@ class MeasurementService:
         self._selector.register(conn, selectors.EVENT_READ, client)
 
     def _on_sigterm(self, signum, frame) -> None:
-        self.log("[service] SIGTERM: draining and shutting down")
+        # Runs between two arbitrary bytecodes of the serve loop: only
+        # flag-sets and one os.write are allowed here.  request_drain is
+        # (deliberately) a flag-set all the way down; the human-readable
+        # drain announcement comes from the next pool.step().
         self._shutdown = True
         self.core.request_drain()
+        os.write(2, b"[service] SIGTERM: draining and shutting down\n")
 
     def _teardown(self) -> None:
         for key in list(self._selector.get_map().values()):

@@ -20,8 +20,10 @@ from __future__ import annotations
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
+import threading
 import time
 import tracemalloc
 
@@ -37,6 +39,7 @@ from repro.supervisor import (
     RunSpec,
     ServiceClient,
     ServiceCore,
+    ServiceError,
     spec_digest,
 )
 
@@ -346,6 +349,101 @@ class TestDaemon:
             assert client.cancel("ghost")["disposition"] == "unknown"
         finally:
             daemon.stop()
+
+
+def _raw_roundtrip(socket_path: str, line: bytes) -> dict:
+    """Send one raw line over the daemon socket, bypassing ServiceClient."""
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        conn.connect(socket_path)
+        conn.sendall(line)
+        buf = bytearray()
+        while b"\n" not in buf:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+        return json.loads(bytes(buf).split(b"\n", 1)[0].decode())
+    finally:
+        conn.close()
+
+
+class TestWireCorrelation:
+    """Every reply — including errors — must echo the request's op/id so
+    a client multiplexing requests can match replies to them."""
+
+    def test_unknown_op_reply_echoes_correlation_fields(self, tmp_path):
+        daemon = _Daemon(str(tmp_path / "svc"))
+        try:
+            daemon.wait_ready()
+            reply = _raw_roundtrip(
+                daemon.socket_path, b'{"op": "frob", "id": 77}\n'
+            )
+            assert reply["ok"] is False
+            assert "unknown op" in reply["error"]
+            assert reply["op"] == "frob"
+            assert reply["id"] == 77
+        finally:
+            daemon.stop()
+
+    def test_malformed_line_reply_carries_null_correlation(self, tmp_path):
+        daemon = _Daemon(str(tmp_path / "svc"))
+        try:
+            daemon.wait_ready()
+            reply = _raw_roundtrip(daemon.socket_path, b"{not json\n")
+            assert reply["ok"] is False
+            assert "malformed" in reply["error"]
+            # Uncorrelatable, not mismatched: explicit nulls.
+            assert reply["op"] is None
+            assert reply["id"] is None
+        finally:
+            daemon.stop()
+
+    def test_bad_request_error_is_still_correlated(self, tmp_path):
+        daemon = _Daemon(str(tmp_path / "svc"))
+        try:
+            daemon.wait_ready()
+            reply = _raw_roundtrip(
+                daemon.socket_path, b'{"op": "cancel", "id": 3}\n'
+            )
+            assert reply["ok"] is False
+            assert reply["op"] == "cancel"
+            assert reply["id"] == 3
+        finally:
+            daemon.stop()
+
+    def test_client_rejects_mismatched_reply_id(self, tmp_path):
+        """A rogue server answering with someone else's id must surface
+        as a correlation error, not be silently accepted."""
+        socket_path = str(tmp_path / "rogue.sock")
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(socket_path)
+        server.listen(1)
+
+        def serve_one():
+            conn, _ = server.accept()
+            with conn:
+                buf = bytearray()
+                while b"\n" not in buf:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        return
+                    buf += chunk
+                request = json.loads(bytes(buf).split(b"\n", 1)[0].decode())
+                reply = {"ok": True, "op": request.get("op"), "id": -999}
+                conn.sendall((json.dumps(reply) + "\n").encode())
+
+        thread = threading.Thread(target=serve_one, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                socket_path, retry=RetryPolicy(attempts=1)
+            )
+            with pytest.raises(ServiceError, match="correlation mismatch"):
+                client.ping()
+        finally:
+            server.close()
+            thread.join(timeout=5)
 
 
 class FakeTime:

@@ -410,8 +410,14 @@ def run_one_shot(argv) -> int:
     )
 
     def on_sigterm(signum, frame):
-        print("[sweep] SIGTERM: draining (checkpoint in-flight, keep journal)")
+        # Async-signal-safe only: one os.write plus the flag-setting
+        # drain request (print() allocates and can reenter stdout's
+        # buffered writer mid-flush).
         supervisor.request_drain()
+        os.write(
+            2,
+            b"[sweep] SIGTERM: draining (checkpoint in-flight, keep journal)\n",
+        )
 
     signal.signal(signal.SIGTERM, on_sigterm)
     manifest = supervisor.run(runs, resume=args.resume)
