@@ -30,6 +30,7 @@ DETERMINISTIC_SCOPE = (
     "src/repro/faults",
     "src/repro/hpl",
     "src/repro/trace",
+    "src/repro/validate",
 )
 
 #: Dotted call targets that read host wall-clock time.

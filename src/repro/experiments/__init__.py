@@ -18,4 +18,5 @@ from repro.experiments import (  # noqa: F401
     energy_efficiency,
     hybrid_eventset,
     overhead,
+    rapl_overhead,
 )

@@ -22,6 +22,7 @@ from repro.papi import Papi, PapiError
 from repro.sim.task import ControlOp, Program, SimThread
 from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
 from repro.system import System
+from repro.validate.groups import MeasurementBundle, MetricValue, evaluate
 
 #: Execution profile of the test's measured loop (scalar integer work).
 LOOP_RATES = constant_rates(PhaseRates(ipc=2.0, branches_per_instr=0.1))
@@ -38,14 +39,33 @@ class HybridTestResult:
     events: list[str] = field(default_factory=list)
     error: Optional[str] = None
 
+    def instr_share(self) -> MetricValue:
+        """The ``instr_share`` derived group: per-PMU mean instruction
+        counts attributed across the hybrid EventSet's events."""
+        means: dict[str, float] = {}
+        for i, name in enumerate(self.events):
+            pmu = name.split("::")[0]
+            if self.per_rep:
+                means[pmu] = sum(
+                    r["values"][i] for r in self.per_rep
+                ) / len(self.per_rep)
+            else:
+                means[pmu] = 0.0
+        return evaluate(
+            "instr_share", MeasurementBundle(instructions_by_pmu=means)
+        )
+
     def average(self, event_idx: int) -> float:
-        if not self.per_rep:
+        share = self.instr_share()
+        if share.value is None:
             return 0.0
-        return sum(r["values"][event_idx] for r in self.per_rep) / len(self.per_rep)
+        pmu = self.events[event_idx].split("::")[0]
+        return share.per_key.get(pmu, 0.0) * share.value
 
     @property
     def avg_total(self) -> float:
-        return sum(self.average(i) for i in range(len(self.events)))
+        share = self.instr_share()
+        return share.value if share.value is not None else 0.0
 
     def summary_line(self) -> str:
         if self.error:

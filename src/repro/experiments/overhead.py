@@ -18,6 +18,7 @@ from repro.papi import Papi
 from repro.sim.task import ControlOp, Program, SimThread
 from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
 from repro.system import System
+from repro.validate.groups import MeasurementBundle, MetricValue, evaluate
 
 RATES = constant_rates(PhaseRates(ipc=2.0))
 
@@ -34,9 +35,15 @@ class OverheadResult:
     # config label -> op name -> cost
     costs: dict[str, dict[str, OpCost]] = field(default_factory=dict)
     groups: dict[str, int] = field(default_factory=dict)
+    # config label -> evaluated "papi_op_cost" derived-metric group
+    derived: dict[str, MetricValue] = field(default_factory=dict)
     rdpmc_matching_core: bool = False
     rdpmc_foreign_core: bool = True  # should come back False (invalid)
     rdpmc_value: int = 0
+
+    def syscalls_per_group(self, label: str, op: str) -> float:
+        """The derived per-group cost of one PAPI op (from ``derived``)."""
+        return self.derived[label].per_key[f"{op}.syscalls_per_group"]
 
 
 EVENTSET_CONFIGS: dict[str, list[str]] = {
@@ -92,6 +99,13 @@ def run_overhead(machine: str = "raptor-lake-i7-13700") -> OverheadResult:
         d = stats.delta(before)
         ops["stop"] = OpCost(d.total_calls, d.instructions_charged)
         out.costs[label] = ops
+        out.derived[label] = evaluate(
+            "papi_op_cost",
+            MeasurementBundle(
+                syscalls={op: float(c.syscalls) for op, c in ops.items()},
+                groups=out.groups[label],
+            ),
+        )
         papi.destroy_eventset(es)
 
     # rdpmc fast path: read a P-core event from the target thread while
@@ -146,12 +160,13 @@ def render(result: OverheadResult) -> str:
                 str(ops["start"].syscalls),
                 str(ops["read"].syscalls),
                 str(ops["stop"].syscalls),
+                f"{result.syscalls_per_group(label, 'read'):.1f}",
                 f"{ops['read'].instructions:.0f}",
             ]
         )
     table = render_table(
         ["EventSet", "groups", "start syscalls", "read syscalls",
-         "stop syscalls", "read instr cost"],
+         "stop syscalls", "read sysc/group", "read instr cost"],
         rows,
     )
     rd = (
@@ -174,6 +189,16 @@ def shape_holds(result: OverheadResult) -> dict[str, bool]:
         > one["start"].syscalls,
         "groups_match_pmus": result.groups["1 PMU, 2 events"] == 1
         and result.groups["2 PMUs, 2 events"] == 2,
+        # The derived group states the invariant directly: one read
+        # syscall per group, two for start (reset + enable), per config.
+        "read_is_one_syscall_per_group": all(
+            result.syscalls_per_group(label, "read") == 1.0
+            for label in result.costs
+        ),
+        "start_is_two_syscalls_per_group": all(
+            result.syscalls_per_group(label, "start") == 2.0
+            for label in result.costs
+        ),
         "rdpmc_fast_path_works": result.rdpmc_matching_core
         and not result.rdpmc_foreign_core,
     }

@@ -1,0 +1,205 @@
+"""RAPL read-rate overhead sweep: does energy monitoring perturb the run?
+
+Reading RAPL through PAPI is not free — every ``PAPI_read`` issues one
+syscall per perf event group, and the modeled call cost is injected back
+into the measured thread as extra instructions.  This experiment sweeps
+the number of energy reads per run and quantifies the perturbation both
+ways the paper cares about: wall-clock inflation of the monitored
+workload and the extra energy the monitoring itself costs, against an
+unmonitored baseline of the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import pct_change, render_table
+from repro.kernel.perf.pmu import RAPL_PERF_UNIT_J
+from repro.papi import Papi
+from repro.sim.task import ControlOp, Program, SimThread
+from repro.sim.workload import ComputePhase, PhaseRates, constant_rates
+from repro.system import System
+
+#: Scalar workload with some floating-point content (so the sweep is
+#: representative of a monitored numeric kernel).
+RATES = constant_rates(PhaseRates(ipc=2.0, flops_per_instr=1.0))
+
+#: Energy reads per run — the swept monitoring rates.
+READ_COUNTS = (0, 10, 100, 1000)
+
+
+@dataclass
+class RaplOverheadRow:
+    reads: int
+    runtime_s: float
+    energy_j: float
+    papi_energy_j: float          # what PAPI reported (perf units -> J)
+    reads_per_s: float
+    runtime_inflation_pct: float  # vs the unmonitored baseline
+    energy_inflation_pct: float
+    overhead_instructions: float  # injected syscall cost, instructions
+
+
+@dataclass
+class RaplOverheadResult:
+    machine: str
+    instructions: float
+    baseline_runtime_s: float
+    baseline_energy_j: float
+    rows: list[RaplOverheadRow] = field(default_factory=list)
+
+
+def _big_core_inst_event(system: System) -> tuple[str, int]:
+    ct = max(
+        system.topology.core_types, key=lambda c: c.capacity * c.max_freq_mhz
+    )
+    suffix = "INST_RETIRED:ANY" if ct.vendor == "intel" else "INST_RETIRED"
+    return f"{ct.pfm_pmu}::{suffix}", system.topology.cpus_of_type(ct.name)[0]
+
+
+def _run_workload(
+    machine: str, instructions: float, reads: int | None
+) -> tuple[SimThread, System, list[float], float]:
+    """One run; ``reads=None`` means unmonitored baseline.
+
+    Returns (thread, system, final PAPI values, overhead instructions).
+    """
+    system = System(machine, dt_s=1e-4)
+    event, cpu = _big_core_inst_event(system)
+    if reads is None:
+        program = Program([ComputePhase(instructions, RATES)])
+        thread = system.machine.spawn(
+            SimThread("rapl-baseline", program, affinity={cpu})
+        )
+        system.machine.run_until_done([thread], max_s=60.0, strict=True)
+        return thread, system, [], 0.0
+
+    papi = Papi(system, mode="hybrid")
+    holder: dict = {}
+
+    def do_setup(t: SimThread) -> None:
+        es = papi.create_eventset()
+        papi.attach(es, t)
+        papi.add_event(es, event, caller=t)
+        papi.add_event(es, "rapl::RAPL_ENERGY_PKG", caller=t)
+        papi.start(es, caller=t)
+        holder["es"] = es
+
+    def do_read(t: SimThread) -> None:
+        papi.read(holder["es"], caller=t)
+
+    def do_teardown(t: SimThread) -> None:
+        holder["values"] = papi.stop(holder["es"], caller=t)
+        papi.destroy_eventset(holder["es"], caller=t)
+
+    chunk = instructions / (reads + 1)
+    items: list = [ControlOp(do_setup, "papi-setup")]
+    for _ in range(reads):
+        items.append(ComputePhase(chunk, RATES, label="monitored"))
+        items.append(ControlOp(do_read, "rapl-read"))
+    items.append(ComputePhase(chunk, RATES, label="monitored"))
+    items.append(ControlOp(do_teardown, "papi-stop"))
+
+    thread = system.machine.spawn(
+        SimThread("rapl-monitored", Program(items), affinity={cpu})
+    )
+    system.machine.run_until_done([thread], max_s=60.0, strict=True)
+    stats = system.perf.cost.stats.snapshot()
+    return thread, system, holder["values"], stats.instructions_charged
+
+
+def run_rapl_overhead(
+    machine: str = "raptor-lake-i7-13700",
+    instructions: float = 2e7,
+    read_counts: tuple[int, ...] = READ_COUNTS,
+) -> RaplOverheadResult:
+    probe = System(machine)
+    if not probe.spec.has_rapl:
+        raise ValueError(f"{machine!r} has no RAPL; nothing to sweep")
+
+    thread, system, _, _ = _run_workload(machine, instructions, None)
+    baseline_runtime = thread.total_runtime_s
+    baseline_energy = system.machine.rapl.package.energy_j
+
+    out = RaplOverheadResult(
+        machine=machine,
+        instructions=instructions,
+        baseline_runtime_s=baseline_runtime,
+        baseline_energy_j=baseline_energy,
+    )
+    for reads in read_counts:
+        thread, system, values, overhead_instr = _run_workload(
+            machine, instructions, reads
+        )
+        runtime = thread.total_runtime_s
+        energy = system.machine.rapl.package.energy_j
+        out.rows.append(
+            RaplOverheadRow(
+                reads=reads,
+                runtime_s=runtime,
+                energy_j=energy,
+                papi_energy_j=values[1] * RAPL_PERF_UNIT_J,
+                reads_per_s=reads / runtime if runtime > 0 else 0.0,
+                runtime_inflation_pct=pct_change(baseline_runtime, runtime),
+                energy_inflation_pct=pct_change(baseline_energy, energy),
+                overhead_instructions=overhead_instr,
+            )
+        )
+    return out
+
+
+def render(result: RaplOverheadResult) -> str:
+    rows = [
+        [
+            str(r.reads),
+            f"{r.reads_per_s:.0f}",
+            f"{r.runtime_s * 1e3:.3f}",
+            f"{r.runtime_inflation_pct:+.3f}%",
+            f"{r.energy_j:.4f}",
+            f"{r.energy_inflation_pct:+.3f}%",
+            f"{r.papi_energy_j:.4f}",
+            f"{r.overhead_instructions:.0f}",
+        ]
+        for r in result.rows
+    ]
+    table = render_table(
+        [
+            "reads",
+            "reads/s",
+            "runtime ms",
+            "runtime vs base",
+            "energy J",
+            "energy vs base",
+            "PAPI energy J",
+            "overhead instr",
+        ],
+        rows,
+    )
+    head = (
+        f"  baseline (unmonitored): runtime "
+        f"{result.baseline_runtime_s * 1e3:.3f} ms, energy "
+        f"{result.baseline_energy_j:.4f} J"
+    )
+    return head + "\n" + table
+
+
+def shape_holds(result: RaplOverheadResult) -> dict[str, bool]:
+    runtimes = [r.runtime_s for r in result.rows]
+    energies = [r.energy_j for r in result.rows]
+    return {
+        # More reads -> more injected call cost -> longer runs.
+        "runtime_monotone_in_reads": all(
+            a <= b for a, b in zip(runtimes, runtimes[1:])
+        ),
+        "energy_monotone_in_reads": all(
+            a <= b for a, b in zip(energies, energies[1:])
+        ),
+        "monitoring_costs_time": runtimes[-1] > result.baseline_runtime_s,
+        "monitoring_costs_energy": energies[-1] > result.baseline_energy_j,
+        # PAPI's own energy reading stays close to ground truth.
+        "papi_energy_tracks_truth": all(
+            abs(r.papi_energy_j - r.energy_j) / r.energy_j < 0.05
+            for r in result.rows
+            if r.energy_j > 0
+        ),
+    }

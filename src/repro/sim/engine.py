@@ -76,10 +76,8 @@ from repro.sim.workload import (
     SpinPhase,
     SPIN_RATES,
     PhaseRates,
+    arch_event_rates,
 )
-
-#: Intel's top-down pipeline width (slots per cycle) on Golden Cove.
-TOPDOWN_SLOTS_PER_CYCLE = 6
 
 #: Safety valve: max control ops a thread may run inside one time slice.
 MAX_CONTROL_OPS_PER_SLICE = 100_000
@@ -772,26 +770,9 @@ class Machine:
         )
         entry = self._rate_vecs_by_value.get(vkey)
         if entry is None:
-            v = np.zeros(N_ARCH_EVENTS, dtype=np.float64)
-            cycles_per_instr = 1.0 / rates.ipc
-            v[ArchEvent.CYCLES] = cycles_per_instr
-            v[ArchEvent.INSTRUCTIONS] = 1.0
-            v[ArchEvent.FP_OPS] = rates.flops_per_instr
-            v[ArchEvent.LLC_REFERENCES] = rates.llc_refs_per_instr
-            v[ArchEvent.LLC_MISSES] = rates.llc_refs_per_instr * rates.llc_miss_rate
-            v[ArchEvent.L2_REFERENCES] = rates.l2_refs_per_instr
-            v[ArchEvent.L2_MISSES] = rates.l2_refs_per_instr * rates.l2_miss_rate
-            v[ArchEvent.BRANCHES] = rates.branches_per_instr
-            v[ArchEvent.BRANCH_MISSES] = (
-                rates.branches_per_instr * rates.branch_miss_rate
-            )
-            v[ArchEvent.STALLED_CYCLES] = max(
-                0.0, cycles_per_instr - 1.0 / ct.ipc
-            )
-            if ct.supports_event(ArchEvent.TOPDOWN_SLOTS):
-                v[ArchEvent.TOPDOWN_SLOTS] = (
-                    cycles_per_instr * TOPDOWN_SLOTS_PER_CYCLE
-                )
+            # Shared with the validation oracle: sim.workload owns the
+            # PhaseRates -> event-vector translation.
+            v = arch_event_rates(ct, rates)
             # Pin ct and rates so the id() keys cannot be recycled.
             entry = (v, ct, rates)
             self._rate_vecs_by_value[vkey] = entry

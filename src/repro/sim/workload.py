@@ -16,10 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, TYPE_CHECKING
 
-from repro.hw.coretype import CoreType
+import numpy as np
+
+from repro.hw.coretype import ArchEvent, CoreType, N_ARCH_EVENTS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.task import SimThread
+
+#: Intel's top-down pipeline width (slots per cycle) on Golden Cove.
+TOPDOWN_SLOTS_PER_CYCLE = 6
 
 
 @dataclass
@@ -54,6 +59,40 @@ def constant_rates(rates: PhaseRates) -> RatesFn:
     return lambda ctype: rates
 
 
+def arch_event_rates(ct: CoreType, rates: PhaseRates) -> np.ndarray:
+    """Per-instruction architectural event rates of a phase on ``ct``.
+
+    This is *the* translation from :class:`PhaseRates` to the 14-slot
+    architectural event vector — both the engine's accounting hot path
+    (via its caches) and the validation oracle call it, so measured
+    counters and analytic expectations are two integrals of the same
+    function.  ``REF_CYCLES`` is time-based, not instruction-based; its
+    slot stays zero here and is patched from accumulated seconds by the
+    caller (engine flush / oracle runtime).
+    """
+    v = np.zeros(N_ARCH_EVENTS, dtype=np.float64)
+    cycles_per_instr = 1.0 / rates.ipc
+    v[ArchEvent.CYCLES] = cycles_per_instr
+    v[ArchEvent.INSTRUCTIONS] = 1.0
+    v[ArchEvent.FP_OPS] = rates.flops_per_instr
+    v[ArchEvent.LLC_REFERENCES] = rates.llc_refs_per_instr
+    v[ArchEvent.LLC_MISSES] = rates.llc_refs_per_instr * rates.llc_miss_rate
+    v[ArchEvent.L2_REFERENCES] = rates.l2_refs_per_instr
+    v[ArchEvent.L2_MISSES] = rates.l2_refs_per_instr * rates.l2_miss_rate
+    v[ArchEvent.BRANCHES] = rates.branches_per_instr
+    v[ArchEvent.BRANCH_MISSES] = (
+        rates.branches_per_instr * rates.branch_miss_rate
+    )
+    v[ArchEvent.STALLED_CYCLES] = max(
+        0.0, cycles_per_instr - 1.0 / ct.ipc
+    )
+    if ct.supports_event(ArchEvent.TOPDOWN_SLOTS):
+        v[ArchEvent.TOPDOWN_SLOTS] = (
+            cycles_per_instr * TOPDOWN_SLOTS_PER_CYCLE
+        )
+    return v
+
+
 class WorkPhase:
     """Base class; engine dispatches on the concrete type."""
 
@@ -83,6 +122,16 @@ class ComputePhase(WorkPhase):
     @property
     def done(self) -> bool:
         return self.remaining <= 0.0
+
+    def expected_counts(self, ct: CoreType) -> np.ndarray:
+        """Analytic event expectations for running this phase on ``ct``.
+
+        The ground-truth surface of the validation oracle: the event
+        vector the engine will account for this phase, computed without
+        running anything.  ``REF_CYCLES`` is time-based and stays zero
+        (the oracle patches it from measured runtime).
+        """
+        return arch_event_rates(ct, self.rates_fn(ct)) * self.total
 
 
 class ChunkStream(WorkPhase):

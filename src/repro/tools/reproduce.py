@@ -20,6 +20,7 @@ from repro.experiments import (
     fig4_arm_scaling,
     hybrid_eventset,
     overhead,
+    rapl_overhead,
     table1_hw,
     table2_hpl,
     table3_counters,
@@ -94,6 +95,11 @@ def run_all(full_scale: bool = False, quick: bool = False, log=print) -> tuple[s
     log("§V-5 overhead ablation...")
     ov = overhead.run_overhead()
     record("§V-5 — overhead", overhead.render(ov), overhead.shape_holds(ov))
+
+    log("V2 RAPL monitoring-overhead sweep...")
+    ro = rapl_overhead.run_rapl_overhead()
+    record("V2 — RAPL monitoring overhead", rapl_overhead.render(ro),
+           rapl_overhead.shape_holds(ro))
 
     log("Energy efficiency extension...")
     ee = energy_efficiency.run_energy_efficiency(full_scale=full_scale, config=raptor_cfg)

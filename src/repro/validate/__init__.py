@@ -1,0 +1,51 @@
+"""Ground-truth event validation and derived-metric groups.
+
+The simulator *knows* its ground truth — every instruction, flop, joule
+and migration is analytic — so unlike real PAPI we can score every
+native event against its expected count (Röhl et al.'s validation
+methodology) and publish the result as a machine-readable scorecard.
+On top of the validated counters, :mod:`repro.validate.groups` provides
+LIKWID-style curated metric groups (IPC, Gflop/s, energy/flop, ...)
+that declare their required inputs and degrade explicitly when an
+event is unvalidated or multiplexed.
+"""
+
+from repro.validate.groups import (
+    GROUPS,
+    MeasurementBundle,
+    MetricGroup,
+    MetricValue,
+    evaluate,
+    evaluate_all,
+)
+from repro.validate.harness import (
+    Accuracy,
+    EventScore,
+    Scorecard,
+    classify,
+    run_validation,
+    selftest_detected,
+)
+from repro.validate.oracle import (
+    expected_vector,
+    validation_phase,
+    validation_rates,
+)
+
+__all__ = [
+    "Accuracy",
+    "EventScore",
+    "GROUPS",
+    "MeasurementBundle",
+    "MetricGroup",
+    "MetricValue",
+    "Scorecard",
+    "classify",
+    "evaluate",
+    "evaluate_all",
+    "expected_vector",
+    "run_validation",
+    "selftest_detected",
+    "validation_phase",
+    "validation_rates",
+]

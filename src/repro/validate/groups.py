@@ -1,0 +1,287 @@
+"""LIKWID-style derived-metric groups.
+
+Raw counters are rarely what a performance engineer wants; LIKWID's
+insight (Treibig et al.) is to curate *metric groups* — named formulas
+over a declared set of required inputs.  Each group here:
+
+* declares what it needs (counters by architectural name, run context
+  like runtime or energy, trace-derived series);
+* reports ``missing`` when a required input is absent — never a silent
+  zero;
+* degrades *explicitly* when an input counter is unvalidated, validated
+  worse than ``proportional`` (see :mod:`repro.validate.harness`), or
+  was multiplexed — the value is still computed, but carries its caveats.
+
+Inputs arrive in a :class:`MeasurementBundle`, which callers fill from
+whatever they have (PAPI values, thread runtimes, sampler traces); the
+scorecard's :meth:`~repro.validate.harness.Scorecard.accuracy_by_event`
+output plugs directly into ``accuracy``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+QUALITY_OK = "ok"
+QUALITY_DEGRADED = "degraded"
+QUALITY_MISSING = "missing"
+
+#: Accuracy classes a counter may carry without degrading the group.
+_TRUSTED_ACCURACY = ("exact", "proportional")
+
+
+@dataclass
+class MeasurementBundle:
+    """Everything a metric group may consume, in SI-ish units.
+
+    ``counters`` is keyed by architectural event name (lowercase, e.g.
+    ``"instructions"``); ``accuracy`` and ``mux_scale`` are keyed the
+    same way.  A missing ``accuracy`` entry means *unvalidated* — groups
+    degrade on it, which is the point: trust must be earned per event.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    runtime_s: Optional[float] = None
+    energy_j: Optional[float] = None
+    #: counter name -> accuracy class from a validation scorecard.
+    accuracy: dict[str, str] = field(default_factory=dict)
+    #: counter name -> running/enabled fraction (1.0 = dedicated).
+    mux_scale: dict[str, float] = field(default_factory=dict)
+    #: cluster label -> sampled frequencies (MHz), for residency.
+    freq_mhz: dict[str, list[float]] = field(default_factory=dict)
+    #: PMU name -> instructions counted there (hybrid attribution).
+    instructions_by_pmu: dict[str, float] = field(default_factory=dict)
+    #: PAPI op name -> syscalls it issued (overhead accounting).
+    syscalls: dict[str, float] = field(default_factory=dict)
+    #: perf event groups backing the EventSet.
+    groups: Optional[int] = None
+
+
+@dataclass
+class MetricValue:
+    """One evaluated group: value + explicit quality."""
+
+    group: str
+    unit: str
+    value: Optional[float]
+    per_key: dict[str, float]
+    quality: str
+    reasons: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return self.quality == QUALITY_OK
+
+
+@dataclass(frozen=True)
+class MetricGroup:
+    """A named derived metric with declared requirements.
+
+    ``requires`` entries are either ``"counter:<name>"`` (a key of
+    ``bundle.counters``) or a bundle attribute name whose value must be
+    non-empty/non-None.
+    """
+
+    name: str
+    description: str
+    unit: str
+    requires: tuple[str, ...]
+    _compute: Callable[[MeasurementBundle], tuple[Optional[float], dict[str, float], list[str]]]
+
+    def evaluate(self, bundle: MeasurementBundle) -> MetricValue:
+        missing = [req for req in self.requires if not _available(bundle, req)]
+        if missing:
+            return MetricValue(
+                group=self.name,
+                unit=self.unit,
+                value=None,
+                per_key={},
+                quality=QUALITY_MISSING,
+                reasons=[f"missing input {req}" for req in missing],
+            )
+        reasons = []
+        for req in self.requires:
+            if not req.startswith("counter:"):
+                continue
+            name = req.split(":", 1)[1]
+            acc = bundle.accuracy.get(name)
+            if acc is None:
+                reasons.append(f"counter {name!r} is unvalidated")
+            elif acc not in _TRUSTED_ACCURACY:
+                reasons.append(f"counter {name!r} validated {acc!r}")
+            scale = bundle.mux_scale.get(name, 1.0)
+            if scale < 0.999:
+                reasons.append(
+                    f"counter {name!r} was multiplexed "
+                    f"(running/enabled = {scale:.3f})"
+                )
+        value, per_key, compute_reasons = self._compute(bundle)
+        reasons += compute_reasons
+        if value is not None and not math.isfinite(value):
+            value = None
+            reasons.append("non-finite result")
+        quality = QUALITY_OK if not reasons else QUALITY_DEGRADED
+        if value is None and not per_key:
+            quality = QUALITY_MISSING
+        return MetricValue(
+            group=self.name,
+            unit=self.unit,
+            value=value,
+            per_key=per_key,
+            quality=quality,
+            reasons=reasons,
+        )
+
+
+def _available(bundle: MeasurementBundle, req: str) -> bool:
+    if req.startswith("counter:"):
+        name = req.split(":", 1)[1]
+        value = bundle.counters.get(name)
+        return value is not None and math.isfinite(value)
+    value = getattr(bundle, req)
+    if value is None:
+        return False
+    if isinstance(value, (dict, list)):
+        return len(value) > 0
+    return True
+
+
+# -- group formulas --------------------------------------------------------
+
+
+def _ipc(b: MeasurementBundle):
+    cycles = b.counters["cycles"]
+    if cycles <= 0:
+        return None, {}, ["cycles == 0"]
+    return b.counters["instructions"] / cycles, {}, []
+
+
+def _gflops(b: MeasurementBundle):
+    if b.runtime_s <= 0:
+        return None, {}, ["runtime_s == 0"]
+    return b.counters["fp_ops"] / b.runtime_s / 1e9, {}, []
+
+
+def _energy_per_flop(b: MeasurementBundle):
+    flops = b.counters["fp_ops"]
+    if flops <= 0:
+        return None, {}, ["fp_ops == 0"]
+    return b.energy_j / flops * 1e9, {}, []
+
+
+def _freq_residency(b: MeasurementBundle):
+    """Mean frequency and top-bin residency per cluster, from samples."""
+    per_key: dict[str, float] = {}
+    for label in sorted(b.freq_mhz):
+        samples = b.freq_mhz[label]
+        if not samples:
+            continue
+        peak = max(samples)
+        per_key[f"{label}.mean_mhz"] = sum(samples) / len(samples)
+        per_key[f"{label}.peak_residency"] = (
+            sum(1 for s in samples if s >= 0.98 * peak) / len(samples)
+        )
+    if not per_key:
+        return None, {}, ["no frequency samples"]
+    return None, per_key, []
+
+
+def _mux_quality(b: MeasurementBundle):
+    """Worst running/enabled fraction across multiplexed counters."""
+    per_key = {name: b.mux_scale[name] for name in sorted(b.mux_scale)}
+    worst = min(per_key.values())
+    reasons = []
+    if worst < 0.999:
+        reasons.append(f"worst counter ran {worst:.1%} of enabled time")
+    return worst, per_key, reasons
+
+
+def _instr_share(b: MeasurementBundle):
+    """Total instructions and each PMU's share of them (hybrid split)."""
+    total = sum(b.instructions_by_pmu.values())
+    if any(not math.isfinite(v) for v in b.instructions_by_pmu.values()):
+        return None, {}, ["non-finite per-PMU instruction count"]
+    per_key = {
+        pmu: (b.instructions_by_pmu[pmu] / total if total > 0 else 0.0)
+        for pmu in sorted(b.instructions_by_pmu)
+    }
+    return total, per_key, []
+
+
+def _papi_op_cost(b: MeasurementBundle):
+    """Syscalls per perf event group for each PAPI operation."""
+    if b.groups <= 0:
+        return None, {}, ["no event groups"]
+    per_key = {
+        f"{op}.syscalls_per_group": b.syscalls[op] / b.groups
+        for op in sorted(b.syscalls)
+    }
+    return float(sum(b.syscalls.values())), per_key, []
+
+
+GROUPS: dict[str, MetricGroup] = {
+    g.name: g
+    for g in (
+        MetricGroup(
+            name="ipc",
+            description="Retired instructions per core cycle",
+            unit="instr/cycle",
+            requires=("counter:instructions", "counter:cycles"),
+            _compute=_ipc,
+        ),
+        MetricGroup(
+            name="gflops",
+            description="Floating-point throughput",
+            unit="Gflop/s",
+            requires=("counter:fp_ops", "runtime_s"),
+            _compute=_gflops,
+        ),
+        MetricGroup(
+            name="energy_per_flop",
+            description="Package energy per floating-point operation",
+            unit="nJ/flop",
+            requires=("counter:fp_ops", "energy_j"),
+            _compute=_energy_per_flop,
+        ),
+        MetricGroup(
+            name="freq_residency",
+            description="Mean frequency and peak-bin residency per cluster",
+            unit="MHz",
+            requires=("freq_mhz",),
+            _compute=_freq_residency,
+        ),
+        MetricGroup(
+            name="mux_quality",
+            description="Multiplexing quality (running/enabled fractions)",
+            unit="fraction",
+            requires=("mux_scale",),
+            _compute=_mux_quality,
+        ),
+        MetricGroup(
+            name="instr_share",
+            description="Instruction attribution across hybrid PMUs",
+            unit="instructions",
+            requires=("instructions_by_pmu",),
+            _compute=_instr_share,
+        ),
+        MetricGroup(
+            name="papi_op_cost",
+            description="PAPI call overhead per perf event group",
+            unit="syscalls",
+            requires=("syscalls", "groups"),
+            _compute=_papi_op_cost,
+        ),
+    )
+}
+
+
+def evaluate(name: str, bundle: MeasurementBundle) -> MetricValue:
+    """Evaluate one group by name (KeyError for unknown groups)."""
+    return GROUPS[name].evaluate(bundle)
+
+
+def evaluate_all(bundle: MeasurementBundle) -> dict[str, MetricValue]:
+    """Evaluate every registered group against ``bundle``."""
+    return {name: group.evaluate(bundle) for name, group in GROUPS.items()}

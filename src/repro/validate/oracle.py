@@ -1,0 +1,76 @@
+"""The ground-truth oracle: analytic event expectations per run.
+
+The engine accounts architectural events by integrating
+:func:`repro.sim.workload.arch_event_rates` over retired instructions;
+the oracle integrates the *same* function analytically.  Measured and
+expected counts are therefore two integrals of one rate function — any
+divergence is a property of the measurement stack (counter width,
+multiplexing, PMU routing), never of the workload model.
+
+Two event families are time-based rather than instruction-based and are
+patched from per-run ground truth:
+
+* ``REF_CYCLES`` ticks at the TSC rate while the thread runs, so the
+  expectation is ``tsc_ghz * 1e9 * runtime_s`` with the runtime taken
+  from the thread's own per-PMU accounting;
+* RAPL energy is the machine's unwrapped ``energy_j`` ledger, converted
+  to the kernel's 2^-32 J perf units by the harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.coretype import ArchEvent, CoreType
+from repro.sim.workload import ComputePhase, PhaseRates
+
+#: Rates chosen so *every* architectural event slot is exercised:
+#: flops, both cache levels, branches and (via ipc < core ipc) stall
+#: cycles are all nonzero on every core type.
+_FLOPS_PER_INSTR = 2.0
+_LLC_REFS_PER_INSTR = 0.01
+_LLC_MISS_RATE = 0.2
+_L2_REFS_PER_INSTR = 0.04
+_L2_MISS_RATE = 0.25
+_BRANCHES_PER_INSTR = 0.1
+_BRANCH_MISS_RATE = 0.02
+#: Effective IPC as a fraction of the core's base IPC; < 1 so the
+#: STALLED_CYCLES expectation is strictly positive by construction.
+_IPC_FRACTION = 0.8
+
+
+def validation_rates(ct: CoreType) -> PhaseRates:
+    """The validation workload's execution rates on ``ct``."""
+    return PhaseRates(
+        ipc=_IPC_FRACTION * ct.ipc,
+        flops_per_instr=_FLOPS_PER_INSTR,
+        llc_refs_per_instr=_LLC_REFS_PER_INSTR,
+        llc_miss_rate=_LLC_MISS_RATE,
+        l2_refs_per_instr=_L2_REFS_PER_INSTR,
+        l2_miss_rate=_L2_MISS_RATE,
+        branches_per_instr=_BRANCHES_PER_INSTR,
+        branch_miss_rate=_BRANCH_MISS_RATE,
+    )
+
+
+def validation_phase(instructions: float) -> ComputePhase:
+    """One validation-workload phase retiring ``instructions``."""
+    return ComputePhase(instructions, validation_rates, label="validate")
+
+
+def expected_vector(
+    ct: CoreType,
+    instructions: float,
+    runtime_s: float,
+    tsc_ghz: float,
+) -> np.ndarray:
+    """Expected architectural event counts for one validation thread.
+
+    ``runtime_s`` is the thread's accumulated runtime on ``ct``'s PMU
+    (``thread.runtime_s[ct.pmu_name]``) — ground truth for the
+    time-based ``REF_CYCLES`` slot.
+    """
+    phase = validation_phase(instructions)
+    vec = phase.expected_counts(ct)
+    vec[ArchEvent.REF_CYCLES] = tsc_ghz * 1e9 * runtime_s
+    return vec

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hw.coretype import CoreType
-from repro.sim.workload import ComputePhase, PhaseRates
+from repro.sim.workload import ComputePhase, PhaseRates, arch_event_rates
 
 
 @dataclass(frozen=True)
@@ -49,6 +51,13 @@ class JobProfile:
             branches_per_instr=self.branches_per_instr,
             branch_miss_rate=self.branch_miss_rate,
         )
+
+    def expected_counts(self, ctype: CoreType, instructions: float) -> np.ndarray:
+        """Analytic event expectations for ``instructions`` of this job
+        on ``ctype`` — the validation oracle's ground truth.  REF_CYCLES
+        (time-based) stays zero; the oracle patches it from runtime.
+        """
+        return arch_event_rates(ctype, self.rates(ctype)) * float(instructions)
 
     def speed_ratio_big_over_little(
         self, big: CoreType, little: CoreType
